@@ -1,0 +1,39 @@
+"""Shared helpers for the benchmark harness.
+
+Every bench reproduces one table or figure of the paper: it runs the
+experiment once inside pytest-benchmark, prints the reproduced rows, writes
+them to ``benchmarks/out/<name>.txt`` (consumed by EXPERIMENTS.md), and
+asserts the paper's qualitative shape.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+from repro.workloads import EmbeddingTableSet, QueryGenerator
+
+OUT_DIR = pathlib.Path(__file__).parent / "out"
+
+
+def write_report(name: str, text: str) -> None:
+    """Persist a bench's reproduced table for EXPERIMENTS.md assembly."""
+    OUT_DIR.mkdir(exist_ok=True)
+    (OUT_DIR / f"{name}.txt").write_text(text + "\n")
+    print(f"\n{text}")
+
+
+def reference_tables(seed: int = 0) -> EmbeddingTableSet:
+    """The evaluation's table set: 32 tables × 100 K rows × 512 B vectors."""
+    return EmbeddingTableSet(
+        num_tables=32, rows_per_table=100_000, vector_elements=128, seed=seed
+    )
+
+
+def calibrated_batch(tables: EmbeddingTableSet, batch_size: int, seed: int = 2):
+    """One paper-calibrated batch (Zipfian sharing, q = 16)."""
+    return QueryGenerator.paper_calibrated(tables, seed=seed).batch(batch_size)
+
+
+def run_once(benchmark, fn):
+    """Run an experiment exactly once under pytest-benchmark."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

@@ -1,0 +1,57 @@
+"""Ablation — PE-to-rank ratio (1PE:1R vs 1PE:2R vs 1PE:4R).
+
+The paper fixes 1PE:2R but notes other scales are implementable (§IV-B).
+This ablation measures the latency/area trade: fewer leaves mean fewer PEs
+(less area) but deeper per-leaf FIFO folding and less leaf-level
+parallelism.
+"""
+
+import pytest
+
+from _common import calibrated_batch, reference_tables, run_once, write_report
+from repro.analysis import Table
+from repro.core import FafnirConfig, FafnirEngine
+from repro.hw import PE_AREA_MM2
+
+
+def test_ablation_pe_rank_ratio(benchmark):
+    tables = reference_tables()
+    batch = calibrated_batch(tables, batch_size=16)
+
+    def run():
+        rows = {}
+        for ranks_per_leaf in (1, 2, 4):
+            config = FafnirConfig(
+                batch_size=16, ranks_per_leaf_pe=ranks_per_leaf
+            )
+            engine = FafnirEngine(config)
+            result = engine.run_batch(batch, tables.vector)
+            rows[ranks_per_leaf] = {
+                "latency_cycles": result.stats.latency_pe_cycles,
+                "num_pes": config.num_pes,
+                "levels": config.tree_levels,
+            }
+        return rows
+
+    rows = run_once(benchmark, run)
+
+    table = Table(["PE:rank", "PEs", "levels", "latency_cycles", "area_mm2"])
+    for ratio, row in rows.items():
+        table.add_row(
+            [
+                f"1PE:{ratio}R",
+                row["num_pes"],
+                row["levels"],
+                row["latency_cycles"],
+                f"{row['num_pes'] * PE_AREA_MM2:.2f}",
+            ]
+        )
+    write_report("ablation_tree", table.render())
+
+    # More ranks per leaf → fewer PEs (less area), shallower tree.
+    assert rows[1]["num_pes"] > rows[2]["num_pes"] > rows[4]["num_pes"]
+    assert rows[1]["levels"] > rows[4]["levels"]
+    # All configurations complete the batch (latency finite and ordered
+    # within a sane envelope — deeper folding should not explode latency).
+    for row in rows.values():
+        assert 0 < row["latency_cycles"] < 100_000

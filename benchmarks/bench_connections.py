@@ -1,0 +1,38 @@
+"""§III-D / §IV-A — connection counts: all-to-all c·m vs FAFNIR (2m−2)+c."""
+
+from _common import run_once, write_report
+from repro.analysis import Table
+from repro.hw import ConnectionComparison
+
+
+def test_connection_scaling(benchmark):
+    def run():
+        return [
+            ConnectionComparison(memory_devices=m, compute_devices=c)
+            for m, c in [(8, 4), (16, 4), (32, 4), (64, 8), (128, 16)]
+        ]
+
+    comparisons = run_once(benchmark, run)
+
+    table = Table(["m (memory)", "c (compute)", "all_to_all", "fafnir", "reduction"])
+    for comparison in comparisons:
+        table.add_row(
+            [
+                comparison.memory_devices,
+                comparison.compute_devices,
+                comparison.all_to_all,
+                comparison.fafnir,
+                f"{comparison.reduction_factor:.2f}×",
+            ]
+        )
+    write_report("connections", table.render())
+
+    # The tree always needs fewer links, and the advantage grows with scale.
+    factors = [c.reduction_factor for c in comparisons]
+    assert all(f > 1.0 for f in factors)
+    assert factors[2] > factors[0]
+    assert factors[-1] > factors[2]
+    # Reference system numbers (§IV-A with m=32, c=4).
+    reference = comparisons[2]
+    assert reference.all_to_all == 128
+    assert reference.fafnir == 66

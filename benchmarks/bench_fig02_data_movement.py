@@ -1,0 +1,28 @@
+"""Fig. 2 / §III-A — data movement: who ships how many elements to the cores.
+
+Paper claim: the baseline ships n·q·v elements; TensorDIMM and FAFNIR ship
+only n·v (a q× reduction); RecNMP lands in between, at the mercy of spatial
+locality.
+"""
+
+from _common import run_once, write_report
+from repro.experiments import get_experiment
+
+
+def test_fig02_data_movement(benchmark):
+    result = run_once(benchmark, get_experiment("fig02").run)
+    write_report("fig02_data_movement", result.table.render())
+
+    bytes_to_core = result.data["bytes"]
+    batch = result.data["batch"]
+    # NDP full-reduction designs ship exactly n·v.
+    assert bytes_to_core["fafnir"] == 16 * 512
+    assert bytes_to_core["tensordimm"] == 16 * 512
+    # Baseline ships every gathered vector.
+    assert bytes_to_core["baseline"] == sum(len(set(q)) for q in batch) * 512
+    # RecNMP strictly between the extremes.
+    assert (
+        bytes_to_core["fafnir"]
+        < bytes_to_core["recnmp"]
+        <= bytes_to_core["baseline"]
+    )

@@ -1,0 +1,23 @@
+"""Fig. 3 — percentage of unique indices in batches of queries.
+
+Paper claim: batches share indices, and the unique fraction falls as batch
+size grows — the opportunity FAFNIR's batch mechanism exploits.
+"""
+
+from _common import run_once, write_report
+from repro.experiments import get_experiment
+
+
+def test_fig03_unique_indices(benchmark):
+    result = run_once(benchmark, get_experiment("fig03").run)
+    write_report("fig03_unique_indices", result.table.render())
+
+    stats = result.data["stats"]
+    fractions = [entry.mean_unique_fraction for entry in stats]
+    # Monotonically more sharing with larger batches.
+    assert all(a > b for a, b in zip(fractions, fractions[1:]))
+    # Calibration anchors (paper Fig. 15 savings 34/43/58 % at B=8/16/32).
+    by_batch = {entry.batch_size: entry.mean_savings for entry in stats}
+    assert abs(by_batch[8] - 0.34) < 0.10
+    assert abs(by_batch[16] - 0.43) < 0.10
+    assert abs(by_batch[32] - 0.58) < 0.10

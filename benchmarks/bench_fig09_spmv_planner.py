@@ -1,0 +1,26 @@
+"""Fig. 9 — SpMV iterations, rounds per iteration, and merges vs matrix
+width (up to 20 M columns) for vector sizes 1024 and 2048.
+
+Paper claim: "even for matrices with more than 5 million columns, no more
+than two merge stages are required" (at the 2048 configuration).
+"""
+
+from _common import run_once, write_report
+from repro.experiments import get_experiment
+
+
+def test_fig09_planner_sweep(benchmark):
+    result = run_once(benchmark, get_experiment("fig09").run)
+    write_report("fig09_spmv_planner", result.table.render())
+
+    plans = result.data["plans"]
+    # The paper's headline claim at vector size 2048.
+    for plan in plans[2048]:
+        if plan.n_cols >= 5_000_000:
+            assert plan.merge_iterations <= 2
+    # Halving the vector size needs at least as many chunks.
+    for plan_1024, plan_2048 in zip(plans[1024], plans[2048]):
+        assert plan_1024.chunks >= plan_2048.chunks
+    # Monotone growth in width.
+    merges = [plan.total_merges for plan in plans[2048]]
+    assert merges == sorted(merges)

@@ -1,0 +1,34 @@
+"""Fig. 11 — single-query latency breakdown: memory vs compute.
+
+Paper claims for one query of 16 × 512 B vectors over 32 ranks:
+
+* TensorDIMM's compute (pipelined chain) is ≈2.5× FAFNIR's parallel tree;
+* TensorDIMM's memory is ≈4.45× RecNMP/FAFNIR (up to 16× with no row hits);
+* RecNMP and FAFNIR have comparable memory latency;
+* RecNMP forwards part of the reduction to the CPU, FAFNIR none.
+"""
+
+from _common import run_once, write_report
+from repro.experiments import get_experiment
+
+
+def test_fig11_single_query_breakdown(benchmark):
+    result = run_once(benchmark, get_experiment("fig11").run)
+    write_report("fig11_single_query", result.table.render())
+
+    memory_ratio = result.data["memory_ratio"]
+    compute_ratio = result.data["compute_ratio"]
+    results = result.data["results"]
+
+    # Memory: the column-major penalty (4.45× in the paper, ≤16× worst case).
+    assert 3.0 <= memory_ratio <= 16.0
+    # Compute: pipelined chain vs parallel tree (2.5× in the paper).
+    assert 1.8 <= compute_ratio <= 4.0
+    # RecNMP and FAFNIR memory comparable.
+    recnmp_vs_fafnir = (
+        results["recnmp"].timing.memory_ns / results["fafnir"].timing.memory_ns
+    )
+    assert 0.7 <= recnmp_vs_fafnir <= 1.5
+    # RecNMP pays a core component; FAFNIR does not.
+    assert results["recnmp"].timing.core_compute_ns > 0
+    assert results["fafnir"].timing.core_compute_ns == 0

@@ -1,0 +1,39 @@
+"""Fig. 13 — speedup over RecNMP as batch size grows (8/16/32).
+
+Paper claims:
+
+* FAFNIR's speedup over RecNMP grows with batch size (3.1/6.7/12.3× without
+  redundant-access elimination on either side);
+* eliminating redundant accesses adds extra speedup (striped bars) even
+  against RecNMP with ideal 128 KB rank caches (combined 9.9/15.4/21.3×);
+* RecNMP itself is faster than TensorDIMM.
+
+Our latency-based harness reproduces the ordering and the growth trend;
+absolute factors are compressed relative to the paper's
+throughput-flavoured measurement (see EXPERIMENTS.md).
+"""
+
+from _common import run_once, write_report
+from repro.experiments import get_experiment
+
+
+def test_fig13_batch_scalability(benchmark):
+    result = run_once(benchmark, get_experiment("fig13").run)
+    write_report("fig13_batch_scalability", result.table.render())
+
+    raw = result.data["raw"]
+    batch_sizes = result.data["batch_sizes"]
+    no_dedup = [raw[b]["recnmp"] / raw[b]["fafnir_no_dedup"] for b in batch_sizes]
+    full = [raw[b]["recnmp_cache"] / raw[b]["fafnir"] for b in batch_sizes]
+
+    # FAFNIR beats RecNMP at every batch size.
+    assert all(s > 1.5 for s in no_dedup)
+    # Speedup grows with batch size (the scalability claim).
+    assert no_dedup == sorted(no_dedup)
+    assert full == sorted(full)
+    # Redundant-access elimination adds extra speedup at every batch size.
+    for batch_size, s_no_dedup, s_full in zip(batch_sizes, no_dedup, full):
+        assert s_full > s_no_dedup, batch_size
+    # RecNMP beats TensorDIMM everywhere.
+    for batch_size in batch_sizes:
+        assert raw[batch_size]["tensordimm"] > raw[batch_size]["recnmp"]

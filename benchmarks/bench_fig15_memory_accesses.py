@@ -1,0 +1,26 @@
+"""Fig. 15 / §VI — memory accesses after eliminating redundant reads.
+
+Paper claims: FAFNIR saves 34 % / 43 % / 58 % of memory accesses for batch
+sizes 8 / 16 / 32 without any cache, and the number of accesses per leaf PE
+input stays below the batch size.
+"""
+
+from _common import run_once, write_report
+from repro.experiments import get_experiment
+
+PAPER_SAVINGS = {8: 0.34, 16: 0.43, 32: 0.58}
+
+
+def test_fig15_memory_access_elimination(benchmark):
+    result = run_once(benchmark, get_experiment("fig15").run)
+    write_report("fig15_memory_accesses", result.table.render())
+
+    rows = result.data["rows"]
+    for batch_size, paper_saving in PAPER_SAVINGS.items():
+        # Savings within the calibration band of the paper's figures.
+        assert abs(rows[batch_size]["saving"] - paper_saving) < 0.10
+        # Fig. 15's per-leaf bound: never more accesses than the batch size.
+        assert rows[batch_size]["per_leaf_max"] <= batch_size
+    # Savings grow with batch size.
+    savings = [rows[b]["saving"] for b in sorted(rows)]
+    assert savings == sorted(savings)

@@ -1,0 +1,40 @@
+"""Table I — PE and node buffer sizes for batch sizes 8/16/32."""
+
+from _common import run_once, write_report
+from repro.analysis import Table
+from repro.core import FafnirConfig
+from repro.hw import table1
+
+
+PAPER_TABLE1 = {
+    8: (4.6, 32.4),
+    16: (9.3, 64.8),
+    32: (18.5, 129.5),
+}
+
+
+def test_table1_buffer_sizes(benchmark):
+    rows = run_once(benchmark, lambda: table1(FafnirConfig()))
+
+    table = Table(
+        ["batch", "PE_KB", "paper_PE_KB", "node_KB", "paper_node_KB"]
+    )
+    for batch_size in (8, 16, 32):
+        paper_pe, paper_node = PAPER_TABLE1[batch_size]
+        table.add_row(
+            [
+                batch_size,
+                f"{rows[batch_size]['pe_kb']:.1f}",
+                paper_pe,
+                f"{rows[batch_size]['dimm_rank_node_kb']:.1f}",
+                paper_node,
+            ]
+        )
+    write_report("table1_buffers", table.render())
+
+    for batch_size, (paper_pe, paper_node) in PAPER_TABLE1.items():
+        assert abs(rows[batch_size]["pe_kb"] - paper_pe) / paper_pe < 0.02
+        assert (
+            abs(rows[batch_size]["dimm_rank_node_kb"] - paper_node) / paper_node
+            < 0.02
+        )

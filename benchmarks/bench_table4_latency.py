@@ -1,0 +1,57 @@
+"""Table IV — compute-unit latencies and the PE critical path @200 MHz.
+
+Paper: compare 12 cycles, reduce(value) 4, reduce(header) 16, forward 2;
+reduce and forward are parallel paths, so the critical path is governed by
+compare + reduce.  This bench verifies the configured model and measures the
+simulator's actual per-PE stage behaviour against it.
+"""
+
+import numpy as np
+
+from _common import run_once, write_report
+from repro.analysis import Table
+from repro.core import (
+    FafnirConfig,
+    Header,
+    Message,
+    ProcessingElement,
+    SUM,
+)
+
+
+def test_table4_compute_unit_latencies(benchmark):
+    config = FafnirConfig()
+    latencies = config.latencies
+
+    def run():
+        pe = ProcessingElement(config, SUM)
+        reduce_in_a = Message(Header.make({1}, [{2}]), np.zeros(128), ready_cycle=0)
+        reduce_in_b = Message(Header.make({2}, [{1}]), np.zeros(128), ready_cycle=0)
+        reduced = pe.process([reduce_in_a], [reduce_in_b]).outputs
+        reduce_latency = max(m.ready_cycle for m in reduced)
+        forward_in = Message(Header.make({3}, [{9}]), np.zeros(128), ready_cycle=0)
+        forwarded = pe.process([forward_in], []).outputs
+        forward_latency = forwarded[0].ready_cycle
+        return reduce_latency, forward_latency
+
+    reduce_latency, forward_latency = run_once(benchmark, run)
+
+    table = Table(["operation", "cycles", "paper_cycles"])
+    table.add_row(["compare", latencies.compare, 12])
+    table.add_row(["reduce (value)", latencies.reduce_value, 4])
+    table.add_row(["reduce (header)", latencies.reduce_header, 16])
+    table.add_row(["forward", latencies.forward, 2])
+    table.add_row(["reduce path (measured)", reduce_latency, "compare+16"])
+    table.add_row(["forward path (measured)", forward_latency, "compare+2"])
+    write_report("table4_latency", table.render())
+
+    assert latencies.compare == 12
+    assert latencies.reduce_value == 4
+    assert latencies.reduce_header == 16
+    assert latencies.forward == 2
+    # Critical path: reduce is the slower parallel branch after compare.
+    assert latencies.critical_path == latencies.reduce_path == 28
+    assert reduce_latency == latencies.reduce_path
+    assert forward_latency == latencies.forward_path
+    # At 200 MHz one PE stage is 140 ns.
+    assert config.pe_clock.cycles_to_ns(latencies.critical_path) == 140.0

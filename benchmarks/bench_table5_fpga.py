@@ -1,0 +1,43 @@
+"""Table V — FPGA resource utilization on the XCVU9P.
+
+Paper: the full system (four DIMM/rank nodes + one channel node) uses up to
+5 % LUTs, 0.15 % LUTRAMs, 1 % FFs and 13 % BRAM.
+"""
+
+from _common import run_once, write_report
+from repro.analysis import Table
+from repro.core import FafnirConfig
+from repro.hw import pe_utilization, system_utilization
+
+PAPER_BOUNDS = {"lut": 5.0, "lutram": 0.15, "ff": 1.0, "bram": 13.0}
+
+
+def test_table5_fpga_utilization(benchmark):
+    def run():
+        return {
+            "system": system_utilization(FafnirConfig()).utilization_percent,
+            "pe": pe_utilization(1).utilization_percent,
+            "dimm_rank_node": pe_utilization(7).utilization_percent,
+            "channel_node": pe_utilization(3).utilization_percent,
+        }
+
+    utilization = run_once(benchmark, run)
+
+    table = Table(["unit", "lut_%", "lutram_%", "ff_%", "bram_%"])
+    for unit, numbers in utilization.items():
+        table.add_row(
+            [
+                unit,
+                f"{numbers['lut']:.2f}",
+                f"{numbers['lutram']:.3f}",
+                f"{numbers['ff']:.2f}",
+                f"{numbers['bram']:.2f}",
+            ]
+        )
+    write_report("table5_fpga", table.render())
+
+    system = utilization["system"]
+    for resource, bound in PAPER_BOUNDS.items():
+        assert system[resource] <= bound * 1.05, resource
+    # The whole tree comfortably fits one XCVU9P.
+    assert system_utilization().fits()

@@ -1,0 +1,77 @@
+"""Table VI and Fig. 16 — 7 nm ASIC area/power and FPGA power breakdown.
+
+Paper anchors: PE 0.077 mm²; DIMM/rank node 0.282 mm²; channel node
+0.121 mm²; system ≈1.25 mm² and 111.64 mW (23.82 mW per 4-DIMM node,
+5.9 mW per DIMM) vs RecNMP's 184.2 mW per DIMM and 8.64 mm² per 16 DIMMs.
+FPGA dynamic power: 0.23 W (DIMM/rank node) and 0.18 W (channel node).
+"""
+
+import pytest
+
+from _common import run_once, write_report
+from repro.analysis import Table
+from repro.hw import (
+    AsicPower,
+    fpga_node_power_w,
+    fpga_power_breakdown_w,
+    pe_area_mm2,
+    recnmp_comparison_mw,
+    recnmp_system_area_mm2,
+    reference_system_area,
+)
+
+
+def test_table6_asic_area_and_power(benchmark):
+    def run():
+        return reference_system_area(), AsicPower()
+
+    area, power = run_once(benchmark, run)
+
+    table = Table(["quantity", "model", "paper"])
+    table.add_row(["PE area (mm²)", f"{pe_area_mm2():.3f}", 0.077])
+    table.add_row(["DIMM/rank node (mm²)", f"{area.dimm_rank_node_mm2:.3f}", 0.282])
+    table.add_row(["channel node (mm²)", f"{area.channel_node_mm2:.3f}", 0.121])
+    table.add_row(["system area (mm²)", f"{area.total_mm2:.3f}", "1.2-1.25"])
+    table.add_row(["system power (mW)", f"{power.total_mw:.2f}", 111.64])
+    table.add_row(["per-DIMM power (mW)", f"{power.per_dimm_mw:.2f}", 5.9])
+    table.add_row(
+        ["RecNMP power/DIMM (mW)", f"{recnmp_comparison_mw(1):.1f}", 184.2]
+    )
+    table.add_row(
+        ["RecNMP area 16 DIMMs (mm²)", f"{recnmp_system_area_mm2(16):.2f}", 8.64]
+    )
+    write_report("table6_asic", table.render())
+
+    assert area.total_mm2 == pytest.approx(1.249, rel=0.02)
+    assert power.total_mw == pytest.approx(111.64, rel=0.01)
+    assert power.per_dimm_mw == pytest.approx(5.9, abs=0.1)
+    # FAFNIR's overhead is negligible next to the DRAM itself.
+    assert power.fraction_of_dram_power < 0.001
+    # And far below the prior art per DIMM.
+    assert recnmp_comparison_mw(1) > 20 * power.per_dimm_mw
+
+
+def test_fig16_fpga_power_breakdown(benchmark):
+    def run():
+        return {
+            node: fpga_power_breakdown_w(node)
+            for node in ("dimm_rank", "channel")
+        }
+
+    breakdowns = run_once(benchmark, run)
+
+    table = Table(["node", "total_W"] + list(breakdowns["dimm_rank"].keys()))
+    for node, parts in breakdowns.items():
+        table.add_row(
+            [node, f"{sum(parts.values()):.2f}"]
+            + [f"{value:.3f}" for value in parts.values()]
+        )
+    write_report("fig16_fpga_power", table.render())
+
+    assert sum(breakdowns["dimm_rank"].values()) == pytest.approx(0.23)
+    assert sum(breakdowns["channel"].values()) == pytest.approx(0.18)
+    assert fpga_node_power_w("dimm_rank") > fpga_node_power_w("channel")
+    # Fig. 16b: no single component dominates (uniform distribution, no
+    # hot spot) — the largest share stays below half the total.
+    for parts in breakdowns.values():
+        assert max(parts.values()) < 0.5 * sum(parts.values())

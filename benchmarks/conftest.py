@@ -1,0 +1,6 @@
+"""Make benchmarks importable as a flat directory (shared _common helpers)."""
+
+import pathlib
+import sys
+
+sys.path.insert(0, str(pathlib.Path(__file__).parent))

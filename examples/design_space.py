@@ -1,0 +1,76 @@
+"""Design-space exploration: scale the FAFNIR tree and read off the costs.
+
+Sweeps the memory-system size and batch size, reporting for each point the
+lookup latency together with the hardware-model outputs (PE count, buffer
+capacity, ASIC area/power, connection counts) — the kind of sizing study a
+system architect would run before committing to a configuration.
+
+Run:  python examples/design_space.py
+"""
+
+from repro.analysis import Table
+from repro.core import FafnirConfig, FafnirEngine
+from repro.hw import (
+    ConnectionComparison,
+    PE_AREA_MM2,
+    PE_MW,
+    size_buffers,
+)
+from repro.memory import MemoryConfig
+from repro.workloads import EmbeddingTableSet, QueryGenerator
+
+
+def main() -> None:
+    tables = EmbeddingTableSet.random(seed=2)
+    print("== scaling the memory system (batch 16, q 16) ==")
+    table = Table(
+        ["ranks", "PEs", "latency_us", "area_mm2", "power_mW", "tree_links", "all_to_all"]
+    )
+    for ranks in (4, 8, 16, 32):
+        config = FafnirConfig(batch_size=16).with_ranks(ranks)
+        engine = FafnirEngine(
+            config, memory_config=MemoryConfig().scaled_to_ranks(ranks)
+        )
+        batch = QueryGenerator.paper_calibrated(tables, seed=1).batch(16)
+        result = engine.run_batch(batch, tables.vector)
+        connections = ConnectionComparison(memory_devices=ranks, compute_devices=4)
+        table.add_row(
+            [
+                ranks,
+                config.num_pes,
+                f"{result.stats.latency_ns(config) / 1000:.2f}",
+                f"{config.num_pes * PE_AREA_MM2:.2f}",
+                f"{config.num_pes * PE_MW:.1f}",
+                connections.fafnir,
+                connections.all_to_all,
+            ]
+        )
+    print(table.render())
+
+    print("\n== scaling the batch size (32 ranks) ==")
+    table = Table(["batch", "latency_us", "us_per_query", "PE_buffer_KB", "node_KB"])
+    for batch_size in (4, 8, 16, 32):
+        config = FafnirConfig(batch_size=batch_size)
+        engine = FafnirEngine(config)
+        batch = QueryGenerator.paper_calibrated(tables, seed=1).batch(batch_size)
+        result = engine.run_batch(batch, tables.vector)
+        sizing = size_buffers(config)
+        latency_us = result.stats.latency_ns(config) / 1000
+        table.add_row(
+            [
+                batch_size,
+                f"{latency_us:.2f}",
+                f"{latency_us / batch_size:.3f}",
+                f"{sizing.pe_buffer_kb:.1f}",
+                f"{sizing.dimm_rank_node_kb:.1f}",
+            ]
+        )
+    print(table.render())
+    print(
+        "\nlatency per query falls as the batch grows — the scalability "
+        "property Fig. 13 is built on — while buffers grow linearly (Table I)."
+    )
+
+
+if __name__ == "__main__":
+    main()

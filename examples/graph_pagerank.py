@@ -1,0 +1,53 @@
+"""Graph analytics on FAFNIR: PageRank and BFS over SpMV (paper §IV-D).
+
+The same FAFNIR hardware that accelerates embedding lookup runs sparse
+matrix-vector multiplication: here a power-law (R-MAT) graph is ranked with
+power-iteration PageRank and traversed with BFS, comparing FAFNIR's modelled
+hardware time against the Two-Step NDP baseline.
+
+Run:  python examples/graph_pagerank.py
+"""
+
+import numpy as np
+
+from repro.analysis import Table
+from repro.baselines.twostep import TwoStepSpmvEngine
+from repro.sparse import rmat
+from repro.spmv import FafnirSpmvEngine, bfs, pagerank
+
+
+def main() -> None:
+    graph = rmat(scale=12, edge_factor=8, seed=5)
+    print(
+        f"R-MAT graph: {graph.shape[0]} vertices, {graph.nnz} edges, "
+        f"density {100 * graph.density:.2f}%\n"
+    )
+
+    engines = {"fafnir": FafnirSpmvEngine(), "two-step": TwoStepSpmvEngine()}
+
+    table = Table(["engine", "pagerank_iters", "pagerank_hw_ms", "bfs_levels", "bfs_hw_ms"])
+    ranks = {}
+    for name, engine in engines.items():
+        pr = pagerank(graph, engine, tolerance=1e-9)
+        traversal = bfs(graph, engine, source=0)
+        ranks[name] = pr.values
+        table.add_row(
+            [
+                name,
+                pr.iterations,
+                f"{pr.total_ns / 1e6:.3f}",
+                int(traversal.values.max()),
+                f"{traversal.total_ns / 1e6:.3f}",
+            ]
+        )
+    print(table.render())
+
+    assert np.allclose(ranks["fafnir"], ranks["two-step"])
+    top = np.argsort(ranks["fafnir"])[::-1][:5]
+    print("\ntop-5 vertices by PageRank:")
+    for vertex in top:
+        print(f"  vertex {vertex:5d}: rank {ranks['fafnir'][vertex]:.5f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,64 @@
+"""Scientific computing on FAFNIR: an iterative sparse solver (paper §VIII).
+
+Solves a 2-D Poisson problem (5-point-stencil Laplacian, regularised to
+diagonal dominance) with Jacobi iteration, running every inner SpMV on the
+FAFNIR tree — the "matrix inversion / differential-equation solver" family
+of sparse gathering the paper targets beyond embedding lookup.
+
+Run:  python examples/sparse_solver.py
+"""
+
+import numpy as np
+
+from repro.baselines.twostep import TwoStepSpmvEngine
+from repro.sparse import CooMatrix, LilMatrix, laplacian_2d
+from repro.spmv import FafnirSpmvEngine, jacobi_solve
+
+
+def regularised_poisson(side: int) -> LilMatrix:
+    """The 2-D stencil with a boosted diagonal so Jacobi converges fast."""
+    stencil = laplacian_2d(side).to_coo()
+    rows = list(stencil.rows) + list(range(side * side))
+    cols = list(stencil.cols) + list(range(side * side))
+    values = list(stencil.values) + [1.0] * (side * side)
+    return LilMatrix.from_coo(
+        CooMatrix((side * side, side * side), np.array(rows), np.array(cols),
+                  np.array(values))
+    )
+
+
+def main() -> None:
+    side = 40
+    system = regularised_poisson(side)
+    rng = np.random.default_rng(11)
+    rhs = rng.normal(size=system.shape[0])
+    print(
+        f"system: {system.shape[0]} unknowns, {system.nnz} non-zeros "
+        f"({system.nnz / system.shape[0]:.1f} per row)\n"
+    )
+
+    for engine, name in (
+        (FafnirSpmvEngine(), "fafnir"),
+        (TwoStepSpmvEngine(), "two-step"),
+    ):
+        solution = jacobi_solve(system, rhs, engine, tolerance=1e-10)
+        residual = np.linalg.norm(system.matvec(solution.values) - rhs)
+        print(
+            f"{name:9s} converged={solution.converged} "
+            f"iterations={solution.iterations:3d} "
+            f"residual={residual:.2e} "
+            f"modelled hw time={solution.total_ns / 1e6:.3f} ms"
+        )
+
+    # Cross-check against dense LAPACK.
+    reference = np.linalg.solve(system.to_dense(), rhs)
+    fafnir_solution = jacobi_solve(
+        system, rhs, FafnirSpmvEngine(), tolerance=1e-12
+    ).values
+    print(
+        f"\nmax |x − LAPACK|: {np.abs(fafnir_solution - reference).max():.2e} ✓"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,40 @@
+"""FAFNIR reproduction: near-memory intelligent reduction for sparse gathering.
+
+A pure-Python, cycle-approximate reproduction of *FAFNIR: Accelerating
+Sparse Gathering by Using Efficient Near-Memory Intelligent Reduction*
+(Asgari et al., HPCA 2021): the reduction-tree accelerator, a DDR4-like
+memory substrate, the TensorDIMM / RecNMP / Two-Step baselines, SpMV and its
+applications, and the hardware bookkeeping models behind the paper's tables.
+
+Quickstart::
+
+    from repro import FafnirAccelerator
+    from repro.workloads import EmbeddingTableSet, QueryGenerator
+
+    tables = EmbeddingTableSet.random(seed=7)
+    fafnir = FafnirAccelerator(operator="sum")
+    batch = QueryGenerator.paper_calibrated(tables).batch(32)
+    result = fafnir.lookup(tables.vector, batch)
+"""
+
+from repro.core import (
+    FafnirAccelerator,
+    FafnirConfig,
+    FafnirEngine,
+    LookupResult,
+    LookupStats,
+)
+from repro.core.operators import available_operators, get_operator
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "FafnirAccelerator",
+    "FafnirConfig",
+    "FafnirEngine",
+    "LookupResult",
+    "LookupStats",
+    "available_operators",
+    "get_operator",
+    "__version__",
+]

@@ -1,0 +1,74 @@
+"""End-to-end energy accounting (paper §VI).
+
+The paper argues DRAM energy dominates and that FAFNIR saves it two ways:
+fewer memory accesses (no redundant reads) and a negligible NDP power adder
+(111.64 mW vs RecNMP's 184.2 mW *per DIMM*).  This module composes a run's
+DRAM dynamic energy (from :class:`~repro.memory.trace.AccessStats`) with the
+accelerator-power × time product into a per-engine energy figure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.hw.power import DIMM_RANK_NODE_MW, RECNMP_PER_DIMM_MW, SYSTEM_MW
+from repro.memory.config import DramEnergy
+from repro.memory.trace import AccessStats
+
+# Nominal NDP power adders (mW) per engine for the reference 16-DIMM system.
+NDP_POWER_MW = {
+    "fafnir": SYSTEM_MW,
+    "recnmp": RECNMP_PER_DIMM_MW * 16,
+    "tensordimm": DIMM_RANK_NODE_MW * 16,  # adder chains, FAFNIR-node-class
+    "cpu-baseline": 0.0,
+    "centaur": SYSTEM_MW,  # package-side reduction unit, FAFNIR-class
+}
+
+
+@dataclass(frozen=True)
+class EnergyBreakdown:
+    """Energy of one batch on one engine, in nanojoules."""
+
+    dram_nj: float
+    ndp_nj: float
+
+    @property
+    def total_nj(self) -> float:
+        return self.dram_nj + self.ndp_nj
+
+    @property
+    def dram_share(self) -> float:
+        return self.dram_nj / self.total_nj if self.total_nj else 0.0
+
+
+def run_energy(
+    memory_stats: AccessStats,
+    elapsed_ns: float,
+    engine_name: str,
+    dram_energy: DramEnergy = None,
+) -> EnergyBreakdown:
+    """Energy of one run: DRAM access energy + NDP power × elapsed time."""
+    if elapsed_ns < 0:
+        raise ValueError("elapsed_ns must be non-negative")
+    try:
+        ndp_mw = NDP_POWER_MW[engine_name]
+    except KeyError:
+        raise KeyError(
+            f"unknown engine {engine_name!r}; known: {sorted(NDP_POWER_MW)}"
+        ) from None
+    dram_energy = dram_energy or DramEnergy()
+    dram_pj = dram_energy.access_energy_pj(
+        bursts=memory_stats.bursts, activates=memory_stats.activates
+    )
+    # 1 mW = 1 pJ/ns, so power (mW) × time (ns) gives picojoules.
+    ndp_pj = ndp_mw * elapsed_ns
+    return EnergyBreakdown(dram_nj=dram_pj / 1000, ndp_nj=ndp_pj / 1000)
+
+
+def energy_saving_vs(
+    ours: EnergyBreakdown, baseline: EnergyBreakdown
+) -> float:
+    """Fractional total-energy saving of ``ours`` relative to ``baseline``."""
+    if baseline.total_nj <= 0:
+        raise ValueError("baseline energy must be positive")
+    return 1.0 - ours.total_nj / baseline.total_nj

@@ -1,0 +1,75 @@
+"""Spatial-locality probabilities (paper §III-C).
+
+RecNMP can only reduce at NDP when related vectors share a memory device.
+With vectors placed uniformly at random, the chance collapses with system
+size — the paper's birthday-paradox argument that "the probability of having
+a query with indices on the same channel is only up to 25 % in a
+four-channel system".
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+
+def prob_all_same_device(query_len: int, devices: int) -> float:
+    """P(all q random vectors land on one specific shared device group).
+
+    The first index is free; each subsequent index must match its device:
+    (1/devices)^(q−1).  For q = 2 on 4 channels this is the paper's 25 %.
+    """
+    if query_len < 1:
+        raise ValueError("query_len must be >= 1")
+    if devices < 1:
+        raise ValueError("devices must be >= 1")
+    return (1.0 / devices) ** (query_len - 1)
+
+
+def expected_occupied_devices(query_len: int, devices: int) -> float:
+    """E[#devices holding at least one of q uniformly placed vectors]."""
+    if query_len < 0 or devices < 1:
+        raise ValueError("invalid arguments")
+    return devices * (1.0 - (1.0 - 1.0 / devices) ** query_len)
+
+
+def expected_lonely_vectors(query_len: int, devices: int) -> float:
+    """E[#vectors alone on their device] — what RecNMP must ship raw."""
+    if query_len < 1 or devices < 1:
+        raise ValueError("invalid arguments")
+    return query_len * (1.0 - 1.0 / devices) ** (query_len - 1)
+
+
+def expected_ndp_reducible_fraction(query_len: int, devices: int) -> float:
+    """Fraction of a query's q−1 reductions RecNMP can do at NDP.
+
+    Vectors sharing a device contribute (group size − 1) local reductions;
+    in expectation that is q − E[occupied devices].
+    """
+    if query_len < 2:
+        return 0.0
+    local = query_len - expected_occupied_devices(query_len, devices)
+    return max(0.0, local / (query_len - 1))
+
+
+def measured_colocation_fraction(
+    queries: Sequence[Sequence[int]], devices: int
+) -> float:
+    """Empirical counterpart of :func:`expected_ndp_reducible_fraction`.
+
+    Devices are assigned with the reference placement (index mod devices at
+    DIMM granularity is handled by the caller's mapping; here a simple
+    modulo stands in for any uniform hash).
+    """
+    local = 0
+    total = 0
+    for query in queries:
+        distinct = set(query)
+        if len(distinct) < 2:
+            continue
+        groups: dict = {}
+        for index in distinct:
+            groups.setdefault(index % devices, []).append(index)
+        local += sum(len(g) - 1 for g in groups.values())
+        total += len(distinct) - 1
+    return local / total if total else 0.0

@@ -1,0 +1,72 @@
+"""Fixed-width table rendering for benches and EXPERIMENTS.md."""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence, Union
+
+Cell = Union[str, int, float]
+
+
+class Table:
+    """A small plain-text table builder.
+
+    >>> table = Table(["engine", "speedup"])
+    >>> _ = table.add_row(["fafnir", 21.3])
+    >>> print(table.render())  # doctest: +NORMALIZE_WHITESPACE
+    engine | speedup
+    -------+--------
+    fafnir |   21.30
+    """
+
+    def __init__(self, headers: Sequence[str], float_format: str = "{:.2f}") -> None:
+        if not headers:
+            raise ValueError("need at least one column")
+        self.headers = [str(h) for h in headers]
+        self.float_format = float_format
+        self.rows: List[List[str]] = []
+
+    def add_row(self, cells: Iterable[Cell]) -> "Table":
+        formatted = []
+        for cell in cells:
+            if isinstance(cell, float):
+                formatted.append(self.float_format.format(cell))
+            else:
+                formatted.append(str(cell))
+        if len(formatted) != len(self.headers):
+            raise ValueError(
+                f"row has {len(formatted)} cells for {len(self.headers)} columns"
+            )
+        self.rows.append(formatted)
+        return self
+
+    def render(self) -> str:
+        widths = [len(h) for h in self.headers]
+        for row in self.rows:
+            for column, cell in enumerate(row):
+                widths[column] = max(widths[column], len(cell))
+        header = " | ".join(
+            h.ljust(widths[i]) for i, h in enumerate(self.headers)
+        )
+        separator = "-+-".join("-" * w for w in widths)
+        lines = [header, separator]
+        for row in self.rows:
+            lines.append(
+                " | ".join(
+                    cell.rjust(widths[i]) if _is_number(cell) else cell.ljust(widths[i])
+                    for i, cell in enumerate(row)
+                )
+            )
+        return "\n".join(lines)
+
+    def print(self, title: str = "") -> None:
+        if title:
+            print(f"\n=== {title} ===")
+        print(self.render())
+
+
+def _is_number(text: str) -> bool:
+    try:
+        float(text.replace("×", "").replace("%", ""))
+        return True
+    except ValueError:
+        return False

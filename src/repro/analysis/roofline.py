@@ -1,0 +1,71 @@
+"""Roofline placement of embedding lookup (paper §II).
+
+The paper motivates NDP by noting that embedding lookup "puts recommendation
+systems in the memory-bound region of the roofline model of CPUs and far
+below the ceiling because of memory bandwidth underutilization."  This
+module provides the arithmetic: operational intensity of gather-reduce,
+attainable performance under a roofline, and the bandwidth-utilisation gap
+the measured engines leave.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Roofline:
+    """A machine roofline: peak compute and peak memory bandwidth."""
+
+    peak_gflops: float
+    peak_bandwidth_gbps: float
+
+    def __post_init__(self) -> None:
+        if self.peak_gflops <= 0 or self.peak_bandwidth_gbps <= 0:
+            raise ValueError("roofline peaks must be positive")
+
+    @property
+    def ridge_intensity(self) -> float:
+        """FLOP/byte at which compute and memory bounds meet."""
+        return self.peak_gflops / self.peak_bandwidth_gbps
+
+    def attainable_gflops(self, intensity: float) -> float:
+        """Attainable performance at a given operational intensity."""
+        if intensity < 0:
+            raise ValueError("intensity must be non-negative")
+        return min(self.peak_gflops, self.peak_bandwidth_gbps * intensity)
+
+    def is_memory_bound(self, intensity: float) -> bool:
+        return intensity < self.ridge_intensity
+
+
+def gather_reduce_intensity(
+    query_len: int, vector_bytes: int, element_bytes: int = 4
+) -> float:
+    """Operational intensity (FLOP/byte) of one gather-reduce query.
+
+    Reading q vectors of v elements and folding them with q−1 element-wise
+    adds performs (q−1)·v FLOPs over q·v·element_bytes bytes — well under
+    1 FLOP/byte, deep in the memory-bound region for any real machine.
+    """
+    if query_len < 1 or vector_bytes <= 0 or element_bytes <= 0:
+        raise ValueError("invalid parameters")
+    elements = vector_bytes // element_bytes
+    flops = (query_len - 1) * elements
+    bytes_moved = query_len * vector_bytes
+    return flops / bytes_moved
+
+
+def bandwidth_utilization(
+    bytes_read: int, elapsed_ns: float, roofline: Roofline
+) -> float:
+    """Achieved ÷ peak bandwidth — the gap FAFNIR closes (paper Fig. 13
+    discussion: "filling the gap under the roofline model of RecNMP")."""
+    if bytes_read < 0 or elapsed_ns <= 0:
+        raise ValueError("invalid measurements")
+    achieved_gbps = bytes_read / elapsed_ns
+    return achieved_gbps / roofline.peak_bandwidth_gbps
+
+
+# A representative server-class host: 2 TFLOP/s peak, 4-channel DDR4-2400.
+SERVER_ROOFLINE = Roofline(peak_gflops=2000.0, peak_bandwidth_gbps=76.8)

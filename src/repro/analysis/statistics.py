@@ -1,0 +1,95 @@
+"""Small statistics helpers for multi-seed experiments.
+
+The calibrated workloads are stochastic, so the evaluation figures report
+means over several seeds; these helpers add the uncertainty the paper's
+plots omit — bootstrap confidence intervals and a simple two-sample check
+that a measured speedup is not seed noise.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class SummaryStats:
+    """Mean with a bootstrap confidence interval."""
+
+    mean: float
+    low: float
+    high: float
+    samples: int
+    confidence: float
+
+    @property
+    def half_width(self) -> float:
+        return (self.high - self.low) / 2
+
+    def __str__(self) -> str:
+        return (
+            f"{self.mean:.4g} [{self.low:.4g}, {self.high:.4g}] "
+            f"({int(100 * self.confidence)}% CI, n={self.samples})"
+        )
+
+
+def bootstrap_mean(
+    values: Sequence[float],
+    confidence: float = 0.95,
+    resamples: int = 2000,
+    seed: int = 0,
+) -> SummaryStats:
+    """Bootstrap confidence interval for the mean of a small sample."""
+    values = np.asarray(list(values), dtype=np.float64)
+    if values.size == 0:
+        raise ValueError("need at least one sample")
+    if not 0 < confidence < 1:
+        raise ValueError("confidence must be in (0, 1)")
+    if resamples < 100:
+        raise ValueError("resamples must be >= 100")
+    rng = np.random.default_rng(seed)
+    if values.size == 1:
+        value = float(values[0])
+        return SummaryStats(value, value, value, 1, confidence)
+    means = rng.choice(values, size=(resamples, values.size), replace=True).mean(
+        axis=1
+    )
+    alpha = (1 - confidence) / 2
+    low, high = np.quantile(means, [alpha, 1 - alpha])
+    return SummaryStats(
+        mean=float(values.mean()),
+        low=float(low),
+        high=float(high),
+        samples=int(values.size),
+        confidence=confidence,
+    )
+
+
+def speedup_significant(
+    baseline: Sequence[float],
+    improved: Sequence[float],
+    confidence: float = 0.95,
+    resamples: int = 2000,
+    seed: int = 0,
+) -> bool:
+    """True when the baseline/improved latency ratio's CI stays above 1.
+
+    Bootstraps the ratio of means; a speedup is "significant" when the
+    lower confidence bound exceeds 1.0.
+    """
+    baseline = np.asarray(list(baseline), dtype=np.float64)
+    improved = np.asarray(list(improved), dtype=np.float64)
+    if baseline.size == 0 or improved.size == 0:
+        raise ValueError("need samples on both sides")
+    if np.any(improved <= 0):
+        raise ValueError("latencies must be positive")
+    rng = np.random.default_rng(seed)
+    ratios = []
+    for _ in range(resamples):
+        b = rng.choice(baseline, size=baseline.size, replace=True).mean()
+        i = rng.choice(improved, size=improved.size, replace=True).mean()
+        ratios.append(b / i)
+    low = float(np.quantile(ratios, (1 - confidence) / 2))
+    return low > 1.0

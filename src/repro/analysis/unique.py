@@ -1,0 +1,83 @@
+"""Unique-index statistics (paper Fig. 3 and Fig. 15).
+
+Fig. 3 plots the percentage of unique indices in batches of queries; Fig. 15
+shows the memory accesses remaining after FAFNIR's host-side deduplication,
+with per-leaf access counts always below the batch size.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from repro.core.batch import plan_batch
+from repro.workloads.embedding import EmbeddingTableSet, QueryGenerator
+
+
+@dataclass
+class UniqueIndexStats:
+    """Aggregate sharing statistics for a set of batches."""
+
+    batch_size: int
+    mean_unique_fraction: float
+    mean_savings: float
+    samples: int
+
+    @property
+    def mean_unique_percent(self) -> float:
+        return 100.0 * self.mean_unique_fraction
+
+    @property
+    def mean_savings_percent(self) -> float:
+        return 100.0 * self.mean_savings
+
+
+def unique_fraction_stats(
+    tables: EmbeddingTableSet,
+    batch_sizes: Sequence[int],
+    seeds: Sequence[int] = range(8),
+    query_len: int = 16,
+) -> List[UniqueIndexStats]:
+    """Fig. 3's series: unique-index percentage vs batch size."""
+    stats: List[UniqueIndexStats] = []
+    for batch_size in batch_sizes:
+        fractions = []
+        for seed in seeds:
+            generator = QueryGenerator.paper_calibrated(
+                tables, seed=seed, query_len=query_len
+            )
+            plan = plan_batch(generator.batch(batch_size))
+            fractions.append(plan.unique_fraction)
+        mean_fraction = float(np.mean(fractions))
+        stats.append(
+            UniqueIndexStats(
+                batch_size=batch_size,
+                mean_unique_fraction=mean_fraction,
+                mean_savings=1.0 - mean_fraction,
+                samples=len(fractions),
+            )
+        )
+    return stats
+
+
+def per_rank_access_counts(
+    queries: Sequence[Sequence[int]], total_ranks: int = 32
+) -> Dict[int, int]:
+    """Unique accesses per rank for one batch (Fig. 15's per-leaf series).
+
+    Uses the reference placement (vector id mod rank count).
+    """
+    unique = {index for query in queries for index in query}
+    counts: Dict[int, int] = {rank: 0 for rank in range(total_ranks)}
+    for index in unique:
+        counts[index % total_ranks] += 1
+    return counts
+
+
+def max_accesses_per_rank(
+    queries: Sequence[Sequence[int]], total_ranks: int = 32
+) -> int:
+    """Fig. 15's claim: per-leaf unique accesses stay below the batch size."""
+    return max(per_rank_access_counts(queries, total_ranks).values())

@@ -1,0 +1,33 @@
+"""Baseline NDP engines the paper compares against, plus the FAFNIR adapter."""
+
+from repro.baselines.base import (
+    CoreComputeModel,
+    GatherEngine,
+    GatherResult,
+    GatherTiming,
+    HostLink,
+    functional_reduce,
+)
+from repro.baselines.cache import CacheStats, RankCacheArray, VectorCache
+from repro.baselines.centaur import CentaurGatherEngine
+from repro.baselines.cpu import CpuGatherEngine
+from repro.baselines.fafnir_adapter import FafnirGatherEngine
+from repro.baselines.recnmp import RecNmpGatherEngine
+from repro.baselines.tensordimm import TensorDimmGatherEngine
+
+__all__ = [
+    "CacheStats",
+    "CentaurGatherEngine",
+    "CoreComputeModel",
+    "CpuGatherEngine",
+    "FafnirGatherEngine",
+    "GatherEngine",
+    "GatherResult",
+    "GatherTiming",
+    "HostLink",
+    "RankCacheArray",
+    "RecNmpGatherEngine",
+    "TensorDimmGatherEngine",
+    "VectorCache",
+    "functional_reduce",
+]

@@ -1,0 +1,159 @@
+"""Common interface and shared cost models for embedding-gather engines.
+
+Every engine — the no-NDP CPU baseline, TensorDIMM, RecNMP, and the FAFNIR
+adapter — services a batch of queries against the same DDR4 substrate and
+reports a :class:`GatherResult`: functional outputs plus a latency breakdown
+(memory, NDP compute, core compute, host transfer) and data-movement
+accounting.  Keeping one interface keeps every ratio in the evaluation an
+apples-to-apples comparison.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Sequence
+
+import numpy as np
+
+from repro.clocks import CPU_CLOCK, Clock, PE_CLOCK
+from repro.core.operators import ReductionOperator, SUM
+from repro.memory.trace import AccessStats
+
+VectorSource = Callable[[int], np.ndarray]
+
+
+@dataclass(frozen=True)
+class HostLink:
+    """The link carrying data from the memory system to the cores.
+
+    The paper's baseline ships every raw embedding vector across this link;
+    NDP designs ship only outputs (plus, for RecNMP, un-reduced leftovers).
+    Default bandwidth matches one DDR4-2400 channel (19.2 GB/s) per memory
+    channel.
+    """
+
+    bandwidth_gbps_per_channel: float = 19.2
+    channels: int = 4
+    base_latency_ns: float = 50.0
+
+    def transfer_ns(self, bytes_: int) -> float:
+        if bytes_ < 0:
+            raise ValueError("bytes_ must be non-negative")
+        if bytes_ == 0:
+            return 0.0
+        total_gbps = self.bandwidth_gbps_per_channel * self.channels
+        return self.base_latency_ns + bytes_ / total_gbps
+
+
+@dataclass(frozen=True)
+class CoreComputeModel:
+    """Element-wise reduction throughput of the host CPU."""
+
+    clock: Clock = CPU_CLOCK
+    simd_elements_per_cycle: int = 32
+    # Each gathered vector the core touches is a fresh 512 B DRAM-resident
+    # object: the reduction loop eats a cache miss per vector (~43 ns at
+    # 3 GHz).  This constant dominates RecNMP's core-side cost and is what
+    # makes forwarding raw vectors to the CPU expensive (§III-C).
+    per_vector_overhead_cycles: int = 128
+
+    def reduce_ns(self, element_ops: int, vectors_touched: int) -> float:
+        if element_ops < 0 or vectors_touched < 0:
+            raise ValueError("counts must be non-negative")
+        cycles = (
+            element_ops / self.simd_elements_per_cycle
+            + vectors_touched * self.per_vector_overhead_cycles
+        )
+        return self.clock.cycles_to_ns(cycles)
+
+
+@dataclass
+class GatherTiming:
+    """Latency breakdown of one batch, in nanoseconds.
+
+    ``memory_ns`` and ``ndp_compute_ns`` overlap in pipelined designs; each
+    engine reports ``total_ns`` according to its own overlap structure, so
+    the breakdown components are for attribution (Fig. 11-style stacks), and
+    ``total_ns`` is authoritative for speedups.
+    """
+
+    memory_ns: float = 0.0
+    ndp_compute_ns: float = 0.0
+    core_compute_ns: float = 0.0
+    transfer_ns: float = 0.0
+    total_ns: float = 0.0
+
+    def __post_init__(self) -> None:
+        parts = (
+            self.memory_ns,
+            self.ndp_compute_ns,
+            self.core_compute_ns,
+            self.transfer_ns,
+            self.total_ns,
+        )
+        if any(p < 0 for p in parts):
+            raise ValueError("latency components must be non-negative")
+
+
+@dataclass
+class GatherResult:
+    """Outputs plus measurements for one batch on one engine."""
+
+    vectors: List[np.ndarray]
+    timing: GatherTiming
+    memory_stats: AccessStats
+    bytes_to_core: int
+    dram_reads: int
+    ndp_reduced_vectors: int = 0
+    core_reduced_vectors: int = 0
+    cache_hits: int = 0
+
+    @property
+    def total_ns(self) -> float:
+        return self.timing.total_ns
+
+
+class GatherEngine(abc.ABC):
+    """Abstract embedding-gather engine over the shared DDR4 substrate."""
+
+    name: str = "abstract"
+
+    def __init__(self, operator: ReductionOperator = SUM) -> None:
+        self.operator = operator
+
+    @abc.abstractmethod
+    def lookup(
+        self, queries: Sequence[Sequence[int]], source: VectorSource
+    ) -> GatherResult:
+        """Service one batch of queries; must reset substrate state first."""
+
+    # ------------------------------------------------------------------
+    def oracle_check(
+        self,
+        queries: Sequence[Sequence[int]],
+        source: VectorSource,
+        rtol: float = 1e-9,
+    ) -> bool:
+        """Verify functional outputs against a direct NumPy reduction."""
+        result = self.lookup(queries, source)
+        for query, produced in zip(queries, result.vectors):
+            expected = self.operator.reduce_many(
+                [np.asarray(source(i), dtype=np.float64) for i in sorted(set(query))]
+            )
+            if not np.allclose(produced, expected, rtol=rtol):
+                return False
+        return True
+
+
+def functional_reduce(
+    queries: Sequence[Sequence[int]],
+    source: VectorSource,
+    operator: ReductionOperator,
+) -> List[np.ndarray]:
+    """Reference gather-reduce used by baselines for their outputs."""
+    outputs: List[np.ndarray] = []
+    for query in queries:
+        vectors = [np.asarray(source(i), dtype=np.float64) for i in sorted(set(query))]
+        outputs.append(operator.reduce_many(vectors))
+    return outputs

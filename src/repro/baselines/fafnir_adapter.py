@@ -1,0 +1,105 @@
+"""Adapter exposing the FAFNIR engine through the baseline interface.
+
+The evaluation benches compare engines through the common
+:class:`~repro.baselines.base.GatherEngine` API; this adapter maps
+:class:`~repro.core.engine.LookupStats` onto a :class:`GatherTiming`.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.baselines.base import (
+    GatherEngine,
+    GatherResult,
+    GatherTiming,
+    HostLink,
+    VectorSource,
+)
+from repro.core.config import FafnirConfig
+from repro.core.engine import FafnirEngine
+from repro.core.operators import ReductionOperator, SUM
+from repro.memory.config import MemoryConfig
+
+
+class FafnirGatherEngine(GatherEngine):
+    """FAFNIR behind the common gather-engine interface."""
+
+    name = "fafnir"
+
+    def __init__(
+        self,
+        config: Optional[FafnirConfig] = None,
+        memory_config: Optional[MemoryConfig] = None,
+        operator: ReductionOperator = SUM,
+        link: Optional[HostLink] = None,
+        deduplicate: bool = True,
+    ) -> None:
+        super().__init__(operator)
+        self.engine = FafnirEngine(
+            config=config, operator=operator, memory_config=memory_config
+        )
+        self.link = link or HostLink(
+            channels=self.engine.memory.config.geometry.channels
+        )
+        self.deduplicate = deduplicate
+
+    @property
+    def config(self) -> FafnirConfig:
+        return self.engine.config
+
+    def lookup(
+        self, queries: Sequence[Sequence[int]], source: VectorSource
+    ) -> GatherResult:
+        hardware_batch = self.config.batch_size
+        chunks = [
+            queries[start : start + hardware_batch]
+            for start in range(0, len(queries), hardware_batch)
+        ]
+
+        vectors = []
+        memory_stats = None
+        memory_ns = 0.0
+        in_tree_ns = 0.0
+        bytes_to_core = 0
+        dram_reads = 0
+        ndp_reduced = 0
+        for chunk in chunks:
+            result = self.engine.run_batch(
+                chunk, source, deduplicate=self.deduplicate
+            )
+            stats = result.stats
+            vectors.extend(result.vectors)
+            memory_stats = (
+                stats.memory
+                if memory_stats is None
+                else memory_stats.merged_with(stats.memory)
+            )
+            memory_ns += self.config.pe_clock.cycles_to_ns(
+                stats.memory_latency_pe_cycles
+            )
+            in_tree_ns += stats.latency_ns(self.config)
+            bytes_to_core += stats.output_bytes
+            dram_reads += stats.memory.reads
+            ndp_reduced += stats.total_work.reduces
+
+        transfer_ns = self.link.transfer_ns(bytes_to_core)
+        assert memory_stats is not None
+        timing = GatherTiming(
+            memory_ns=memory_ns,
+            ndp_compute_ns=max(0.0, in_tree_ns - memory_ns),
+            core_compute_ns=0.0,
+            transfer_ns=transfer_ns,
+            # Tree compute overlaps memory (messages flow as reads finish);
+            # in_tree_ns already covers the overlap chain end-to-end.
+            total_ns=in_tree_ns + transfer_ns,
+        )
+        return GatherResult(
+            vectors=vectors,
+            timing=timing,
+            memory_stats=memory_stats,
+            bytes_to_core=bytes_to_core,
+            dram_reads=dram_reads,
+            ndp_reduced_vectors=ndp_reduced,
+            core_reduced_vectors=0,
+        )

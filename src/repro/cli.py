@@ -1,0 +1,254 @@
+"""Command-line interface for the FAFNIR reproduction.
+
+Subcommands mirror the things a user actually does with the library:
+
+* ``lookup``  — run a batch of embedding lookups on a chosen engine and
+  print latency/data-movement measurements;
+* ``compare`` — run the same batch on every engine and print the
+  Fig. 11/13-style comparison table;
+* ``spmv``    — multiply a synthetic sparse matrix on FAFNIR vs Two-Step;
+* ``pagerank`` — rank a synthetic graph end to end;
+* ``hw``      — print the hardware bookkeeping tables (buffers, area,
+  power, FPGA utilization, connections).
+
+Run ``python -m repro.cli <subcommand> --help`` for options.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+import numpy as np
+
+from repro.analysis import Table
+from repro.baselines import (
+    CentaurGatherEngine,
+    CpuGatherEngine,
+    FafnirGatherEngine,
+    RecNmpGatherEngine,
+    TensorDimmGatherEngine,
+)
+from repro.baselines.twostep import TwoStepSpmvEngine
+from repro.core import FafnirConfig
+from repro.hw import (
+    AsicPower,
+    ConnectionComparison,
+    reference_system_area,
+    size_buffers,
+    table5,
+)
+from repro.sparse import laplacian_2d, rmat
+from repro.experiments import get_experiment, list_experiments
+from repro.validation import validate_anchors
+from repro.spmv import FafnirSpmvEngine, pagerank
+from repro.workloads import EmbeddingTableSet, QueryGenerator
+
+ENGINES = {
+    "fafnir": lambda: FafnirGatherEngine(),
+    "recnmp": lambda: RecNmpGatherEngine(),
+    "recnmp-cache": lambda: RecNmpGatherEngine(with_cache=True),
+    "tensordimm": lambda: TensorDimmGatherEngine(),
+    "centaur": lambda: CentaurGatherEngine(),
+    "cpu": lambda: CpuGatherEngine(),
+}
+
+
+def _make_batch(batch_size: int, query_len: int, seed: int):
+    tables = EmbeddingTableSet.random(seed=seed)
+    generator = QueryGenerator.paper_calibrated(
+        tables, seed=seed, query_len=query_len
+    )
+    return tables, generator.batch(batch_size)
+
+
+def _cmd_lookup(args: argparse.Namespace) -> int:
+    tables, batch = _make_batch(args.batch_size, args.query_len, args.seed)
+    engine = ENGINES[args.engine]()
+    result = engine.lookup(batch, tables.vector)
+    timing = result.timing
+    print(f"engine: {args.engine}")
+    print(f"batch: {len(batch)} queries × {args.query_len} lookups")
+    print(f"total latency: {timing.total_ns / 1000:.2f} µs")
+    print(
+        f"  memory {timing.memory_ns / 1000:.2f} µs | ndp "
+        f"{timing.ndp_compute_ns / 1000:.2f} µs | core "
+        f"{timing.core_compute_ns / 1000:.2f} µs | transfer "
+        f"{timing.transfer_ns / 1000:.2f} µs"
+    )
+    print(f"DRAM reads: {result.dram_reads}, bytes to core: {result.bytes_to_core}")
+    if result.cache_hits:
+        print(f"cache hits: {result.cache_hits}")
+    return 0
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    tables, batch = _make_batch(args.batch_size, args.query_len, args.seed)
+    table = Table(["engine", "total_us", "speedup_vs_cpu", "bytes_to_core", "dram_reads"])
+    baseline_ns: Optional[float] = None
+    for name in ("cpu", "tensordimm", "centaur", "recnmp", "recnmp-cache", "fafnir"):
+        result = ENGINES[name]().lookup(batch, tables.vector)
+        if baseline_ns is None:
+            baseline_ns = result.total_ns
+        table.add_row(
+            [
+                name,
+                f"{result.total_ns / 1000:.2f}",
+                f"{baseline_ns / result.total_ns:.2f}×",
+                result.bytes_to_core,
+                result.dram_reads,
+            ]
+        )
+    print(table.render())
+    return 0
+
+
+def _cmd_spmv(args: argparse.Namespace) -> int:
+    if args.kind == "stencil":
+        matrix = laplacian_2d(args.size)
+    else:
+        matrix = rmat(args.size.bit_length(), edge_factor=8, seed=args.seed)
+    x = np.random.default_rng(args.seed).normal(size=matrix.shape[1])
+    fafnir = FafnirSpmvEngine().multiply(matrix, x)
+    twostep = TwoStepSpmvEngine().multiply(matrix, x)
+    assert np.allclose(fafnir.y, twostep.y)
+    table = Table(["engine", "step1_us", "merge_us", "total_us"])
+    for name, stats in (("fafnir", fafnir.stats), ("two-step", twostep.stats)):
+        table.add_row(
+            [
+                name,
+                f"{stats.step1_ns / 1000:.1f}",
+                f"{stats.merge_ns / 1000:.1f}",
+                f"{stats.total_ns / 1000:.1f}",
+            ]
+        )
+    print(f"matrix: {matrix.shape[0]}×{matrix.shape[1]}, nnz {matrix.nnz}")
+    print(table.render())
+    print(
+        f"fafnir speedup: {twostep.stats.total_ns / fafnir.stats.total_ns:.2f}×"
+    )
+    return 0
+
+
+def _cmd_pagerank(args: argparse.Namespace) -> int:
+    graph = rmat(args.scale, edge_factor=8, seed=args.seed)
+    result = pagerank(graph, FafnirSpmvEngine(), tolerance=args.tolerance)
+    print(
+        f"graph: {graph.shape[0]} vertices, {graph.nnz} edges — "
+        f"converged={result.converged} in {result.iterations} iterations, "
+        f"modelled hw time {result.total_ns / 1e6:.3f} ms"
+    )
+    top = np.argsort(result.values)[::-1][: args.top]
+    for vertex in top:
+        print(f"  vertex {vertex}: {result.values[vertex]:.6f}")
+    return 0
+
+
+def _cmd_hw(args: argparse.Namespace) -> int:
+    config = FafnirConfig(batch_size=args.batch_size)
+    sizing = size_buffers(config)
+    area = reference_system_area()
+    power = AsicPower()
+    connections = ConnectionComparison(
+        memory_devices=config.total_ranks, compute_devices=4
+    )
+    table = Table(["quantity", "value"])
+    table.add_row(["PEs", config.num_pes])
+    table.add_row(["tree levels", config.tree_levels])
+    table.add_row(["PE buffer (KB)", f"{sizing.pe_buffer_kb:.1f}"])
+    table.add_row(["DIMM/rank node buffer (KB)", f"{sizing.dimm_rank_node_kb:.1f}"])
+    table.add_row(["system area (mm²)", f"{area.total_mm2:.3f}"])
+    table.add_row(["system power (mW)", f"{power.total_mw:.2f}"])
+    table.add_row(["connections (tree)", connections.fafnir])
+    table.add_row(["connections (all-to-all)", connections.all_to_all])
+    print(table.render())
+    print("\nFPGA utilization (XCVU9P, %):")
+    for resource, percent in table5().items():
+        print(f"  {resource:8s} {percent:6.2f}")
+    return 0
+
+
+def _cmd_experiments(args: argparse.Namespace) -> int:
+    if args.list or not args.run:
+        for experiment in list_experiments():
+            print(f"  {experiment.experiment_id:12s} {experiment.title}")
+        return 0
+    for experiment_id in args.run:
+        result = get_experiment(experiment_id).run()
+        print(result.render())
+        print()
+    return 0
+
+
+def _cmd_validate(args: argparse.Namespace) -> int:
+    checks = validate_anchors()
+    failures = 0
+    for check in checks:
+        print(check)
+        if not check.ok:
+            failures += 1
+    print(f"\n{len(checks) - failures}/{len(checks)} anchors hold")
+    return 1 if failures else 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="FAFNIR reproduction CLI"
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    lookup = subparsers.add_parser("lookup", help="run one batch on one engine")
+    lookup.add_argument("--engine", choices=sorted(ENGINES), default="fafnir")
+    lookup.add_argument("--batch-size", type=int, default=32)
+    lookup.add_argument("--query-len", type=int, default=16)
+    lookup.add_argument("--seed", type=int, default=0)
+    lookup.set_defaults(func=_cmd_lookup)
+
+    compare = subparsers.add_parser("compare", help="compare all engines")
+    compare.add_argument("--batch-size", type=int, default=32)
+    compare.add_argument("--query-len", type=int, default=16)
+    compare.add_argument("--seed", type=int, default=0)
+    compare.set_defaults(func=_cmd_compare)
+
+    spmv = subparsers.add_parser("spmv", help="SpMV: FAFNIR vs Two-Step")
+    spmv.add_argument("--kind", choices=("stencil", "graph"), default="stencil")
+    spmv.add_argument("--size", type=int, default=64)
+    spmv.add_argument("--seed", type=int, default=0)
+    spmv.set_defaults(func=_cmd_spmv)
+
+    rank = subparsers.add_parser("pagerank", help="PageRank on FAFNIR SpMV")
+    rank.add_argument("--scale", type=int, default=10)
+    rank.add_argument("--seed", type=int, default=0)
+    rank.add_argument("--tolerance", type=float, default=1e-8)
+    rank.add_argument("--top", type=int, default=5)
+    rank.set_defaults(func=_cmd_pagerank)
+
+    hw = subparsers.add_parser("hw", help="hardware bookkeeping tables")
+    hw.add_argument("--batch-size", type=int, default=32)
+    hw.set_defaults(func=_cmd_hw)
+
+    validate = subparsers.add_parser(
+        "validate", help="check the paper's numeric anchors"
+    )
+    validate.set_defaults(func=_cmd_validate)
+
+    experiments = subparsers.add_parser(
+        "experiments", help="regenerate paper figures/tables"
+    )
+    experiments.add_argument("--list", action="store_true", help="list experiments")
+    experiments.add_argument(
+        "--run", nargs="*", metavar="ID", help="experiment ids to run (e.g. fig13)"
+    )
+    experiments.set_defaults(func=_cmd_experiments)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,60 @@
+"""FAFNIR core: the near-memory intelligent reduction tree."""
+
+from repro.core.accelerator import FafnirAccelerator
+from repro.core.batch import BatchPlan, normalize_queries, plan_batch
+from repro.core.config import FafnirConfig, PELatencies
+from repro.core.engine import FafnirEngine, LookupResult, LookupStats
+from repro.core.header import Header, Message
+from repro.core.microsim import MicrosimReport, PEMicrosim
+from repro.core.phased import PhasedFafnirEngine
+from repro.core.pipeline import BatchStageCosts, PipelinedRun, simulate_stream
+from repro.core.interactive import InteractiveEngine, InteractiveResult
+from repro.core.stats import LevelUtilization, TreeUtilization, tree_utilization
+from repro.core.operators import (
+    MAX,
+    MEAN,
+    MIN,
+    SUM,
+    ReductionOperator,
+    available_operators,
+    get_operator,
+)
+from repro.core.pe import PEResult, PEWork, ProcessingElement
+from repro.core.tree import FafnirTree, TreePE
+
+__all__ = [
+    "BatchPlan",
+    "BatchStageCosts",
+    "PipelinedRun",
+    "simulate_stream",
+    "FafnirAccelerator",
+    "FafnirConfig",
+    "FafnirEngine",
+    "FafnirTree",
+    "Header",
+    "InteractiveEngine",
+    "InteractiveResult",
+    "LevelUtilization",
+    "LookupResult",
+    "LookupStats",
+    "MAX",
+    "MEAN",
+    "MIN",
+    "Message",
+    "MicrosimReport",
+    "PEMicrosim",
+    "PELatencies",
+    "PhasedFafnirEngine",
+    "PEResult",
+    "PEWork",
+    "ProcessingElement",
+    "ReductionOperator",
+    "SUM",
+    "TreePE",
+    "TreeUtilization",
+    "tree_utilization",
+    "available_operators",
+    "get_operator",
+    "normalize_queries",
+    "plan_batch",
+]

@@ -1,0 +1,280 @@
+"""Cycle-approximate execution of embedding-lookup batches on FAFNIR.
+
+The engine glues the three layers together:
+
+1. **Host** — batch preprocessing (:mod:`repro.core.batch`) produces the
+   unique-index read list and initial headers.
+2. **Memory** — reads are issued to the DDR4 model
+   (:mod:`repro.memory`); each vector's message becomes ready at its DRAM
+   completion time, converted into the PE clock domain.
+3. **Tree** — messages flow leaves→root through
+   :class:`~repro.core.pe.ProcessingElement` instances; per-message ready
+   cycles model the paper's conflict-free pipelining of distinct queries
+   through distinct tree routes.
+
+The result is one reduced vector per query plus a :class:`LookupStats`
+record with everything the evaluation figures need (latency split, DRAM
+behaviour, per-level PE work, data movement).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.clocks import convert_cycles
+from repro.core.batch import BatchPlan, plan_batch
+from repro.core.config import FafnirConfig
+from repro.core.header import Message
+from repro.core.operators import ReductionOperator, SUM, get_operator
+from repro.core.pe import PEWork, ProcessingElement
+from repro.core.tree import FafnirTree
+from repro.memory.config import MemoryConfig
+from repro.memory.mapping import RowMajorPlacement
+from repro.memory.request import ReadRequest
+from repro.memory.system import MemorySystem
+from repro.memory.trace import AccessStats
+
+VectorSource = Callable[[int], np.ndarray]
+
+
+@dataclass
+class LookupStats:
+    """Measurements from one batch lookup."""
+
+    memory: AccessStats
+    per_pe_work: Dict[int, PEWork] = field(default_factory=dict)
+    latency_pe_cycles: int = 0
+    memory_latency_pe_cycles: int = 0
+    total_lookups: int = 0
+    unique_reads: int = 0
+    dram_bytes_read: int = 0
+    output_bytes: int = 0
+    naive_movement_bytes: int = 0
+
+    @property
+    def compute_latency_pe_cycles(self) -> int:
+        """Tree-side latency not hidden behind memory accesses."""
+        return max(0, self.latency_pe_cycles - self.memory_latency_pe_cycles)
+
+    @property
+    def unique_fraction(self) -> float:
+        return self.unique_reads / self.total_lookups if self.total_lookups else 0.0
+
+    @property
+    def accesses_saved(self) -> int:
+        return self.total_lookups - self.unique_reads
+
+    @property
+    def total_work(self) -> PEWork:
+        total = PEWork()
+        for work in self.per_pe_work.values():
+            total = total.merged_with(work)
+        return total
+
+    @property
+    def movement_reduction_factor(self) -> float:
+        """Bytes the baseline ships to cores ÷ bytes FAFNIR ships (n·q·v / n·v)."""
+        if not self.output_bytes:
+            return 0.0
+        return self.naive_movement_bytes / self.output_bytes
+
+    def latency_ns(self, config: FafnirConfig) -> float:
+        return config.pe_clock.cycles_to_ns(self.latency_pe_cycles)
+
+
+@dataclass
+class LookupResult:
+    """Per-query reduced vectors (submission order) and run statistics."""
+
+    vectors: List[np.ndarray]
+    stats: LookupStats
+    plan: BatchPlan
+
+
+class FafnirEngine:
+    """Executes batches of embedding-lookup queries on one FAFNIR instance."""
+
+    def __init__(
+        self,
+        config: Optional[FafnirConfig] = None,
+        operator: ReductionOperator = SUM,
+        memory_config: Optional[MemoryConfig] = None,
+        check_values: bool = False,
+    ) -> None:
+        self.config = config or FafnirConfig()
+        if isinstance(operator, str):
+            operator = get_operator(operator)
+        self.operator = operator
+        if memory_config is None:
+            memory_config = MemoryConfig().scaled_to_ranks(self.config.total_ranks)
+        if memory_config.geometry.total_ranks != self.config.total_ranks:
+            raise ValueError(
+                "memory geometry rank count "
+                f"({memory_config.geometry.total_ranks}) does not match the "
+                f"FAFNIR configuration ({self.config.total_ranks})"
+            )
+        self.memory = MemorySystem(memory_config)
+        self.placement = RowMajorPlacement(
+            memory_config.geometry, self.config.vector_bytes
+        )
+        self.tree = FafnirTree(self.config)
+        self._check_values = check_values
+        self._last_memory_stats = AccessStats()
+
+    # ------------------------------------------------------------------
+    def _fetch_from_memory(self, plan: BatchPlan) -> Dict[int, int]:
+        """Issue all planned reads; returns per-index DRAM finish cycles."""
+        requests: List[ReadRequest] = []
+        for index in plan.reads:
+            requests.extend(self.placement.requests_for(index))
+        completions, stats = self.memory.execute(requests)
+        self._last_memory_stats = stats
+
+        finish: Dict[int, int] = {}
+        for completion in completions:
+            index = completion.request.tag
+            assert isinstance(index, int)
+            # The message needs the data once; extra (non-deduplicated)
+            # reads of the same vector only add bus pressure.
+            previous = finish.get(index)
+            if previous is None or completion.finish_cycle < previous:
+                finish[index] = completion.finish_cycle
+        return finish
+
+    def _leaf_inputs(
+        self,
+        plan: BatchPlan,
+        finish_cycles: Dict[int, int],
+        source: VectorSource,
+    ) -> Dict[int, List[List[Message]]]:
+        """Build each leaf PE's two input FIFOs from the fetched vectors."""
+        per_leaf: Dict[int, List[List[Message]]] = {
+            leaf.pe_id: [[], []] for leaf in self.tree.leaves()
+        }
+        vector_elements = self.config.vector_elements
+        for index in plan.unique_indices:
+            value = np.asarray(source(index), dtype=np.float64)
+            if value.shape != (vector_elements,):
+                raise ValueError(
+                    f"vector {index} has shape {value.shape}; expected "
+                    f"({vector_elements},)"
+                )
+            rank = self.placement.home_rank(index)
+            assert rank is not None
+            leaf = self.tree.leaf_for_rank(rank)
+            side = 0 if (rank - leaf.leaf_ranks[0]) < len(leaf.leaf_ranks) / 2 else 1
+            ready = convert_cycles(
+                finish_cycles[index], self.config.dram_clock, self.config.pe_clock
+            )
+            per_leaf[leaf.pe_id][side].append(
+                Message(header=plan.headers[index], value=value, ready_cycle=ready)
+            )
+        return per_leaf
+
+    def _run_tree(
+        self, leaf_inputs: Dict[int, List[List[Message]]]
+    ) -> tuple:
+        """Propagate messages leaves→root; returns (root outputs, per-PE work)."""
+        outputs: Dict[int, List[Message]] = {}
+        per_pe_work: Dict[int, PEWork] = {}
+        for pe_id in self.tree.bottom_up_ids():
+            node = self.tree.pe(pe_id)
+            pe = ProcessingElement(
+                self.config,
+                self.operator,
+                name=f"PE{pe_id}",
+                check_values=self._check_values,
+            )
+            if node.is_leaf:
+                # Items from one rank stream through one FIFO and may
+                # self-combine there (general workloads; a no-op for the
+                # paper's one-vector-per-rank queries).
+                fold_work = PEWork()
+                raw_a, raw_b = leaf_inputs[pe_id]
+                input_a = pe.fold_stream(raw_a, fold_work)
+                input_b = pe.fold_stream(raw_b, fold_work)
+            else:
+                fold_work = PEWork()
+                left, right = node.children  # type: ignore[misc]
+                input_a = outputs.get(left, [])
+                input_b = outputs.get(right, [])
+            result = pe.process(input_a, input_b)
+            outputs[pe_id] = result.outputs
+            per_pe_work[pe_id] = result.work.merged_with(fold_work)
+        return outputs[self.tree.root_id], per_pe_work
+
+    def _collect_results(
+        self, plan: BatchPlan, root_outputs: Sequence[Message]
+    ) -> tuple:
+        """Match root messages to queries; returns (vectors, completion cycles)."""
+        by_indices: Dict[frozenset, Message] = {}
+        for message in root_outputs:
+            if message.header.complete_entries:
+                by_indices[message.indices] = message
+
+        vectors: List[np.ndarray] = []
+        ready_cycles: List[int] = []
+        for position, query in enumerate(plan.queries):
+            message = by_indices.get(query)
+            if message is None:
+                raise RuntimeError(
+                    f"tree failed to complete query {position} "
+                    f"({sorted(query)}) — FAFNIR's completion guarantee was "
+                    "violated; this is a bug"
+                )
+            vectors.append(self.operator.finalize(message.value.copy(), len(query)))
+            ready_cycles.append(message.ready_cycle)
+        return vectors, ready_cycles
+
+    # ------------------------------------------------------------------
+    def run_batch(
+        self,
+        queries: Sequence[Sequence[int]],
+        source: VectorSource,
+        deduplicate: bool = True,
+        reset_memory: bool = True,
+    ) -> LookupResult:
+        """Execute one batch of queries and return reduced vectors + stats.
+
+        Args:
+            queries: batch of index lists (one list per query).
+            source: callable giving the stored vector for a global index.
+            deduplicate: eliminate redundant reads (the paper's mechanism);
+                pass ``False`` for the ablation baseline.
+            reset_memory: start from cold row buffers (deterministic runs).
+        """
+        if len(queries) > self.config.batch_size:
+            raise ValueError(
+                f"batch of {len(queries)} exceeds configured batch size "
+                f"{self.config.batch_size}"
+            )
+        if reset_memory:
+            self.memory.reset()
+
+        plan = plan_batch(
+            queries, max_query_len=self.config.max_query_len, deduplicate=deduplicate
+        )
+        finish_cycles = self._fetch_from_memory(plan)
+        leaf_inputs = self._leaf_inputs(plan, finish_cycles, source)
+        root_outputs, per_pe_work = self._run_tree(leaf_inputs)
+        vectors, ready_cycles = self._collect_results(plan, root_outputs)
+
+        memory_stats = self._last_memory_stats
+        memory_pe_cycles = convert_cycles(
+            memory_stats.finish_cycle, self.config.dram_clock, self.config.pe_clock
+        )
+        stats = LookupStats(
+            memory=memory_stats,
+            per_pe_work=per_pe_work,
+            latency_pe_cycles=max(ready_cycles) if ready_cycles else 0,
+            memory_latency_pe_cycles=memory_pe_cycles,
+            total_lookups=plan.total_lookups,
+            unique_reads=len(plan.unique_indices),
+            dram_bytes_read=memory_stats.bytes_read,
+            output_bytes=len(plan.queries) * self.config.vector_bytes,
+            naive_movement_bytes=plan.total_lookups * self.config.vector_bytes,
+        )
+        return LookupResult(vectors=vectors, stats=stats, plan=plan)

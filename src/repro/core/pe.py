@@ -1,0 +1,349 @@
+"""Processing-element model: compute units plus merge unit (paper Fig. 5).
+
+A PE takes two input message lists (A from its left child or rank pair, B
+from its right), and for every *entry* (outstanding query remainder) of every
+input message decides among three actions:
+
+* **reduce** — a partner message on the other input whose ``indices`` are all
+  contained in the entry exists; combine the values, union the indices, and
+  shrink the entry by the partner's indices.
+* **forward** — no partner matches; pass the value along with that entry
+  unchanged.
+* complete entries (empty remainder) are always forwarded — the value is a
+  finished query answer on its way to the root.
+
+The compute units examine both directions (A-entries against B-indices and
+vice versa), so the same reduction is typically discovered twice; the
+**merge unit** then groups raw outputs by ``indices`` set, removing exact
+duplicates and concatenating the query entries of outputs that carry the
+same data (paper Fig. 6d).
+
+Timing is annotated per message: an output is ready one pipeline stage after
+the later of its parents, and the PE's finite compute units impose a simple
+one-output-per-unit-per-cycle issue limit on top.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.config import FafnirConfig
+from repro.core.header import Header, Message
+from repro.core.operators import ReductionOperator
+
+
+@dataclass
+class PEWork:
+    """Operation counts for one PE invocation (drives timing/power stats)."""
+
+    compares: int = 0
+    reduces: int = 0
+    forwards: int = 0
+    merges: int = 0
+    duplicates_removed: int = 0
+    outputs: int = 0
+    peak_input_occupancy: int = 0
+
+    def merged_with(self, other: "PEWork") -> "PEWork":
+        return PEWork(
+            compares=self.compares + other.compares,
+            reduces=self.reduces + other.reduces,
+            forwards=self.forwards + other.forwards,
+            merges=self.merges + other.merges,
+            duplicates_removed=self.duplicates_removed + other.duplicates_removed,
+            outputs=self.outputs + other.outputs,
+            peak_input_occupancy=max(
+                self.peak_input_occupancy, other.peak_input_occupancy
+            ),
+        )
+
+
+@dataclass
+class PEResult:
+    outputs: List[Message]
+    work: PEWork
+
+
+@dataclass
+class _RawOutput:
+    """A compute-unit output before the merge unit."""
+
+    indices: FrozenSet[int]
+    entry: FrozenSet[int]
+    value: np.ndarray
+    ready_cycle: int
+    hops: int
+    was_reduce: bool
+
+
+class ProcessingElement:
+    """One node of the FAFNIR tree.
+
+    Instances are stateless between invocations; :meth:`process` consumes the
+    two input FIFOs' contents for one batch and returns merged outputs.
+    """
+
+    def __init__(
+        self,
+        config: FafnirConfig,
+        operator: ReductionOperator,
+        name: str = "PE",
+        check_values: bool = False,
+    ) -> None:
+        self.config = config
+        self.operator = operator
+        self.name = name
+        self.check_values = check_values
+
+    # ------------------------------------------------------------------
+    # Compute units
+    # ------------------------------------------------------------------
+    def _scan_side(
+        self,
+        own: Sequence[Message],
+        partners: Sequence[Message],
+        work: PEWork,
+        raw: List[_RawOutput],
+    ) -> None:
+        latencies = self.config.latencies
+        for message in own:
+            for entry in message.entries:
+                if not entry:
+                    # Finished answer: travels up untouched.
+                    work.forwards += 1
+                    raw.append(
+                        _RawOutput(
+                            indices=message.indices,
+                            entry=entry,
+                            value=message.value,
+                            ready_cycle=message.ready_cycle
+                            + latencies.forward_path,
+                            hops=message.hops + 1,
+                            was_reduce=False,
+                        )
+                    )
+                    continue
+                # Reduce with the *maximal* matching partner.  The subtree-
+                # completion invariant guarantees the other input holds one
+                # message covering exactly this query's indices beneath that
+                # subtree; reducing with it (rather than every smaller
+                # partial) is what keeps the PE's output count within the
+                # paper's min(nm+n+m, B) bound.
+                best = None
+                for partner in partners:
+                    work.compares += 1
+                    if partner.indices <= entry:
+                        if best is None or len(partner.indices) > len(best.indices):
+                            best = partner
+                if best is not None:
+                    work.reduces += 1
+                    raw.append(
+                        _RawOutput(
+                            indices=message.indices | best.indices,
+                            entry=entry - best.indices,
+                            value=self.operator.combine(
+                                message.value, best.value
+                            ),
+                            ready_cycle=max(
+                                message.ready_cycle, best.ready_cycle
+                            )
+                            + latencies.reduce_path,
+                            hops=max(message.hops, best.hops) + 1,
+                            was_reduce=True,
+                        )
+                    )
+                else:
+                    work.forwards += 1
+                    raw.append(
+                        _RawOutput(
+                            indices=message.indices,
+                            entry=entry,
+                            value=message.value,
+                            ready_cycle=message.ready_cycle
+                            + latencies.forward_path,
+                            hops=message.hops + 1,
+                            was_reduce=False,
+                        )
+                    )
+
+    # ------------------------------------------------------------------
+    # Merge unit
+    # ------------------------------------------------------------------
+    def _merge(self, raw: List[_RawOutput], work: PEWork) -> List[Message]:
+        """Group raw outputs by indices set; dedup and concatenate entries."""
+        groups: Dict[FrozenSet[int], List[_RawOutput]] = {}
+        for output in raw:
+            groups.setdefault(output.indices, []).append(output)
+
+        merged: List[Message] = []
+        for indices, members in groups.items():
+            seen_entries = set()
+            entries: List[FrozenSet[int]] = []
+            ready = 0
+            hops = 0
+            for member in members:
+                if member.entry in seen_entries:
+                    work.duplicates_removed += 1
+                else:
+                    seen_entries.add(member.entry)
+                    entries.append(member.entry)
+                ready = max(ready, member.ready_cycle)
+                hops = max(hops, member.hops)
+            if len(members) > 1:
+                work.merges += 1
+            if self.check_values:
+                reference = members[0].value
+                for member in members[1:]:
+                    if not np.allclose(member.value, reference):
+                        raise AssertionError(
+                            f"{self.name}: merge-unit invariant violated — "
+                            f"outputs with indices {sorted(indices)} carry "
+                            "different values"
+                        )
+            merged.append(
+                Message(
+                    header=Header.make(indices, entries),
+                    value=members[0].value,
+                    ready_cycle=ready,
+                    hops=hops,
+                )
+            )
+        return merged
+
+    def _apply_issue_limit(self, outputs: List[Message]) -> List[Message]:
+        """Finite compute units: at most ``compute_units`` outputs per cycle."""
+        units = self.config.compute_units
+        outputs.sort(key=lambda m: (m.ready_cycle, sorted(m.indices)))
+        for position, message in enumerate(outputs):
+            message.ready_cycle += position // units
+        return outputs
+
+    # ------------------------------------------------------------------
+    def process(
+        self, input_a: Sequence[Message], input_b: Sequence[Message]
+    ) -> PEResult:
+        """Run one batch through this PE.
+
+        Either input may be empty (e.g. a rank holding no requested vector),
+        in which case everything on the other input is forwarded — the paper's
+        automatic-forward case for PE (4|15) in Fig. 6.
+        """
+        work = PEWork(
+            peak_input_occupancy=max(len(input_a), len(input_b))
+        )
+        raw: List[_RawOutput] = []
+        self._scan_side(input_a, input_b, work, raw)
+        self._scan_side(input_b, input_a, work, raw)
+        outputs = self._merge(raw, work)
+        outputs = self._apply_issue_limit(outputs)
+        work.outputs = len(outputs)
+        return PEResult(outputs=outputs, work=work)
+
+    # ------------------------------------------------------------------
+    # Intra-FIFO streaming combination (leaf PEs)
+    # ------------------------------------------------------------------
+    def fold_stream(self, stream: Sequence[Message], work: PEWork) -> List[Message]:
+        """Combine messages arriving sequentially on *one* input FIFO.
+
+        In the paper's reference workload a query touches at most one vector
+        per rank (table-number bits select the rank, Fig. 4b), so vectors
+        needing each other always arrive on *different* PE inputs.  A general
+        sparse-gathering library cannot assume that: two indices of one query
+        may be homed in the same rank.  Physically those items stream through
+        the leaf PE's FIFO one after another, and the compute units compare
+        each arriving item against the entries already buffered (Fig. 5 shows
+        the units iterating over the buffer).  This method models that
+        streaming self-combination: it computes the closure of pairwise
+        reductions within one FIFO, charging the reduce path per combination
+        but no forward cost for items that merely sit in the buffer.
+
+        Messages that do not interact pass through untouched, so for
+        paper-style workloads this is an identity with zero added latency.
+
+        Combination is greedy: each arriving item reduces, per query entry,
+        with the *maximal* already-buffered match — the running accumulator
+        for that query within this FIFO.  This keeps the buffered message
+        count linear in the stream length (the full pairwise closure would
+        be exponential for heavily co-located queries) while preserving the
+        completion invariant: after the fold, the buffer holds one message
+        covering exactly each query's indices homed on this FIFO.
+        """
+        latencies = self.config.latencies
+        buffer: List[Message] = []
+
+        def insert(message: Message) -> None:
+            produced: List[Message] = []
+            for entry in message.entries:
+                if not entry:
+                    continue
+                best = None
+                for other in buffer:
+                    work.compares += 1
+                    if other.indices <= entry:
+                        if best is None or len(other.indices) > len(best.indices):
+                            best = other
+                if best is not None:
+                    work.reduces += 1
+                    produced.append(
+                        Message(
+                            header=message.header.reduced_with(
+                                best.indices, entry
+                            ),
+                            value=self.operator.combine(
+                                message.value, best.value
+                            ),
+                            ready_cycle=max(
+                                message.ready_cycle, best.ready_cycle
+                            )
+                            + latencies.reduce_path,
+                            hops=max(message.hops, best.hops),
+                        )
+                    )
+            buffer.append(message)
+            for combined in produced:
+                already = any(
+                    other.indices == combined.indices
+                    and set(combined.entries) <= set(other.entries)
+                    for other in buffer
+                )
+                if already:
+                    work.duplicates_removed += 1
+                else:
+                    insert(combined)
+
+        for message in sorted(stream, key=lambda m: m.ready_cycle):
+            insert(message)
+        return self._coalesce(buffer, work)
+
+    def _coalesce(self, messages: List[Message], work: PEWork) -> List[Message]:
+        """Merge same-``indices`` messages without charging PE latency."""
+        groups: Dict[FrozenSet[int], List[Message]] = {}
+        for message in messages:
+            groups.setdefault(message.indices, []).append(message)
+        coalesced: List[Message] = []
+        for members in groups.values():
+            base = members[0]
+            if len(members) == 1:
+                coalesced.append(base)
+                continue
+            header = base.header
+            ready = base.ready_cycle
+            hops = base.hops
+            for member in members[1:]:
+                header = header.merged_with(member.header)
+                ready = max(ready, member.ready_cycle)
+                hops = max(hops, member.hops)
+            work.merges += 1
+            coalesced.append(
+                Message(
+                    header=header, value=base.value, ready_cycle=ready, hops=hops
+                )
+            )
+        return coalesced
+
+    def theoretical_output_bound(self, n: int, m: int) -> int:
+        """Paper §IV-B: at most min(nm + n + m, B) distinct outputs."""
+        return min(n * m + n + m, self.config.batch_size * self.config.max_query_len)

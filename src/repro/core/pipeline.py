@@ -1,0 +1,114 @@
+"""Batch-pipelined throughput model.
+
+The paper's scalability argument (Fig. 13) is about *throughput*: under
+load, FAFNIR keeps the DRAM reading batch k+1 while the tree drains batch k,
+so the steady-state cost of a batch is the **bottleneck stage**, not the
+end-to-end latency.  This module turns per-batch measurements into a
+pipelined schedule:
+
+* stage 1 — DRAM occupancy (the cycles the memory system is busy for the
+  batch's reads);
+* stage 2 — tree occupancy (the cycles the PE tree needs beyond what hides
+  behind memory).
+
+Steady-state cycles per batch = max(stage 1, stage 2); the first batch pays
+the full fill latency.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Sequence
+
+from repro.core.engine import FafnirEngine, LookupStats
+
+
+@dataclass(frozen=True)
+class BatchStageCosts:
+    """One batch's per-stage occupancies in PE cycles."""
+
+    memory_cycles: int
+    tree_cycles: int
+    latency_cycles: int
+
+    def __post_init__(self) -> None:
+        if min(self.memory_cycles, self.tree_cycles, self.latency_cycles) < 0:
+            raise ValueError("cycle counts must be non-negative")
+
+    @property
+    def bottleneck_cycles(self) -> int:
+        return max(self.memory_cycles, self.tree_cycles)
+
+    @staticmethod
+    def from_stats(stats: LookupStats) -> "BatchStageCosts":
+        return BatchStageCosts(
+            memory_cycles=stats.memory_latency_pe_cycles,
+            tree_cycles=stats.compute_latency_pe_cycles,
+            latency_cycles=stats.latency_pe_cycles,
+        )
+
+
+@dataclass
+class PipelinedRun:
+    """A schedule of many batches through the two-stage pipeline."""
+
+    per_batch: List[BatchStageCosts]
+
+    def __post_init__(self) -> None:
+        if not self.per_batch:
+            raise ValueError("need at least one batch")
+
+    @property
+    def batches(self) -> int:
+        return len(self.per_batch)
+
+    @property
+    def serial_cycles(self) -> int:
+        """Unpipelined total: every batch pays its full latency."""
+        return sum(costs.latency_cycles for costs in self.per_batch)
+
+    @property
+    def pipelined_cycles(self) -> int:
+        """Pipelined total: fill with the first batch's latency, then one
+        bottleneck-stage interval per further batch."""
+        first = self.per_batch[0].latency_cycles
+        rest = sum(costs.bottleneck_cycles for costs in self.per_batch[1:])
+        return first + rest
+
+    @property
+    def pipeline_speedup(self) -> float:
+        return self.serial_cycles / self.pipelined_cycles
+
+    def steady_state_cycles_per_batch(self) -> float:
+        if self.batches == 1:
+            return float(self.per_batch[0].latency_cycles)
+        return (
+            sum(costs.bottleneck_cycles for costs in self.per_batch[1:])
+            / (self.batches - 1)
+        )
+
+    def queries_per_second(self, queries_per_batch: int, pe_clock_mhz: float = 200.0) -> float:
+        if queries_per_batch <= 0 or pe_clock_mhz <= 0:
+            raise ValueError("invalid arguments")
+        seconds = self.pipelined_cycles / (pe_clock_mhz * 1e6)
+        return self.batches * queries_per_batch / seconds
+
+
+def simulate_stream(
+    engine: FafnirEngine,
+    batches: Sequence[Sequence[Sequence[int]]],
+    source: Callable,
+    deduplicate: bool = True,
+) -> PipelinedRun:
+    """Measure each batch on the engine and build the pipelined schedule.
+
+    Each batch is measured from cold DRAM state (conservative: steady-state
+    row-buffer reuse across batches would only help).
+    """
+    per_batch = [
+        BatchStageCosts.from_stats(
+            engine.run_batch(batch, source, deduplicate=deduplicate).stats
+        )
+        for batch in batches
+    ]
+    return PipelinedRun(per_batch=per_batch)

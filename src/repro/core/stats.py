@@ -1,0 +1,76 @@
+"""Tree-utilisation reporting: where the work lands inside the FAFNIR tree.
+
+Aggregates per-PE :class:`~repro.core.pe.PEWork` records by tree level and
+by physical chip (DIMM/rank nodes vs channel node, Fig. 4a) — the view the
+paper uses to argue the channel node is the key to full NDP reduction and
+that load depends only on the vector→rank mapping.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from repro.core.engine import LookupStats
+from repro.core.pe import PEWork
+from repro.core.tree import FafnirTree
+from repro.memory.config import MemoryGeometry
+
+
+@dataclass
+class LevelUtilization:
+    """Work aggregated over one tree level."""
+
+    level: int
+    pes: int
+    work: PEWork
+
+    @property
+    def reduces_per_pe(self) -> float:
+        return self.work.reduces / self.pes if self.pes else 0.0
+
+
+@dataclass
+class TreeUtilization:
+    """Per-level and per-chip aggregation of one lookup's tree work."""
+
+    levels: List[LevelUtilization]
+    per_chip: Dict[str, PEWork]
+
+    @property
+    def total(self) -> PEWork:
+        total = PEWork()
+        for level in self.levels:
+            total = total.merged_with(level.work)
+        return total
+
+    @property
+    def channel_node_share(self) -> float:
+        """Fraction of all reductions performed by the channel node —
+        the reductions RecNMP would have forwarded to the cores."""
+        channel = self.per_chip.get("channel_node", PEWork()).reduces
+        total = self.total.reduces
+        return channel / total if total else 0.0
+
+    def busiest_level(self) -> LevelUtilization:
+        return max(self.levels, key=lambda entry: entry.work.reduces)
+
+
+def tree_utilization(
+    tree: FafnirTree, stats: LookupStats, geometry: MemoryGeometry
+) -> TreeUtilization:
+    """Aggregate a lookup's per-PE work by level and by physical chip."""
+    levels: List[LevelUtilization] = []
+    for level in range(tree.num_levels):
+        ids = tree.level_ids(level)
+        work = PEWork()
+        for pe_id in ids:
+            work = work.merged_with(stats.per_pe_work.get(pe_id, PEWork()))
+        levels.append(LevelUtilization(level=level, pes=len(ids), work=work))
+
+    grouping = tree.node_grouping(geometry)
+    per_chip: Dict[str, PEWork] = {}
+    for pe_id, chip in grouping.items():
+        work = stats.per_pe_work.get(pe_id, PEWork())
+        per_chip[chip] = per_chip.get(chip, PEWork()).merged_with(work)
+    return TreeUtilization(levels=levels, per_chip=per_chip)

@@ -1,0 +1,138 @@
+"""Header wire format: packing headers into their hardware bit budget.
+
+The paper budgets each in-flight header at ``q`` index slots of
+``index_bits`` each — 10 bytes for q = 16 slots of 5 bits (Table I
+discussion, Fig. 4b).  A header's ``indices`` and ``queries`` fields share
+that budget: the encoding is
+
+    [count(indices)] [indices...] [entry separators + entry indices...]
+
+with every token one ``index_bits``-wide slot and one slot reserved per
+field count/separator.  This module packs and unpacks headers against the
+budget, so buffer-overflow behaviour (a header that physically cannot be
+represented) is an explicit, testable condition rather than an implicit
+assumption.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from repro.core.config import FafnirConfig
+from repro.core.header import Header
+
+
+class HeaderOverflowError(ValueError):
+    """A header does not fit the configured wire budget."""
+
+
+@dataclass(frozen=True)
+class WireFormat:
+    """The bit-level header layout for one configuration.
+
+    ``index_bits`` must name every distinct *table* (5 bits for 32); the
+    per-header slot budget is ``max_query_len`` index slots plus one count
+    slot per field and one separator per query entry.
+    """
+
+    index_bits: int
+    slot_budget: int
+
+    @staticmethod
+    def for_config(config: FafnirConfig) -> "WireFormat":
+        # The paper's 10 B budget = q slots; we add the bookkeeping slots
+        # explicitly so the budget accounting is honest.
+        return WireFormat(
+            index_bits=config.index_bits,
+            slot_budget=2 * config.max_query_len + 2,
+        )
+
+    @property
+    def max_index(self) -> int:
+        return (1 << self.index_bits) - 1
+
+    def slots_needed(self, header: Header) -> int:
+        """Slots to encode: 1 count + indices + per-entry (1 sep + items)."""
+        slots = 1 + len(header.indices)
+        for entry in header.entries:
+            slots += 1 + len(entry)
+        return slots
+
+    def fits(self, header: Header) -> bool:
+        return self.slots_needed(header) <= self.slot_budget
+
+    # ------------------------------------------------------------------
+    def encode(self, header: Header) -> bytes:
+        """Pack a header into bytes; raises :class:`HeaderOverflowError` if
+        it exceeds the slot budget or an index exceeds ``index_bits``."""
+        if not self.fits(header):
+            raise HeaderOverflowError(
+                f"header needs {self.slots_needed(header)} slots, budget is "
+                f"{self.slot_budget}"
+            )
+        # Field counts travel in the same index_bits-wide slots, so they are
+        # subject to the same range check — a 5-bit format cannot describe
+        # more than 31 indices or entries per field.
+        tokens: List[int] = [self._check_index(len(header.indices))]
+        for index in sorted(header.indices):
+            tokens.append(self._check_index(index))
+        tokens.append(self._check_index(len(header.entries)))
+        for entry in header.entries:
+            tokens.append(self._check_index(len(entry)))
+            for index in sorted(entry):
+                tokens.append(self._check_index(index))
+
+        bits = 0
+        value = 0
+        for token in tokens:
+            value = (value << self.index_bits) | token
+            bits += self.index_bits
+        # Prefix with the token count so decode knows where to stop.
+        payload_bytes = (bits + 7) // 8
+        return bytes([len(tokens)]) + value.to_bytes(max(1, payload_bytes), "big")
+
+    def decode(self, blob: bytes) -> Header:
+        """Inverse of :meth:`encode`."""
+        if not blob:
+            raise ValueError("empty header blob")
+        token_count = blob[0]
+        value = int.from_bytes(blob[1:], "big")
+        tokens: List[int] = []
+        mask = (1 << self.index_bits) - 1
+        for position in range(token_count):
+            shift = (token_count - 1 - position) * self.index_bits
+            tokens.append((value >> shift) & mask)
+
+        cursor = 0
+
+        def take() -> int:
+            nonlocal cursor
+            if cursor >= len(tokens):
+                raise ValueError("truncated header blob")
+            token = tokens[cursor]
+            cursor += 1
+            return token
+
+        index_count = take()
+        indices = [take() for _ in range(index_count)]
+        entry_count = take()
+        entries: List[Tuple[int, ...]] = []
+        for _ in range(entry_count):
+            entry_len = take()
+            entries.append(tuple(take() for _ in range(entry_len)))
+        if cursor != len(tokens):
+            raise ValueError("trailing tokens in header blob")
+        return Header.make(indices, entries)
+
+    def _check_index(self, index: int) -> int:
+        if not 0 <= index <= self.max_index:
+            raise HeaderOverflowError(
+                f"index {index} exceeds the {self.index_bits}-bit wire format"
+            )
+        return index
+
+    # ------------------------------------------------------------------
+    def wire_bytes(self, header: Header) -> int:
+        """Encoded size in bytes (for bandwidth accounting)."""
+        return len(self.encode(header))

@@ -1,0 +1,135 @@
+"""Hardware bookkeeping experiments (Tables I, IV, V, VI; Fig. 16; §IV-A)."""
+
+from __future__ import annotations
+
+from repro.analysis import Table
+from repro.core import FafnirConfig
+from repro.experiments.base import ExperimentResult, register
+from repro.hw import (
+    AsicPower,
+    ConnectionComparison,
+    fpga_power_breakdown_w,
+    pe_area_mm2,
+    pe_utilization,
+    recnmp_comparison_mw,
+    recnmp_system_area_mm2,
+    reference_system_area,
+    system_utilization,
+    table1,
+)
+
+
+@register("table1", "PE and node buffer sizes")
+def table1_buffers() -> ExperimentResult:
+    paper = {8: (4.6, 32.4), 16: (9.3, 64.8), 32: (18.5, 129.5)}
+    rows = table1(FafnirConfig())
+    table = Table(["batch", "PE_KB", "paper_PE_KB", "node_KB", "paper_node_KB"])
+    for batch_size in (8, 16, 32):
+        paper_pe, paper_node = paper[batch_size]
+        table.add_row(
+            [
+                batch_size,
+                f"{rows[batch_size]['pe_kb']:.1f}",
+                paper_pe,
+                f"{rows[batch_size]['dimm_rank_node_kb']:.1f}",
+                paper_node,
+            ]
+        )
+    return ExperimentResult("table1", "buffer sizing", table, data={"rows": rows})
+
+
+@register("table4", "compute-unit latencies and critical path")
+def table4_latencies() -> ExperimentResult:
+    latencies = FafnirConfig().latencies
+    table = Table(["operation", "cycles", "paper_cycles"])
+    table.add_row(["compare", latencies.compare, 12])
+    table.add_row(["reduce (value)", latencies.reduce_value, 4])
+    table.add_row(["reduce (header)", latencies.reduce_header, 16])
+    table.add_row(["forward", latencies.forward, 2])
+    table.add_row(["reduce path", latencies.reduce_path, 28])
+    table.add_row(["forward path", latencies.forward_path, 14])
+    return ExperimentResult(
+        "table4", "PE latencies", table, data={"latencies": latencies}
+    )
+
+
+@register("table5", "FPGA resource utilization (XCVU9P)")
+def table5_fpga() -> ExperimentResult:
+    utilization = {
+        "system": system_utilization(FafnirConfig()).utilization_percent,
+        "pe": pe_utilization(1).utilization_percent,
+        "dimm_rank_node": pe_utilization(7).utilization_percent,
+        "channel_node": pe_utilization(3).utilization_percent,
+    }
+    table = Table(["unit", "lut_%", "lutram_%", "ff_%", "bram_%"])
+    for unit, numbers in utilization.items():
+        table.add_row(
+            [
+                unit,
+                f"{numbers['lut']:.2f}",
+                f"{numbers['lutram']:.3f}",
+                f"{numbers['ff']:.2f}",
+                f"{numbers['bram']:.2f}",
+            ]
+        )
+    return ExperimentResult(
+        "table5", "FPGA utilization", table, data={"utilization": utilization}
+    )
+
+
+@register("table6", "7 nm ASIC area and power")
+def table6_asic() -> ExperimentResult:
+    area = reference_system_area()
+    power = AsicPower()
+    table = Table(["quantity", "model", "paper"])
+    table.add_row(["PE area (mm²)", f"{pe_area_mm2():.3f}", 0.077])
+    table.add_row(["DIMM/rank node (mm²)", f"{area.dimm_rank_node_mm2:.3f}", 0.282])
+    table.add_row(["channel node (mm²)", f"{area.channel_node_mm2:.3f}", 0.121])
+    table.add_row(["system area (mm²)", f"{area.total_mm2:.3f}", "1.2-1.25"])
+    table.add_row(["system power (mW)", f"{power.total_mw:.2f}", 111.64])
+    table.add_row(["per-DIMM power (mW)", f"{power.per_dimm_mw:.2f}", 5.9])
+    table.add_row(["RecNMP power/DIMM (mW)", f"{recnmp_comparison_mw(1):.1f}", 184.2])
+    table.add_row(
+        ["RecNMP area 16 DIMMs (mm²)", f"{recnmp_system_area_mm2(16):.2f}", 8.64]
+    )
+    return ExperimentResult(
+        "table6", "ASIC area/power", table, data={"area": area, "power": power}
+    )
+
+
+@register("fig16", "FPGA dynamic power breakdown")
+def fig16_power() -> ExperimentResult:
+    breakdowns = {
+        node: fpga_power_breakdown_w(node) for node in ("dimm_rank", "channel")
+    }
+    table = Table(["node", "total_W"] + list(breakdowns["dimm_rank"].keys()))
+    for node, parts in breakdowns.items():
+        table.add_row(
+            [node, f"{sum(parts.values()):.2f}"]
+            + [f"{value:.3f}" for value in parts.values()]
+        )
+    return ExperimentResult(
+        "fig16", "FPGA power breakdown", table, data={"breakdowns": breakdowns}
+    )
+
+
+@register("connections", "connection counts: all-to-all vs tree (§IV-A)")
+def connections() -> ExperimentResult:
+    comparisons = [
+        ConnectionComparison(memory_devices=m, compute_devices=c)
+        for m, c in [(8, 4), (16, 4), (32, 4), (64, 8), (128, 16)]
+    ]
+    table = Table(["m (memory)", "c (compute)", "all_to_all", "fafnir", "reduction"])
+    for comparison in comparisons:
+        table.add_row(
+            [
+                comparison.memory_devices,
+                comparison.compute_devices,
+                comparison.all_to_all,
+                comparison.fafnir,
+                f"{comparison.reduction_factor:.2f}×",
+            ]
+        )
+    return ExperimentResult(
+        "connections", "connection scaling", table, data={"comparisons": comparisons}
+    )

@@ -1,0 +1,85 @@
+"""SpMV experiments (Figs. 9 and 14)."""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+import numpy as np
+
+from repro.analysis import Table
+from repro.baselines.twostep import TwoStepSpmvEngine
+from repro.experiments.base import ExperimentResult, register
+from repro.spmv import FafnirSpmvEngine, sweep
+from repro.workloads import fig14_suite
+
+FIG09_COLUMNS = [
+    2_048,
+    16_384,
+    131_072,
+    1_000_000,
+    5_000_000,
+    10_000_000,
+    20_000_000,
+]
+
+
+@register("fig09", "SpMV iterations/rounds/merges vs matrix width")
+def fig09_planner() -> ExperimentResult:
+    plans = {
+        vector_size: sweep(FIG09_COLUMNS, vector_size=vector_size)
+        for vector_size in (1024, 2048)
+    }
+    table = Table(["columns", "vec", "chunks", "iterations", "rounds", "merges"])
+    for vector_size in (1024, 2048):
+        for plan in plans[vector_size]:
+            table.add_row(
+                [
+                    plan.n_cols,
+                    vector_size,
+                    plan.chunks,
+                    plan.iterations,
+                    "/".join(str(r) for r in plan.rounds_per_iteration),
+                    plan.total_merges,
+                ]
+            )
+    return ExperimentResult("fig09", "SpMV planner sweep", table, data={"plans": plans})
+
+
+@register("fig14", "FAFNIR vs Two-Step on SpMV workloads")
+def fig14_spmv() -> ExperimentResult:
+    fafnir = FafnirSpmvEngine()
+    twostep = TwoStepSpmvEngine()
+    rng = np.random.default_rng(14)
+    rows: List[Dict[str, object]] = []
+    for workload in fig14_suite():
+        matrix = workload.matrix()
+        x = rng.normal(size=matrix.shape[1])
+        fafnir_result = fafnir.multiply(matrix, x)
+        twostep_result = twostep.multiply(matrix, x)
+        if not np.allclose(fafnir_result.y, twostep_result.y):
+            raise AssertionError(f"engines disagree on {workload.name}")
+        rows.append(
+            {
+                "name": workload.name,
+                "group": workload.group,
+                "nnz": matrix.nnz,
+                "merge_iterations": fafnir_result.plan.merge_iterations,
+                "fafnir_step1": fafnir_result.stats.step1_ns,
+                "fafnir_merge": fafnir_result.stats.merge_ns,
+                "twostep_step1": twostep_result.stats.step1_ns,
+                "twostep_merge": twostep_result.stats.merge_ns,
+                "speedup": twostep_result.stats.total_ns / fafnir_result.stats.total_ns,
+            }
+        )
+    table = Table(["workload", "group", "nnz", "merge_iters", "speedup_vs_twostep"])
+    for row in rows:
+        table.add_row(
+            [
+                row["name"],
+                row["group"],
+                row["nnz"],
+                row["merge_iterations"],
+                f"{row['speedup']:.2f}×",
+            ]
+        )
+    return ExperimentResult("fig14", "SpMV speedup over Two-Step", table, data={"rows": rows})

@@ -1,0 +1,88 @@
+"""7 nm ASIC area model (paper Table VI and Fig. 4a layouts).
+
+Published anchors:
+
+* PE chip: 274 µm × 282 µm ≈ 0.077 mm² (multiply + add units included);
+* DIMM/rank node chip (7 PEs): 492 µm × 575 µm ≈ 0.282 mm²;
+* channel node chip (3 PEs): 0.121 mm² — "the tiny chip between the memory
+  channels and the core";
+* whole 32-rank system: 4 DIMM/rank nodes + 1 channel node ≈ 1.25 mm²
+  (the abstract's 1.2–1.25 mm²).
+
+The model scales these anchors to other tree shapes: area follows PE count,
+with a fixed per-chip overhead (I/O ring, clocking) taken from the anchors.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.config import FafnirConfig
+from repro.hw.buffers import PES_PER_CHANNEL_NODE, PES_PER_DIMM_RANK_NODE
+
+PE_AREA_MM2 = 0.077
+DIMM_RANK_NODE_AREA_MM2 = 0.282
+CHANNEL_NODE_AREA_MM2 = 0.121
+# RecNMP comparison point (§VI): 0.54 mm² at 40 nm per DIMM.
+RECNMP_AREA_PER_DIMM_MM2 = 0.54
+
+
+@dataclass(frozen=True)
+class AreaBreakdown:
+    """System-level area for one configuration, in mm²."""
+
+    dimm_rank_nodes: int
+    channel_nodes: int
+
+    @property
+    def dimm_rank_node_mm2(self) -> float:
+        return DIMM_RANK_NODE_AREA_MM2
+
+    @property
+    def channel_node_mm2(self) -> float:
+        return CHANNEL_NODE_AREA_MM2
+
+    @property
+    def total_mm2(self) -> float:
+        return (
+            self.dimm_rank_nodes * DIMM_RANK_NODE_AREA_MM2
+            + self.channel_nodes * CHANNEL_NODE_AREA_MM2
+        )
+
+
+def reference_system_area() -> AreaBreakdown:
+    """The paper's 32-rank system: 4 DIMM/rank nodes + 1 channel node."""
+    return AreaBreakdown(dimm_rank_nodes=4, channel_nodes=1)
+
+
+def system_area(config: FafnirConfig, channels: int = 4) -> AreaBreakdown:
+    """Area for an arbitrary tree, grouped into the two chip types.
+
+    PEs whose subtree stays inside one channel form DIMM/rank nodes (7 PEs
+    each in the reference shape); the remainder forms the channel node.
+    """
+    total_pes = config.num_pes
+    per_channel_pes = max(0, (total_pes - (channels - 1)) // channels)
+    dimm_rank_nodes = (
+        channels if per_channel_pes >= 1 and channels > 1 else 1
+    )
+    return AreaBreakdown(
+        dimm_rank_nodes=dimm_rank_nodes,
+        channel_nodes=1 if channels > 1 else 0,
+    )
+
+
+def pe_area_mm2(with_multiplier: bool = True) -> float:
+    """One PE's area; the published figure includes the SpMV multiplier."""
+    if with_multiplier:
+        return PE_AREA_MM2
+    # The embedding-only PE drops the leaf multiplier array (~30 % of the
+    # datapath in the Fig. 4a layout).
+    return PE_AREA_MM2 * 0.7
+
+
+def recnmp_system_area_mm2(dimms: int = 16) -> float:
+    """RecNMP's published area comparison point (8.64 mm² for 16 DIMMs)."""
+    if dimms < 1:
+        raise ValueError("dimms must be positive")
+    return RECNMP_AREA_PER_DIMM_MM2 * dimms

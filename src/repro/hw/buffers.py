@@ -1,0 +1,72 @@
+"""PE and node buffer sizing (paper Table I and Fig. 5).
+
+Each PE buffer entry holds a 512 B vector value plus a 10 B header (16 query
+slots × 5 bits) plus per-entry hardware metadata (valid bits, FIFO pointers,
+ECC).  The metadata constant is calibrated so the sizes reproduce Table I
+within ~1 %:
+
+    B = 8  → PE 4.6 KB,  DIMM/rank node 32.4 KB
+    B = 16 → PE 9.3 KB,  DIMM/rank node 64.8 KB
+    B = 32 → PE 18.5 KB, DIMM/rank node 129.5 KB
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.config import FafnirConfig
+
+PES_PER_DIMM_RANK_NODE = 7
+PES_PER_CHANNEL_NODE = 3
+ENTRY_METADATA_BYTES = 70.0
+
+
+@dataclass(frozen=True)
+class BufferSizing:
+    """Derived buffer capacities for one configuration."""
+
+    batch_size: int
+    entry_bytes: float
+    pe_buffer_bytes: float
+
+    @property
+    def pe_buffer_kb(self) -> float:
+        return self.pe_buffer_bytes / 1024
+
+    @property
+    def dimm_rank_node_kb(self) -> float:
+        return PES_PER_DIMM_RANK_NODE * self.pe_buffer_kb
+
+    @property
+    def channel_node_kb(self) -> float:
+        return PES_PER_CHANNEL_NODE * self.pe_buffer_kb
+
+
+def size_buffers(config: FafnirConfig) -> BufferSizing:
+    """Buffer sizing for one FAFNIR configuration (Table I methodology).
+
+    A PE buffers ``B`` entries across its input FIFOs (n = m = B sized for
+    the batch), each entry one vector + header + metadata.
+    """
+    entry_bytes = (
+        config.vector_bytes + config.header_bytes + ENTRY_METADATA_BYTES
+    )
+    return BufferSizing(
+        batch_size=config.batch_size,
+        entry_bytes=entry_bytes,
+        pe_buffer_bytes=config.batch_size * entry_bytes,
+    )
+
+
+def table1(config: FafnirConfig = None) -> dict:
+    """The full Table I: PE/node buffer KB for B ∈ {8, 16, 32}."""
+    base = config or FafnirConfig()
+    rows = {}
+    for batch_size in (8, 16, 32):
+        sizing = size_buffers(base.with_batch_size(batch_size))
+        rows[batch_size] = {
+            "pe_kb": sizing.pe_buffer_kb,
+            "dimm_rank_node_kb": sizing.dimm_rank_node_kb,
+            "channel_node_kb": sizing.channel_node_kb,
+        }
+    return rows

@@ -1,0 +1,63 @@
+"""Connection-count model (paper §III-D and §IV-A).
+
+Embedding systems combine model parallelism (tables across memory devices)
+with data parallelism (network replicas on compute devices), classically
+requiring **all-to-all** links between ``m`` memory devices and ``c``
+computing devices: ``c·m`` connections.  FAFNIR's tree replaces them with
+``2m − 2`` internal tree links plus ``c`` root-to-core links.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+def all_to_all_connections(memory_devices: int, compute_devices: int) -> int:
+    """Baseline/TensorDIMM/RecNMP topology: every memory ↔ every core."""
+    if memory_devices < 1 or compute_devices < 1:
+        raise ValueError("device counts must be positive")
+    return memory_devices * compute_devices
+
+
+def fafnir_connections(memory_devices: int, compute_devices: int) -> int:
+    """FAFNIR topology: (2m − 2) tree links + c root links (§IV-A)."""
+    if memory_devices < 1 or compute_devices < 1:
+        raise ValueError("device counts must be positive")
+    return (2 * memory_devices - 2) + compute_devices
+
+
+@dataclass(frozen=True)
+class ConnectionComparison:
+    memory_devices: int
+    compute_devices: int
+
+    @property
+    def all_to_all(self) -> int:
+        return all_to_all_connections(self.memory_devices, self.compute_devices)
+
+    @property
+    def fafnir(self) -> int:
+        return fafnir_connections(self.memory_devices, self.compute_devices)
+
+    @property
+    def reduction_factor(self) -> float:
+        return self.all_to_all / self.fafnir
+
+
+def crossover_memory_devices(compute_devices: int) -> int:
+    """Smallest m where the tree uses strictly fewer links than all-to-all.
+
+    Solves c·m > 2m − 2 + c, i.e. m(c − 2) > c − 2 ⇒ m > 1 for c > 2: the
+    tree wins for any real system; this helper makes the scaling claim
+    testable for arbitrary c.
+    """
+    if compute_devices < 1:
+        raise ValueError("compute_devices must be positive")
+    m = 1
+    while all_to_all_connections(m, compute_devices) <= fafnir_connections(
+        m, compute_devices
+    ):
+        m += 1
+        if m > 1_000_000:
+            raise RuntimeError("no crossover found (degenerate c)")
+    return m

@@ -1,0 +1,69 @@
+"""FPGA resource-utilization model for the XCVU9P (paper Table V).
+
+The paper implements FAFNIR on a Xilinx XCVU9P, using up to 5 % LUTs,
+0.15 % LUTRAMs, 1 % FFs and 13 % BRAM for the full system (four DIMM/rank
+nodes + one channel node, 31 PEs) — "utilizing up to 3 % of the resources"
+overall.  Per-PE resource counts below are back-calculated from those
+utilization figures and scale to any tree shape.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.core.config import FafnirConfig
+
+# XCVU9P device totals.
+XCVU9P = {
+    "lut": 1_182_240,
+    "lutram": 591_840,
+    "ff": 2_364_480,
+    "bram": 2_160,
+}
+
+# Per-PE resource usage, calibrated so 31 PEs land on Table V's utilization.
+PE_RESOURCES = {
+    "lut": 1_900,
+    "lutram": 28,
+    "ff": 760,
+    "bram": 9,
+}
+
+
+@dataclass(frozen=True)
+class FpgaUtilization:
+    """Absolute and fractional resource usage for one configuration."""
+
+    used: Dict[str, int]
+
+    def fraction(self, resource: str) -> float:
+        return self.used[resource] / XCVU9P[resource]
+
+    @property
+    def utilization_percent(self) -> Dict[str, float]:
+        return {
+            resource: 100.0 * self.fraction(resource) for resource in XCVU9P
+        }
+
+    def fits(self) -> bool:
+        return all(self.used[r] <= XCVU9P[r] for r in XCVU9P)
+
+
+def pe_utilization(num_pes: int) -> FpgaUtilization:
+    if num_pes < 1:
+        raise ValueError("num_pes must be positive")
+    return FpgaUtilization(
+        used={resource: count * num_pes for resource, count in PE_RESOURCES.items()}
+    )
+
+
+def system_utilization(config: FafnirConfig = None) -> FpgaUtilization:
+    """Utilization of the full tree (31 PEs in the reference system)."""
+    config = config or FafnirConfig()
+    return pe_utilization(config.num_pes)
+
+
+def table5() -> Dict[str, float]:
+    """Reproduce Table V: utilization % of the reference system."""
+    return system_utilization().utilization_percent

@@ -1,0 +1,111 @@
+"""Power models: 7 nm ASIC (Table VI), FPGA dynamic power (Fig. 16a), and
+DRAM energy savings from redundant-access elimination (§VI).
+
+Published ASIC anchors:
+
+* a DIMM/rank node adds 23.82 mW per four DIMMs (5.9 mW per DIMM);
+* the whole four-channel system adds 111.64 mW, so the channel node
+  accounts for 111.64 − 4 × 23.82 = 16.36 mW;
+* comparison point: one RecNMP processing unit adds 184.2 mW per DIMM
+  (40 nm @ 250 MHz);
+* each DDR4 DIMM itself burns ≈13 W — the added NDP power is noise.
+
+FPGA anchors (XCVU9P @ 200 MHz): 0.23 W per DIMM/rank node and 0.18 W for
+the channel node, with the near-uniform spatial distribution Fig. 16b shows
+(no hot spot).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.hw.buffers import PES_PER_CHANNEL_NODE, PES_PER_DIMM_RANK_NODE
+from repro.memory.config import DramEnergy
+
+DIMM_RANK_NODE_MW = 23.82
+CHANNEL_NODE_MW = 16.36
+SYSTEM_MW = 111.64
+PE_MW = DIMM_RANK_NODE_MW / PES_PER_DIMM_RANK_NODE
+RECNMP_PER_DIMM_MW = 184.2
+DDR4_DIMM_W = 13.0
+
+FPGA_DIMM_RANK_NODE_W = 0.23
+FPGA_CHANNEL_NODE_W = 0.18
+# Approximate dynamic-power split of a node on the XCVU9P (Fig. 16a shape):
+FPGA_POWER_BREAKDOWN = {
+    "signals": 0.30,
+    "logic": 0.25,
+    "bram": 0.25,
+    "clocks": 0.15,
+    "dsp": 0.05,
+}
+
+
+@dataclass(frozen=True)
+class AsicPower:
+    """System ASIC power for a node composition."""
+
+    dimm_rank_nodes: int = 4
+    channel_nodes: int = 1
+
+    @property
+    def total_mw(self) -> float:
+        return (
+            self.dimm_rank_nodes * DIMM_RANK_NODE_MW
+            + self.channel_nodes * CHANNEL_NODE_MW
+        )
+
+    @property
+    def per_dimm_mw(self) -> float:
+        """5.9 mW per DIMM in the reference 16-DIMM system."""
+        return DIMM_RANK_NODE_MW / 4
+
+    @property
+    def fraction_of_dram_power(self) -> float:
+        """FAFNIR's power relative to the DIMMs it serves (16 × 13 W)."""
+        dimms = self.dimm_rank_nodes * 4
+        return self.total_mw / (dimms * DDR4_DIMM_W * 1000)
+
+
+def fpga_node_power_w(node: str) -> float:
+    if node == "dimm_rank":
+        return FPGA_DIMM_RANK_NODE_W
+    if node == "channel":
+        return FPGA_CHANNEL_NODE_W
+    raise ValueError(f"unknown node type {node!r}")
+
+
+def fpga_power_breakdown_w(node: str) -> Dict[str, float]:
+    total = fpga_node_power_w(node)
+    return {part: total * share for part, share in FPGA_POWER_BREAKDOWN.items()}
+
+
+def recnmp_comparison_mw(dimms: int = 16) -> float:
+    """RecNMP adds 184.2 mW per DIMM — 26× FAFNIR's 5.9 mW/DIMM."""
+    if dimms < 1:
+        raise ValueError("dimms must be positive")
+    return RECNMP_PER_DIMM_MW * dimms
+
+
+def memory_energy_saving(
+    total_lookups: int,
+    unique_reads: int,
+    bursts_per_vector: int = 8,
+    energy: DramEnergy = None,
+) -> float:
+    """Fractional DRAM dynamic-energy saving from access elimination.
+
+    FAFNIR reads each unique index once; the fraction of accesses saved maps
+    directly to activation + burst energy saved (§VI: 34 %/43 %/58 % for
+    B = 8/16/32).
+    """
+    if total_lookups <= 0:
+        raise ValueError("total_lookups must be positive")
+    if not 0 <= unique_reads <= total_lookups:
+        raise ValueError("unique_reads out of range")
+    energy = energy or DramEnergy()
+    per_access = energy.access_energy_pj(bursts=bursts_per_vector, activates=1)
+    baseline = total_lookups * per_access
+    ours = unique_reads * per_access
+    return 1.0 - ours / baseline

@@ -1,0 +1,45 @@
+"""Cycle-approximate DDR4-like memory substrate.
+
+This package is the DRAM the FAFNIR tree (and every baseline) reads from.
+It models the three first-order effects the paper's evaluation depends on:
+row-buffer hits vs conflicts, bank/rank-level parallelism, and per-channel
+data-bus serialisation.
+"""
+
+from repro.memory.config import (
+    DramEnergy,
+    DramTiming,
+    MemoryConfig,
+    MemoryGeometry,
+)
+from repro.memory.hbm import HBM2_GEOMETRY, HBM2_TIMING, hbm2_stack, pseudo_channel_count
+from repro.memory.mapping import (
+    ColumnMajorPlacement,
+    RowMajorPlacement,
+    StreamPlacement,
+    VectorPlacement,
+)
+from repro.memory.request import Completion, ReadRequest, WriteRequest
+from repro.memory.system import MemorySystem
+from repro.memory.trace import AccessStats, AccessTrace
+
+__all__ = [
+    "AccessStats",
+    "AccessTrace",
+    "ColumnMajorPlacement",
+    "Completion",
+    "DramEnergy",
+    "DramTiming",
+    "HBM2_GEOMETRY",
+    "HBM2_TIMING",
+    "hbm2_stack",
+    "pseudo_channel_count",
+    "MemoryConfig",
+    "MemoryGeometry",
+    "MemorySystem",
+    "ReadRequest",
+    "RowMajorPlacement",
+    "StreamPlacement",
+    "VectorPlacement",
+    "WriteRequest",
+]

@@ -1,0 +1,85 @@
+"""Per-bank row-buffer state machine."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.memory.config import DramTiming
+
+
+@dataclass
+class BankAccessOutcome:
+    """Result of presenting one column access to a bank."""
+
+    command_start: int
+    data_ready: int
+    row_hit: bool
+    activated: bool
+
+
+class Bank:
+    """One DRAM bank: an open-row buffer plus command timing state.
+
+    The bank tracks which row (if any) its row buffer holds, the earliest
+    cycle it can accept another command, and when the current row was
+    activated (to honour ``tRAS`` before precharging).
+    """
+
+    def __init__(self, timing: DramTiming) -> None:
+        self._timing = timing
+        self.open_row: Optional[int] = None
+        self.ready_cycle: int = 0
+        self._activate_cycle: int = 0
+
+    def reset(self) -> None:
+        """Precharge the bank and clear all timing state."""
+        self.open_row = None
+        self.ready_cycle = 0
+        self._activate_cycle = 0
+
+    def access(
+        self, row: int, at_cycle: int, bursts: int, is_write: bool = False
+    ) -> BankAccessOutcome:
+        """Service a read or write of ``bursts`` bursts at/after ``at_cycle``.
+
+        For reads, returns when the first data beat is ready; for writes,
+        when the bank expects the first data beat.  The caller (channel
+        controller) layers shared-bus contention on top.
+        """
+        if bursts <= 0:
+            raise ValueError("bursts must be positive")
+        t = max(at_cycle, self.ready_cycle)
+        timing = self._timing
+
+        if self.open_row == row:
+            row_hit = True
+            activated = False
+        elif self.open_row is None:
+            row_hit = False
+            activated = True
+            t = t + timing.tRCD
+            self._activate_cycle = t
+        else:
+            # Row conflict: precharge (respecting tRAS) then activate.
+            row_hit = False
+            activated = True
+            precharge_at = max(t, self._activate_cycle + timing.tRAS)
+            t = precharge_at + timing.tRP + timing.tRCD
+            self._activate_cycle = t
+
+        command_start = max(at_cycle, self.ready_cycle)
+        data_ready = t + (timing.tCWL if is_write else timing.tCAS)
+        # The bank can accept its next column command once this access's
+        # column commands have streamed out; writes additionally hold the
+        # bank through the write-recovery window.
+        self.ready_cycle = t + bursts * timing.tCCD
+        if is_write:
+            self.ready_cycle += timing.tWR
+        self.open_row = row
+        return BankAccessOutcome(
+            command_start=command_start,
+            data_ready=data_ready,
+            row_hit=row_hit,
+            activated=activated,
+        )

@@ -1,0 +1,148 @@
+"""Per-channel memory controller.
+
+Each channel owns a set of ranks × banks and one shared data bus.  Requests
+to different banks and ranks overlap their command phases (this is the
+rank-level parallelism both RecNMP and FAFNIR exploit); the data bus is the
+serialising resource, with a small rank-to-rank switching penalty.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Tuple
+
+from repro.memory.bank import Bank
+from repro.memory.config import MemoryConfig
+from repro.memory.request import Completion, ReadRequest
+
+
+class ChannelController:
+    """Schedules read requests for one channel, in arrival order per bank.
+
+    The model is cycle-approximate: an open-page policy with first-come
+    service order (requests are presented sorted by ``issue_cycle``).  It
+    captures the three effects the paper's comparison rests on — row-buffer
+    hits vs conflicts, bank/rank parallelism, and data-bus serialisation.
+    """
+
+    POLICIES = ("fcfs", "frfcfs")
+
+    def __init__(
+        self,
+        channel_id: int,
+        config: MemoryConfig,
+        policy: str = "fcfs",
+        frfcfs_window: int = 8,
+    ) -> None:
+        if policy not in self.POLICIES:
+            raise ValueError(f"unknown scheduling policy {policy!r}")
+        if frfcfs_window < 1:
+            raise ValueError("frfcfs_window must be positive")
+        self.channel_id = channel_id
+        self.policy = policy
+        self.frfcfs_window = frfcfs_window
+        self._config = config
+        self._banks: Dict[Tuple[int, int], Bank] = {}
+        self._bus_free_cycle = 0
+        self._last_rank: Optional[int] = None
+
+    def reset(self) -> None:
+        self._banks.clear()
+        self._bus_free_cycle = 0
+        self._last_rank = None
+
+    def _bank(self, rank: int, bank: int) -> Bank:
+        key = (rank, bank)
+        existing = self._banks.get(key)
+        if existing is None:
+            existing = Bank(self._config.timing)
+            self._banks[key] = existing
+        return existing
+
+    def _after_refresh(self, rank: int, cycle: int) -> int:
+        """Push a command past any refresh blackout it overlaps.
+
+        With refresh enabled, each rank is unavailable for ``tRFC`` cycles
+        every ``tREFI``; refreshes are staggered across ranks (rank id ×
+        tREFI / ranks-per-channel offset) as real controllers do.
+        """
+        timing = self._config.timing
+        if not timing.refresh_enabled:
+            return cycle
+        per_channel = max(1, self._config.geometry.ranks_per_channel)
+        offset = (rank % per_channel) * (timing.tREFI // per_channel)
+        phase = (cycle - offset) % timing.tREFI
+        if 0 <= phase < timing.tRFC:
+            return cycle + (timing.tRFC - phase)
+        return cycle
+
+    def service(self, request: ReadRequest) -> Completion:
+        """Service one request and return its completion record."""
+        geometry = self._config.geometry
+        timing = self._config.timing
+        if geometry.channel_of(request.rank) != self.channel_id:
+            raise ValueError(
+                f"request for rank {request.rank} routed to channel "
+                f"{self.channel_id}"
+            )
+        if request.column + request.bytes_ > geometry.row_bytes:
+            raise ValueError("request spans a row boundary")
+
+        bursts = math.ceil(request.bytes_ / geometry.burst_bytes)
+        bank = self._bank(request.rank, request.bank)
+        issue = self._after_refresh(request.rank, request.issue_cycle)
+        outcome = bank.access(
+            request.row, issue, bursts, is_write=request.is_write
+        )
+
+        transfer_start = max(outcome.data_ready, self._bus_free_cycle)
+        if self._last_rank is not None and self._last_rank != request.rank:
+            transfer_start += timing.tRTRS
+        finish = transfer_start + bursts * timing.tBL
+
+        self._bus_free_cycle = finish
+        self._last_rank = request.rank
+        return Completion(
+            request=request,
+            start_cycle=outcome.command_start,
+            finish_cycle=finish,
+            row_hit=outcome.row_hit,
+            bursts=bursts,
+            activated=outcome.activated,
+        )
+
+    def service_all(self, requests: List[ReadRequest]) -> List[Completion]:
+        """Service requests in issue order; returns completions in that order."""
+        ordered = sorted(requests, key=lambda r: r.issue_cycle)
+        return [self.service(r) for r in ordered]
+
+    # ------------------------------------------------------------------
+    def _would_row_hit(self, request: ReadRequest) -> bool:
+        bank = self._banks.get((request.rank, request.bank))
+        return bank is not None and bank.open_row == request.row
+
+    def service_batch(
+        self, entries: List[Tuple[int, ReadRequest]]
+    ) -> List[Tuple[int, Completion]]:
+        """Service (position, request) pairs under the configured policy.
+
+        ``fcfs`` serves in issue order.  ``frfcfs`` (first-ready FCFS)
+        prefers, within a small look-ahead window, requests that hit the
+        currently open row of their bank — the standard open-page scheduler
+        optimisation — falling back to the oldest request.
+        """
+        pending = sorted(entries, key=lambda item: (item[1].issue_cycle, item[0]))
+        if self.policy == "fcfs":
+            return [(position, self.service(request)) for position, request in pending]
+
+        serviced: List[Tuple[int, Completion]] = []
+        while pending:
+            window = pending[: self.frfcfs_window]
+            chosen = next(
+                (item for item in window if self._would_row_hit(item[1])),
+                window[0],
+            )
+            pending.remove(chosen)
+            position, request = chosen
+            serviced.append((position, self.service(request)))
+        return serviced

@@ -1,0 +1,197 @@
+"""Vector-to-DRAM placement policies.
+
+The paper's three contenders differ in *how embedding vectors are laid out*:
+
+* RecNMP and FAFNIR keep each vector contiguous inside a single rank
+  (**row-major**) so a 512 B vector read is one activate + eight bursts with
+  full row-buffer benefit, and distinct vectors read in rank-parallel.
+* TensorDIMM stripes every vector across **all** ranks (**column-major**) so
+  each rank contributes a thin slice of every vector; reading a vector opens
+  a row in every rank for only a few bytes, "fundamentally breaking
+  row-buffer locality" (paper §III-B).
+
+Both policies are expressed as splitting a vector id into row-aligned
+:class:`~repro.memory.request.ReadRequest` pieces.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Protocol
+
+from repro.memory.config import MemoryGeometry
+from repro.memory.request import ReadRequest
+
+
+class VectorPlacement(Protocol):
+    """Maps vector ids to the DRAM reads that fetch them."""
+
+    vector_bytes: int
+
+    def requests_for(
+        self, vector_id: int, issue_cycle: int = 0
+    ) -> List[ReadRequest]:
+        """All row-aligned reads needed to fetch one vector."""
+        ...
+
+    def home_rank(self, vector_id: int) -> Optional[int]:
+        """The single rank holding the vector, or ``None`` if striped."""
+        ...
+
+
+def _locate_slot(
+    geometry: MemoryGeometry, slot: int, slot_bytes: int
+) -> tuple[int, int, int]:
+    """Place the ``slot``-th fixed-size record within one rank.
+
+    Returns (bank, row, column).  Records are packed row-major: consecutive
+    slots fill a row, then move to the next bank (spreading activates), then
+    to the next row.
+    """
+    if slot_bytes > geometry.row_bytes:
+        raise ValueError("record larger than a DRAM row")
+    slots_per_row = geometry.row_bytes // slot_bytes
+    row_index, within_row = divmod(slot, slots_per_row)
+    bank = row_index % geometry.banks_per_rank
+    row = row_index // geometry.banks_per_rank
+    column = within_row * slot_bytes
+    return bank, row, column
+
+
+@dataclass(frozen=True)
+class RowMajorPlacement:
+    """Whole vectors in single ranks, round-robin across ranks (Fig. 4b).
+
+    This is the layout RecNMP and FAFNIR assume: vector ``i`` lives entirely
+    in rank ``i mod R``, so distinct vectors are fetched in rank-parallel and
+    each fetch enjoys row-buffer locality.
+    """
+
+    geometry: MemoryGeometry
+    vector_bytes: int
+
+    def __post_init__(self) -> None:
+        if self.vector_bytes <= 0:
+            raise ValueError("vector_bytes must be positive")
+        if self.vector_bytes > self.geometry.row_bytes:
+            raise ValueError("vector larger than a DRAM row")
+
+    def home_rank(self, vector_id: int) -> Optional[int]:
+        if vector_id < 0:
+            raise ValueError("vector_id must be non-negative")
+        return vector_id % self.geometry.total_ranks
+
+    def requests_for(
+        self, vector_id: int, issue_cycle: int = 0
+    ) -> List[ReadRequest]:
+        rank = self.home_rank(vector_id)
+        assert rank is not None
+        slot = vector_id // self.geometry.total_ranks
+        bank, row, column = _locate_slot(self.geometry, slot, self.vector_bytes)
+        return [
+            ReadRequest(
+                rank=rank,
+                bank=bank,
+                row=row,
+                column=column,
+                bytes_=self.vector_bytes,
+                issue_cycle=issue_cycle,
+                tag=vector_id,
+            )
+        ]
+
+
+@dataclass(frozen=True)
+class ColumnMajorPlacement:
+    """TensorDIMM's layout: every vector striped across all ranks.
+
+    Each rank stores ``vector_bytes / R`` of every vector.  A vector read
+    touches all ranks; each touch is small, so the per-access activate cost
+    dominates and row-buffer utilisation collapses for random indices.
+    """
+
+    geometry: MemoryGeometry
+    vector_bytes: int
+
+    def __post_init__(self) -> None:
+        if self.vector_bytes <= 0:
+            raise ValueError("vector_bytes must be positive")
+        if self.vector_bytes % self.geometry.total_ranks != 0:
+            raise ValueError(
+                "vector_bytes must divide evenly across all ranks "
+                f"({self.vector_bytes} B over {self.geometry.total_ranks} ranks)"
+            )
+
+    @property
+    def slice_bytes(self) -> int:
+        return self.vector_bytes // self.geometry.total_ranks
+
+    def home_rank(self, vector_id: int) -> Optional[int]:
+        return None  # striped: no single home
+
+    def requests_for(
+        self, vector_id: int, issue_cycle: int = 0
+    ) -> List[ReadRequest]:
+        if vector_id < 0:
+            raise ValueError("vector_id must be non-negative")
+        slice_bytes = self.slice_bytes
+        bank, row, column = _locate_slot(self.geometry, vector_id, slice_bytes)
+        return [
+            ReadRequest(
+                rank=rank,
+                bank=bank,
+                row=row,
+                column=column,
+                bytes_=slice_bytes,
+                issue_cycle=issue_cycle,
+                tag=vector_id,
+            )
+            for rank in range(self.geometry.total_ranks)
+        ]
+
+
+@dataclass(frozen=True)
+class StreamPlacement:
+    """Sequential streaming layout used for SpMV operands (paper §IV-B).
+
+    A stream of ``total_bytes`` starting at logical offset 0 inside one rank
+    is split into row-sized reads — the "specify initial address and size"
+    access type the host issues for SpMV.
+    """
+
+    geometry: MemoryGeometry
+    rank: int
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.rank < self.geometry.total_ranks:
+            raise ValueError(f"rank {self.rank} out of range")
+
+    def requests_for_stream(
+        self, start_byte: int, total_bytes: int, issue_cycle: int = 0
+    ) -> List[ReadRequest]:
+        """Row-aligned reads covering [start_byte, start_byte + total_bytes)."""
+        if start_byte < 0 or total_bytes <= 0:
+            raise ValueError("invalid stream extent")
+        geometry = self.geometry
+        requests: List[ReadRequest] = []
+        offset = start_byte
+        remaining = total_bytes
+        while remaining > 0:
+            row_index, column = divmod(offset, geometry.row_bytes)
+            chunk = min(remaining, geometry.row_bytes - column)
+            bank = row_index % geometry.banks_per_rank
+            row = row_index // geometry.banks_per_rank
+            requests.append(
+                ReadRequest(
+                    rank=self.rank,
+                    bank=bank,
+                    row=row,
+                    column=column,
+                    bytes_=chunk,
+                    issue_cycle=issue_cycle,
+                    tag=("stream", self.rank, offset),
+                )
+            )
+            offset += chunk
+            remaining -= chunk
+        return requests

@@ -1,0 +1,86 @@
+"""Read-request and completion records exchanged with the memory simulator."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class ReadRequest:
+    """A read of ``bytes_`` contiguous bytes starting in one DRAM row.
+
+    Requests never span rows; :mod:`repro.memory.mapping` splits vector reads
+    into row-aligned pieces before they reach the controller.
+
+    Attributes:
+        rank:   global rank id (see :class:`repro.memory.config.MemoryGeometry`).
+        bank:   bank index within the rank.
+        row:    row index within the bank.
+        column: starting byte offset within the row.
+        bytes_: number of bytes to read (> 0, fits within the row).
+        issue_cycle: earliest cycle the controller may service the request.
+        tag:    opaque caller identifier (e.g. embedding-vector index).
+    """
+
+    rank: int
+    bank: int
+    row: int
+    column: int
+    bytes_: int
+    issue_cycle: int = 0
+    tag: object = None
+
+    @property
+    def is_write(self) -> bool:
+        return False
+
+    def __post_init__(self) -> None:
+        if self.bytes_ <= 0:
+            raise ValueError("bytes_ must be positive")
+        if self.rank < 0 or self.bank < 0 or self.row < 0 or self.column < 0:
+            raise ValueError("rank/bank/row/column must be non-negative")
+        if self.issue_cycle < 0:
+            raise ValueError("issue_cycle must be non-negative")
+
+
+@dataclass(frozen=True)
+class WriteRequest(ReadRequest):
+    """A write of ``bytes_`` contiguous bytes into one DRAM row.
+
+    Shares the read request's row-aligned contract; the controller models
+    the write data burst occupying the bus and the bank's write-recovery
+    time before its next command.
+    """
+
+    @property
+    def is_write(self) -> bool:
+        return True
+
+
+@dataclass(frozen=True)
+class Completion:
+    """Outcome of servicing one :class:`ReadRequest`.
+
+    Attributes:
+        request: the serviced request.
+        start_cycle: cycle the first command for this request issued.
+        finish_cycle: cycle the last data beat arrived.
+        row_hit: whether the access hit the open row buffer.
+        bursts: number of 64 B bus bursts the read consumed.
+        activated: whether an ACT command was required.
+    """
+
+    request: ReadRequest
+    start_cycle: int
+    finish_cycle: int
+    row_hit: bool
+    bursts: int
+    activated: bool
+
+    @property
+    def latency(self) -> int:
+        return self.finish_cycle - self.request.issue_cycle
+
+    def __post_init__(self) -> None:
+        if self.finish_cycle < self.start_cycle:
+            raise ValueError("finish_cycle precedes start_cycle")

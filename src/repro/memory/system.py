@@ -1,0 +1,59 @@
+"""Whole-memory-system facade used by every engine in the reproduction."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+from repro.memory.config import MemoryConfig
+from repro.memory.controller import ChannelController
+from repro.memory.request import Completion, ReadRequest
+from repro.memory.trace import AccessStats, AccessTrace
+
+
+class MemorySystem:
+    """A multi-channel DDR4-like memory system.
+
+    Channels operate fully in parallel; each channel serialises its data bus
+    but overlaps bank/rank command phases.  Engines submit batches of
+    :class:`ReadRequest` and receive per-request :class:`Completion` records
+    plus aggregate :class:`AccessStats`.
+    """
+
+    def __init__(self, config: MemoryConfig, policy: str = "fcfs") -> None:
+        self.config = config
+        self.policy = policy
+        self._controllers: Dict[int, ChannelController] = {
+            channel: ChannelController(channel, config, policy=policy)
+            for channel in range(config.geometry.channels)
+        }
+        self.trace = AccessTrace()
+
+    def reset(self) -> None:
+        """Clear all bank/bus state and the access trace."""
+        for controller in self._controllers.values():
+            controller.reset()
+        self.trace = AccessTrace()
+
+    def execute(
+        self, requests: Sequence[ReadRequest]
+    ) -> Tuple[List[Completion], AccessStats]:
+        """Service a batch of reads; returns completions in request order."""
+        by_channel: Dict[int, List[Tuple[int, ReadRequest]]] = {}
+        geometry = self.config.geometry
+        for position, request in enumerate(requests):
+            channel = geometry.channel_of(request.rank)
+            by_channel.setdefault(channel, []).append((position, request))
+
+        completions: List[Completion] = [None] * len(requests)  # type: ignore
+        for channel, entries in by_channel.items():
+            controller = self._controllers[channel]
+            for position, completion in controller.service_batch(entries):
+                completions[position] = completion
+
+        done = [c for c in completions if c is not None]
+        self.trace.extend(done)
+        return done, AccessStats.from_completions(done)
+
+    def execute_one(self, request: ReadRequest) -> Completion:
+        completions, _ = self.execute([request])
+        return completions[0]

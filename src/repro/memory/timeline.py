@@ -1,0 +1,93 @@
+"""ASCII timelines of DRAM activity — a debugging lens on the substrate.
+
+Rendering a batch's completions as per-rank occupancy strips makes the
+behavioural differences between the engines visible at a glance: FAFNIR's
+rank-parallel burst, TensorDIMM's serialized all-rank stripes, the refresh
+blackouts.  Used by tests and handy in a REPL; not part of any timed path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+from repro.memory.request import Completion
+
+
+@dataclass(frozen=True)
+class TimelineOptions:
+    width: int = 72
+    busy_char: str = "#"
+    idle_char: str = "."
+
+    def __post_init__(self) -> None:
+        if self.width < 8:
+            raise ValueError("width must be at least 8")
+        if len(self.busy_char) != 1 or len(self.idle_char) != 1:
+            raise ValueError("busy/idle markers must be single characters")
+
+
+def render_rank_timeline(
+    completions: Sequence[Completion], options: TimelineOptions = None
+) -> str:
+    """One text row per rank; '#' marks cycles the rank serviced data.
+
+    The horizon [0, max finish] is scaled to ``width`` columns, so each
+    column is a bucket of cycles; a bucket is busy if any completion's
+    [start, finish) span touches it.
+    """
+    if not completions:
+        raise ValueError("no completions to render")
+    options = options or TimelineOptions()
+    horizon = max(c.finish_cycle for c in completions)
+    if horizon == 0:
+        raise ValueError("degenerate timeline (zero-length horizon)")
+
+    per_rank: Dict[int, List[Completion]] = {}
+    for completion in completions:
+        per_rank.setdefault(completion.request.rank, []).append(completion)
+
+    scale = options.width / horizon
+    lines: List[str] = [
+        f"cycles 0..{horizon} ({horizon / options.width:.1f} per column)"
+    ]
+    for rank in sorted(per_rank):
+        row = [options.idle_char] * options.width
+        for completion in per_rank[rank]:
+            start = int(completion.start_cycle * scale)
+            stop = max(start + 1, int(completion.finish_cycle * scale))
+            for column in range(start, min(stop, options.width)):
+                row[column] = options.busy_char
+        lines.append(f"rank {rank:3d} |{''.join(row)}|")
+    return "\n".join(lines)
+
+
+def utilization_summary(completions: Sequence[Completion]) -> Dict[int, float]:
+    """Per-rank fraction of the horizon spent servicing requests.
+
+    Overlapping spans within one rank are merged before measuring, so the
+    result is true occupancy, not a double-counted sum.
+    """
+    if not completions:
+        raise ValueError("no completions to summarise")
+    horizon = max(c.finish_cycle for c in completions)
+    per_rank: Dict[int, List[tuple]] = {}
+    for completion in completions:
+        per_rank.setdefault(completion.request.rank, []).append(
+            (completion.start_cycle, completion.finish_cycle)
+        )
+    summary: Dict[int, float] = {}
+    for rank, spans in per_rank.items():
+        busy = 0
+        current_start, current_stop = None, None
+        for start, stop in sorted(spans):
+            if current_stop is None or start > current_stop:
+                if current_stop is not None:
+                    busy += current_stop - current_start
+                current_start, current_stop = start, stop
+            else:
+                current_stop = max(current_stop, stop)
+        if current_stop is not None:
+            busy += current_stop - current_start
+        summary[rank] = busy / horizon if horizon else 0.0
+    return summary

@@ -1,0 +1,88 @@
+"""Access accounting: row-buffer behaviour, bandwidth, and energy."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List
+
+from repro.memory.config import MemoryConfig
+from repro.memory.request import Completion
+
+
+@dataclass
+class AccessStats:
+    """Aggregate statistics over a set of completions."""
+
+    reads: int = 0
+    bursts: int = 0
+    bytes_read: int = 0
+    row_hits: int = 0
+    row_misses: int = 0
+    activates: int = 0
+    finish_cycle: int = 0
+    per_rank_reads: Dict[int, int] = field(default_factory=dict)
+
+    @property
+    def row_hit_rate(self) -> float:
+        total = self.row_hits + self.row_misses
+        return self.row_hits / total if total else 0.0
+
+    @property
+    def ranks_touched(self) -> int:
+        return len(self.per_rank_reads)
+
+    def energy_pj(self, config: MemoryConfig) -> float:
+        """Dynamic DRAM energy of the recorded accesses."""
+        return config.energy.access_energy_pj(self.bursts, self.activates)
+
+    @staticmethod
+    def from_completions(completions: Iterable[Completion]) -> "AccessStats":
+        stats = AccessStats()
+        for completion in completions:
+            stats.reads += 1
+            stats.bursts += completion.bursts
+            stats.bytes_read += completion.request.bytes_
+            if completion.row_hit:
+                stats.row_hits += 1
+            else:
+                stats.row_misses += 1
+            if completion.activated:
+                stats.activates += 1
+            stats.finish_cycle = max(stats.finish_cycle, completion.finish_cycle)
+            rank = completion.request.rank
+            stats.per_rank_reads[rank] = stats.per_rank_reads.get(rank, 0) + 1
+        return stats
+
+    def merged_with(self, other: "AccessStats") -> "AccessStats":
+        merged = AccessStats(
+            reads=self.reads + other.reads,
+            bursts=self.bursts + other.bursts,
+            bytes_read=self.bytes_read + other.bytes_read,
+            row_hits=self.row_hits + other.row_hits,
+            row_misses=self.row_misses + other.row_misses,
+            activates=self.activates + other.activates,
+            finish_cycle=max(self.finish_cycle, other.finish_cycle),
+            per_rank_reads=dict(self.per_rank_reads),
+        )
+        for rank, count in other.per_rank_reads.items():
+            merged.per_rank_reads[rank] = merged.per_rank_reads.get(rank, 0) + count
+        return merged
+
+
+@dataclass
+class AccessTrace:
+    """Ordered record of completions, convertible to :class:`AccessStats`."""
+
+    completions: List[Completion] = field(default_factory=list)
+
+    def record(self, completion: Completion) -> None:
+        self.completions.append(completion)
+
+    def extend(self, completions: Iterable[Completion]) -> None:
+        self.completions.extend(completions)
+
+    def stats(self) -> AccessStats:
+        return AccessStats.from_completions(self.completions)
+
+    def __len__(self) -> int:
+        return len(self.completions)

@@ -1,0 +1,90 @@
+"""Coordinate-format sparse matrices (interchange format)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+
+@dataclass
+class CooMatrix:
+    """A sparse matrix as parallel (row, col, value) arrays.
+
+    Duplicate coordinates are allowed on construction and summed by
+    :meth:`coalesce` (and implicitly by format conversions).
+    """
+
+    shape: Tuple[int, int]
+    rows: np.ndarray
+    cols: np.ndarray
+    values: np.ndarray
+
+    def __post_init__(self) -> None:
+        self.rows = np.asarray(self.rows, dtype=np.int64)
+        self.cols = np.asarray(self.cols, dtype=np.int64)
+        self.values = np.asarray(self.values, dtype=np.float64)
+        if not (len(self.rows) == len(self.cols) == len(self.values)):
+            raise ValueError("rows, cols, values must have equal length")
+        n_rows, n_cols = self.shape
+        if n_rows <= 0 or n_cols <= 0:
+            raise ValueError("shape must be positive")
+        if len(self.rows) and (
+            self.rows.min() < 0
+            or self.rows.max() >= n_rows
+            or self.cols.min() < 0
+            or self.cols.max() >= n_cols
+        ):
+            raise ValueError("coordinate out of bounds")
+
+    @property
+    def nnz(self) -> int:
+        return len(self.values)
+
+    @property
+    def density(self) -> float:
+        return self.nnz / (self.shape[0] * self.shape[1])
+
+    def coalesce(self) -> "CooMatrix":
+        """Sum duplicate coordinates; sort by (row, col)."""
+        if self.nnz == 0:
+            return self
+        keys = self.rows * self.shape[1] + self.cols
+        order = np.argsort(keys, kind="stable")
+        keys = keys[order]
+        values = self.values[order]
+        unique_keys, starts = np.unique(keys, return_index=True)
+        summed = np.add.reduceat(values, starts)
+        return CooMatrix(
+            shape=self.shape,
+            rows=unique_keys // self.shape[1],
+            cols=unique_keys % self.shape[1],
+            values=summed,
+        )
+
+    def to_dense(self) -> np.ndarray:
+        dense = np.zeros(self.shape)
+        np.add.at(dense, (self.rows, self.cols), self.values)
+        return dense
+
+    @staticmethod
+    def from_dense(dense: np.ndarray) -> "CooMatrix":
+        dense = np.asarray(dense, dtype=np.float64)
+        if dense.ndim != 2:
+            raise ValueError("expected a 2-D array")
+        rows, cols = np.nonzero(dense)
+        return CooMatrix(
+            shape=dense.shape, rows=rows, cols=cols, values=dense[rows, cols]
+        )
+
+    def matvec(self, x: np.ndarray) -> np.ndarray:
+        """Oracle y = A·x."""
+        x = np.asarray(x, dtype=np.float64)
+        if x.shape != (self.shape[1],):
+            raise ValueError(
+                f"operand has shape {x.shape}, expected ({self.shape[1]},)"
+            )
+        y = np.zeros(self.shape[0])
+        np.add.at(y, self.rows, self.values * x[self.cols])
+        return y

@@ -1,0 +1,98 @@
+"""Compressed sparse row (CSR) format.
+
+CSR is the interchange format most numerical code speaks; FAFNIR's streaming
+side prefers LIL (paper §IV-D), so this module mainly provides lossless
+conversions plus a fast oracle matvec for verification.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+from repro.sparse.coo import CooMatrix
+
+
+@dataclass
+class CsrMatrix:
+    """Row-pointer compressed sparse matrix."""
+
+    shape: Tuple[int, int]
+    indptr: np.ndarray
+    indices: np.ndarray
+    values: np.ndarray
+
+    def __post_init__(self) -> None:
+        self.indptr = np.asarray(self.indptr, dtype=np.int64)
+        self.indices = np.asarray(self.indices, dtype=np.int64)
+        self.values = np.asarray(self.values, dtype=np.float64)
+        n_rows, n_cols = self.shape
+        if n_rows <= 0 or n_cols <= 0:
+            raise ValueError("shape must be positive")
+        if len(self.indptr) != n_rows + 1:
+            raise ValueError("indptr must have n_rows + 1 entries")
+        if self.indptr[0] != 0 or self.indptr[-1] != len(self.values):
+            raise ValueError("indptr must start at 0 and end at nnz")
+        if np.any(np.diff(self.indptr) < 0):
+            raise ValueError("indptr must be non-decreasing")
+        if len(self.indices) != len(self.values):
+            raise ValueError("indices and values must have equal length")
+        if len(self.indices) and (
+            self.indices.min() < 0 or self.indices.max() >= n_cols
+        ):
+            raise ValueError("column index out of bounds")
+
+    @property
+    def nnz(self) -> int:
+        return len(self.values)
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def from_coo(coo: CooMatrix) -> "CsrMatrix":
+        coo = coo.coalesce()
+        n_rows, _ = coo.shape
+        indptr = np.zeros(n_rows + 1, dtype=np.int64)
+        np.add.at(indptr, coo.rows + 1, 1)
+        indptr = np.cumsum(indptr)
+        return CsrMatrix(coo.shape, indptr, coo.cols, coo.values)
+
+    @staticmethod
+    def from_dense(dense: np.ndarray) -> "CsrMatrix":
+        return CsrMatrix.from_coo(CooMatrix.from_dense(dense))
+
+    def to_coo(self) -> CooMatrix:
+        rows = np.repeat(
+            np.arange(self.shape[0], dtype=np.int64), np.diff(self.indptr)
+        )
+        return CooMatrix(self.shape, rows, self.indices.copy(), self.values.copy())
+
+    def to_lil(self):
+        from repro.sparse.lil import LilMatrix
+
+        return LilMatrix.from_coo(self.to_coo())
+
+    def to_dense(self) -> np.ndarray:
+        return self.to_coo().to_dense()
+
+    # ------------------------------------------------------------------
+    def row(self, index: int) -> Tuple[np.ndarray, np.ndarray]:
+        """(column indices, values) of one row."""
+        if not 0 <= index < self.shape[0]:
+            raise ValueError(f"row {index} out of range")
+        lo, hi = self.indptr[index], self.indptr[index + 1]
+        return self.indices[lo:hi], self.values[lo:hi]
+
+    def matvec(self, x: np.ndarray) -> np.ndarray:
+        x = np.asarray(x, dtype=np.float64)
+        if x.shape != (self.shape[1],):
+            raise ValueError(
+                f"operand has shape {x.shape}, expected ({self.shape[1]},)"
+            )
+        y = np.zeros(self.shape[0])
+        for row in range(self.shape[0]):
+            lo, hi = self.indptr[row], self.indptr[row + 1]
+            if hi > lo:
+                y[row] = np.dot(self.values[lo:hi], x[self.indices[lo:hi]])
+        return y

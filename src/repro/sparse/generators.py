@@ -1,0 +1,156 @@
+"""Synthetic sparse-matrix generators.
+
+The paper evaluates SpMV on scientific matrices (matrix-inversion kernels)
+and graphs; those exact inputs are SuiteSparse/production data we do not
+have, so these generators produce structurally equivalent stand-ins:
+
+* ``laplacian_2d`` — 5-point stencil systems, the canonical scientific
+  workload (banded, ~5 nnz/row, diagonally dominant);
+* ``rmat`` — Kronecker power-law graphs (web/social-like degree skew);
+* ``road_mesh`` — near-planar constant-degree graphs (the road networks the
+  paper labels e.g. "RO");
+* ``random_sparse`` / ``diagonally_dominant`` — controlled-density inputs
+  for unit tests and iterative solvers.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.sparse.coo import CooMatrix
+from repro.sparse.lil import LilMatrix
+
+
+def random_sparse(
+    n_rows: int, n_cols: int, density: float, seed: int = 0
+) -> LilMatrix:
+    """Uniform random sparse matrix with approximately the given density."""
+    if not 0 < density <= 1:
+        raise ValueError("density must be in (0, 1]")
+    rng = np.random.default_rng(seed)
+    nnz = max(1, int(round(n_rows * n_cols * density)))
+    nnz = min(nnz, n_rows * n_cols)
+    flat = rng.choice(n_rows * n_cols, size=nnz, replace=False)
+    values = rng.normal(size=nnz)
+    values[values == 0] = 1.0
+    return LilMatrix.from_coo(
+        CooMatrix(
+            shape=(n_rows, n_cols),
+            rows=flat // n_cols,
+            cols=flat % n_cols,
+            values=values,
+        )
+    )
+
+
+def laplacian_2d(nx: int, ny: int = None) -> LilMatrix:
+    """5-point-stencil Laplacian on an nx × ny grid (SPD, ~5 nnz/row)."""
+    if ny is None:
+        ny = nx
+    if nx <= 0 or ny <= 0:
+        raise ValueError("grid dimensions must be positive")
+    n = nx * ny
+    rows, cols, values = [], [], []
+
+    def node(i, j):
+        return i * ny + j
+
+    for i in range(nx):
+        for j in range(ny):
+            center = node(i, j)
+            rows.append(center)
+            cols.append(center)
+            values.append(4.0)
+            for di, dj in ((-1, 0), (1, 0), (0, -1), (0, 1)):
+                ni, nj = i + di, j + dj
+                if 0 <= ni < nx and 0 <= nj < ny:
+                    rows.append(center)
+                    cols.append(node(ni, nj))
+                    values.append(-1.0)
+    return LilMatrix.from_coo(
+        CooMatrix(shape=(n, n), rows=np.array(rows), cols=np.array(cols),
+                  values=np.array(values))
+    )
+
+
+def rmat(
+    scale: int,
+    edge_factor: int = 8,
+    seed: int = 0,
+    a: float = 0.57,
+    b: float = 0.19,
+    c: float = 0.19,
+) -> LilMatrix:
+    """R-MAT power-law graph adjacency matrix with 2**scale vertices."""
+    if scale <= 0 or scale > 24:
+        raise ValueError("scale must be in 1..24")
+    if edge_factor <= 0:
+        raise ValueError("edge_factor must be positive")
+    probabilities = np.array([a, b, c, 1.0 - a - b - c])
+    if probabilities.min() < 0:
+        raise ValueError("partition probabilities must be non-negative")
+    n = 1 << scale
+    n_edges = n * edge_factor
+    rng = np.random.default_rng(seed)
+    rows = np.zeros(n_edges, dtype=np.int64)
+    cols = np.zeros(n_edges, dtype=np.int64)
+    for bit in range(scale):
+        quadrant = rng.choice(4, size=n_edges, p=probabilities)
+        rows |= ((quadrant >> 1) & 1) << bit
+        cols |= (quadrant & 1) << bit
+    values = np.ones(n_edges)
+    return LilMatrix.from_coo(
+        CooMatrix(shape=(n, n), rows=rows, cols=cols, values=values)
+    )
+
+
+def road_mesh(side: int, seed: int = 0, extra_edge_fraction: float = 0.05) -> LilMatrix:
+    """Road-network-like graph: a grid mesh plus a few long shortcuts.
+
+    Degree is nearly constant (~4) and the structure near-planar — the
+    regime where the paper's large "RO" inputs live.
+    """
+    if side <= 1:
+        raise ValueError("side must be > 1")
+    n = side * side
+    rng = np.random.default_rng(seed)
+    rows, cols = [], []
+
+    def node(i, j):
+        return i * side + j
+
+    for i in range(side):
+        for j in range(side):
+            if i + 1 < side:
+                rows += [node(i, j), node(i + 1, j)]
+                cols += [node(i + 1, j), node(i, j)]
+            if j + 1 < side:
+                rows += [node(i, j), node(i, j + 1)]
+                cols += [node(i, j + 1), node(i, j)]
+    extras = int(n * extra_edge_fraction)
+    if extras:
+        sources = rng.integers(0, n, size=extras)
+        targets = rng.integers(0, n, size=extras)
+        keep = sources != targets
+        rows += list(sources[keep]) + list(targets[keep])
+        cols += list(targets[keep]) + list(sources[keep])
+    values = np.ones(len(rows))
+    return LilMatrix.from_coo(
+        CooMatrix(
+            shape=(n, n),
+            rows=np.array(rows),
+            cols=np.array(cols),
+            values=values,
+        )
+    )
+
+
+def diagonally_dominant(n: int, density: float = 0.01, seed: int = 0) -> LilMatrix:
+    """Strictly diagonally dominant matrix (Jacobi/solver convergence)."""
+    if n <= 0:
+        raise ValueError("n must be positive")
+    base = random_sparse(n, n, density, seed=seed).to_dense()
+    np.fill_diagonal(base, 0.0)
+    row_sums = np.abs(base).sum(axis=1)
+    np.fill_diagonal(base, row_sums + 1.0)
+    return LilMatrix.from_dense(base)

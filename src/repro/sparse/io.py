@@ -1,0 +1,107 @@
+"""MatrixMarket (.mtx) I/O.
+
+The paper's SpMV evaluation uses SuiteSparse matrices, which are distributed
+in MatrixMarket coordinate format.  This reader/writer supports the subset
+real SpMV work needs — ``matrix coordinate real|integer|pattern
+general|symmetric`` — so users can drop in actual SuiteSparse files where we
+substitute synthetic generators.
+"""
+
+from __future__ import annotations
+
+import pathlib
+from typing import List, Tuple, Union
+
+import numpy as np
+
+from repro.sparse.coo import CooMatrix
+from repro.sparse.lil import LilMatrix
+
+PathLike = Union[str, pathlib.Path]
+
+_SUPPORTED_FIELDS = {"real", "integer", "pattern"}
+_SUPPORTED_SYMMETRIES = {"general", "symmetric"}
+
+
+def read_matrix_market(path: PathLike) -> LilMatrix:
+    """Read a MatrixMarket coordinate file into LIL form."""
+    path = pathlib.Path(path)
+    with open(path) as handle:
+        header = handle.readline().strip()
+        parts = header.split()
+        if (
+            len(parts) < 5
+            or parts[0] != "%%MatrixMarket"
+            or parts[1].lower() != "matrix"
+            or parts[2].lower() != "coordinate"
+        ):
+            raise ValueError(f"{path}: not a MatrixMarket coordinate file")
+        field = parts[3].lower()
+        symmetry = parts[4].lower()
+        if field not in _SUPPORTED_FIELDS:
+            raise ValueError(f"{path}: unsupported field type {field!r}")
+        if symmetry not in _SUPPORTED_SYMMETRIES:
+            raise ValueError(f"{path}: unsupported symmetry {symmetry!r}")
+
+        size_line = None
+        for raw in handle:
+            line = raw.strip()
+            if line and not line.startswith("%"):
+                size_line = line
+                break
+        if size_line is None:
+            raise ValueError(f"{path}: missing size line")
+        try:
+            n_rows, n_cols, nnz = (int(tok) for tok in size_line.split())
+        except ValueError:
+            raise ValueError(f"{path}: malformed size line {size_line!r}") from None
+
+        rows: List[int] = []
+        cols: List[int] = []
+        values: List[float] = []
+        for raw in handle:
+            line = raw.strip()
+            if not line or line.startswith("%"):
+                continue
+            tokens = line.split()
+            row = int(tokens[0]) - 1  # MatrixMarket is 1-based
+            col = int(tokens[1]) - 1
+            value = 1.0 if field == "pattern" else float(tokens[2])
+            rows.append(row)
+            cols.append(col)
+            values.append(value)
+            if symmetry == "symmetric" and row != col:
+                rows.append(col)
+                cols.append(row)
+                values.append(value)
+
+    stated = nnz
+    stored = len(values) if symmetry == "general" else None
+    if symmetry == "general" and stored != stated:
+        raise ValueError(
+            f"{path}: header promises {stated} entries, file has {stored}"
+        )
+    return LilMatrix.from_coo(
+        CooMatrix(
+            shape=(n_rows, n_cols),
+            rows=np.array(rows, dtype=np.int64),
+            cols=np.array(cols, dtype=np.int64),
+            values=np.array(values),
+        )
+    )
+
+
+def write_matrix_market(matrix, path: PathLike, comment: str = "") -> None:
+    """Write a matrix (LIL/COO/CSR — anything with ``to_coo`` or being COO)
+    as ``matrix coordinate real general``."""
+    path = pathlib.Path(path)
+    coo = matrix if isinstance(matrix, CooMatrix) else matrix.to_coo()
+    coo = coo.coalesce()
+    lines = ["%%MatrixMarket matrix coordinate real general"]
+    if comment:
+        for comment_line in comment.splitlines():
+            lines.append(f"% {comment_line}")
+    lines.append(f"{coo.shape[0]} {coo.shape[1]} {coo.nnz}")
+    for row, col, value in zip(coo.rows, coo.cols, coo.values):
+        lines.append(f"{row + 1} {col + 1} {float(value)!r}")
+    path.write_text("\n".join(lines) + "\n")

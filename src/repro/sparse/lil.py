@@ -1,0 +1,148 @@
+"""List-of-lists (LIL) compressed sparse format (paper §IV-D).
+
+LIL compresses the matrix along one dimension only: each row stores its
+non-zero values contiguously together with the column index of each value.
+Because the other dimension stays uncompressed, a large matrix splits
+cleanly into **column chunks** — the property FAFNIR exploits to stream
+matrices wider than the tree one chunk per round (paper Fig. 8), exactly as
+the Two-Step accelerator splits its inputs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Tuple
+
+import numpy as np
+
+from repro.sparse.coo import CooMatrix
+
+
+@dataclass
+class LilMatrix:
+    """Row-compressed sparse matrix: per-row (column-indices, values) lists."""
+
+    shape: Tuple[int, int]
+    row_indices: List[np.ndarray]
+    row_values: List[np.ndarray]
+
+    def __post_init__(self) -> None:
+        n_rows, n_cols = self.shape
+        if n_rows <= 0 or n_cols <= 0:
+            raise ValueError("shape must be positive")
+        if len(self.row_indices) != n_rows or len(self.row_values) != n_rows:
+            raise ValueError("need one index/value list per row")
+        for row, (indices, values) in enumerate(
+            zip(self.row_indices, self.row_values)
+        ):
+            if len(indices) != len(values):
+                raise ValueError(f"row {row}: index/value length mismatch")
+            if len(indices) and (indices.min() < 0 or indices.max() >= n_cols):
+                raise ValueError(f"row {row}: column index out of bounds")
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def from_coo(coo: CooMatrix) -> "LilMatrix":
+        coo = coo.coalesce()
+        n_rows, _ = coo.shape
+        row_indices: List[np.ndarray] = []
+        row_values: List[np.ndarray] = []
+        boundaries = np.searchsorted(coo.rows, np.arange(n_rows + 1))
+        for row in range(n_rows):
+            lo, hi = boundaries[row], boundaries[row + 1]
+            row_indices.append(coo.cols[lo:hi].copy())
+            row_values.append(coo.values[lo:hi].copy())
+        return LilMatrix(coo.shape, row_indices, row_values)
+
+    @staticmethod
+    def from_dense(dense: np.ndarray) -> "LilMatrix":
+        return LilMatrix.from_coo(CooMatrix.from_dense(dense))
+
+    def to_coo(self) -> CooMatrix:
+        rows = np.concatenate(
+            [
+                np.full(len(indices), row, dtype=np.int64)
+                for row, indices in enumerate(self.row_indices)
+            ]
+        ) if self.nnz else np.empty(0, dtype=np.int64)
+        cols = (
+            np.concatenate(self.row_indices)
+            if self.nnz
+            else np.empty(0, dtype=np.int64)
+        )
+        values = (
+            np.concatenate(self.row_values) if self.nnz else np.empty(0)
+        )
+        return CooMatrix(self.shape, rows, cols, values)
+
+    def to_dense(self) -> np.ndarray:
+        dense = np.zeros(self.shape)
+        for row, (indices, values) in enumerate(
+            zip(self.row_indices, self.row_values)
+        ):
+            dense[row, indices] = values
+        return dense
+
+    # ------------------------------------------------------------------
+    @property
+    def nnz(self) -> int:
+        return sum(len(values) for values in self.row_values)
+
+    @property
+    def density(self) -> float:
+        return self.nnz / (self.shape[0] * self.shape[1])
+
+    def row_nnz(self, row: int) -> int:
+        return len(self.row_values[row])
+
+    def iter_nonzeros(self) -> Iterator[Tuple[int, int, float]]:
+        """Stream (row, col, value) triples in row-major order — the order
+        a rank streams its LIL shard from DRAM."""
+        for row, (indices, values) in enumerate(
+            zip(self.row_indices, self.row_values)
+        ):
+            for col, value in zip(indices, values):
+                yield row, int(col), float(value)
+
+    def stream_bytes(self, value_bytes: int = 4, index_bytes: int = 4) -> int:
+        """Wire footprint of the compressed stream (values + column ids)."""
+        return self.nnz * (value_bytes + index_bytes)
+
+    # ------------------------------------------------------------------
+    def split_columns(self, width: int) -> List["LilMatrix"]:
+        """Split along the uncompressed dimension into column chunks.
+
+        Chunk ``k`` holds columns ``[k·width, (k+1)·width)`` with column
+        indices rebased to the chunk — the unit FAFNIR streams per round.
+        """
+        if width <= 0:
+            raise ValueError("width must be positive")
+        n_rows, n_cols = self.shape
+        chunks: List[LilMatrix] = []
+        for start in range(0, n_cols, width):
+            stop = min(start + width, n_cols)
+            chunk_indices: List[np.ndarray] = []
+            chunk_values: List[np.ndarray] = []
+            for indices, values in zip(self.row_indices, self.row_values):
+                mask = (indices >= start) & (indices < stop)
+                chunk_indices.append(indices[mask] - start)
+                chunk_values.append(values[mask])
+            chunks.append(
+                LilMatrix((n_rows, stop - start), chunk_indices, chunk_values)
+            )
+        return chunks
+
+    def matvec(self, x: np.ndarray) -> np.ndarray:
+        """Oracle y = A·x directly on the LIL structure."""
+        x = np.asarray(x, dtype=np.float64)
+        if x.shape != (self.shape[1],):
+            raise ValueError(
+                f"operand has shape {x.shape}, expected ({self.shape[1]},)"
+            )
+        y = np.zeros(self.shape[0])
+        for row, (indices, values) in enumerate(
+            zip(self.row_indices, self.row_values)
+        ):
+            if len(indices):
+                y[row] = np.dot(values, x[indices])
+        return y

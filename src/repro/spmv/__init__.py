@@ -1,0 +1,47 @@
+"""SpMV on FAFNIR: planner, engine, streaming costs, and applications."""
+
+from repro.spmv.apps import AppResult, bfs, jacobi_solve, pagerank, sssp
+from repro.spmv.fafnir_spmv import (
+    FafnirSpmvEngine,
+    FafnirSpmvParameters,
+    STREAM_ENTRY_BYTES,
+)
+from repro.spmv.interface import SpmvEngine, SpmvResult, SpmvStats
+from repro.spmv.planner import SpmvPlan, sweep
+from repro.spmv.semiring import (
+    MAX_TIMES,
+    MIN_PLUS,
+    OR_AND,
+    PLUS_TIMES,
+    Semiring,
+    get_semiring,
+)
+from repro.spmv.solvers import EigenResult, conjugate_gradient, power_iteration
+from repro.spmv.spmm import SpmmResult, spmm
+
+__all__ = [
+    "AppResult",
+    "FafnirSpmvEngine",
+    "FafnirSpmvParameters",
+    "STREAM_ENTRY_BYTES",
+    "SpmvEngine",
+    "SpmvPlan",
+    "SpmvResult",
+    "SpmvStats",
+    "SpmmResult",
+    "spmm",
+    "EigenResult",
+    "MAX_TIMES",
+    "MIN_PLUS",
+    "OR_AND",
+    "PLUS_TIMES",
+    "Semiring",
+    "get_semiring",
+    "sssp",
+    "bfs",
+    "conjugate_gradient",
+    "power_iteration",
+    "jacobi_solve",
+    "pagerank",
+    "sweep",
+]

@@ -1,0 +1,165 @@
+"""SpMV on the FAFNIR tree (paper §IV-D, Fig. 7/8).
+
+Mechanism differences from embedding lookup (paper Table II):
+
+* indices are **unknown** until read — both values and column/row indices
+  stream from memory;
+* leaf PEs first **multiply** each non-zero by the buffered operand-vector
+  element (vectorized over independent elements, Fig. 7c);
+* the tree reduces products that share a **row index** into output elements.
+
+Wide matrices run in iterations of rounds (Fig. 8): iteration 0 multiplies
+one column chunk per round; merge iterations re-stream partial results
+through the same tree (leaf PEs skip the multiply) until one stream remains.
+
+Because FAFNIR applies SpMV to the stream *as it arrives* — no decompression
+stage, no intermediate write-out — iteration 0 runs at stream bandwidth.
+Its merge, by contrast, is the generic tree rather than Two-Step's dedicated
+multi-way merge core, so merge throughput is lower (the trade Fig. 14 shows).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+from repro.clocks import DRAM_CLOCK, PE_CLOCK, convert_cycles
+from repro.core.config import FafnirConfig
+from repro.memory.config import MemoryConfig
+from repro.memory.system import MemorySystem
+from repro.spmv.interface import SpmvEngine, SpmvResult, SpmvStats
+from repro.spmv.planner import SpmvPlan
+from repro.spmv.semiring import PLUS_TIMES, Semiring
+from repro.spmv.streaming import modelled_stream_cycles, stream_read_cycles
+
+# Bytes per streamed non-zero: 4 B value + 4 B column (or row) index.
+STREAM_ENTRY_BYTES = 8
+
+
+@dataclass(frozen=True)
+class FafnirSpmvParameters:
+    """Throughput parameters of the tree in SpMV mode.
+
+    ``multiply_lanes_per_leaf``: vectorized multiplier lanes per leaf PE
+    (Fig. 7c).  ``merge_elements_per_cycle``: system-wide rate at which the
+    generic tree merges partial-result streams — deliberately lower than the
+    Two-Step merge core's (Fig. 14 discussion).
+    """
+
+    multiply_lanes_per_leaf: int = 8
+    merge_elements_per_cycle: int = 8
+    round_overhead_pe_cycles: int = 64
+
+
+class FafnirSpmvEngine(SpmvEngine):
+    """y = A·x on the FAFNIR reduction tree."""
+
+    name = "fafnir-spmv"
+
+    def __init__(
+        self,
+        config: Optional[FafnirConfig] = None,
+        memory_config: Optional[MemoryConfig] = None,
+        vector_size: int = 2048,
+        merge_fan_in: int = 128,
+        parameters: Optional[FafnirSpmvParameters] = None,
+    ) -> None:
+        self.config = config or FafnirConfig()
+        if memory_config is None:
+            memory_config = MemoryConfig().scaled_to_ranks(self.config.total_ranks)
+        self.memory = MemorySystem(memory_config)
+        self.vector_size = vector_size
+        self.merge_fan_in = merge_fan_in
+        self.parameters = parameters or FafnirSpmvParameters()
+
+    # ------------------------------------------------------------------
+    def _round_cycles_pe(self, chunk_nnz: int, chunk_cols: int) -> int:
+        """PE cycles for one iteration-0 round on one chunk."""
+        if chunk_nnz == 0:
+            return 0
+        # Matrix shard + operand slice stream in from all ranks.
+        stream_bytes = chunk_nnz * STREAM_ENTRY_BYTES + chunk_cols * 4
+        stream_dram = stream_read_cycles(self.memory, stream_bytes)
+        stream_pe = convert_cycles(stream_dram, DRAM_CLOCK, self.config.pe_clock)
+        lanes = (
+            self.config.num_leaf_pes * self.parameters.multiply_lanes_per_leaf
+        )
+        multiply_pe = math.ceil(chunk_nnz / lanes)
+        drain = self.config.tree_levels * self.config.latencies.reduce_path
+        # Multiply overlaps the stream; the tree drains behind the last beat.
+        return (
+            max(stream_pe, multiply_pe)
+            + drain
+            + self.parameters.round_overhead_pe_cycles
+        )
+
+    def _merge_cycles_pe(self, plan: SpmvPlan, entries_per_stream: int) -> int:
+        """PE cycles for all merge iterations."""
+        if plan.merge_iterations == 0:
+            return 0
+        total = 0
+        streams = plan.chunks
+        for _ in range(plan.merge_iterations):
+            after = math.ceil(streams / plan.merge_fan_in)
+            # Each merge iteration re-streams every live partial entry
+            # through the tree and writes the merged stream back.
+            entries = streams * entries_per_stream
+            read_bytes = entries * STREAM_ENTRY_BYTES
+            stream_dram = modelled_stream_cycles(
+                self.memory.config, 2 * read_bytes
+            )
+            stream_pe = convert_cycles(
+                stream_dram, DRAM_CLOCK, self.config.pe_clock
+            )
+            merge_pe = math.ceil(
+                entries / self.parameters.merge_elements_per_cycle
+            )
+            total += max(stream_pe, merge_pe) + self.parameters.round_overhead_pe_cycles
+            streams = after
+        return total
+
+    # ------------------------------------------------------------------
+    def multiply(
+        self, matrix, x: np.ndarray, semiring: Semiring = PLUS_TIMES
+    ) -> SpmvResult:
+        x = np.asarray(x, dtype=np.float64)
+        n_rows, n_cols = matrix.shape
+        if x.shape != (n_cols,):
+            raise ValueError(f"operand has shape {x.shape}, expected ({n_cols},)")
+
+        plan = SpmvPlan(
+            n_cols=n_cols,
+            vector_size=self.vector_size,
+            merge_fan_in=self.merge_fan_in,
+        )
+        chunks = matrix.split_columns(self.vector_size)
+
+        y = np.full(n_rows, semiring.zero)
+        step1_pe_cycles = 0
+        partial_entries_max = 0
+        for chunk_id, chunk in enumerate(chunks):
+            start = chunk_id * self.vector_size
+            x_slice = x[start : start + chunk.shape[1]]
+            y = semiring.add(y, semiring.matvec(chunk, x_slice))
+            step1_pe_cycles += self._round_cycles_pe(chunk.nnz, chunk.shape[1])
+            touched = sum(1 for values in chunk.row_values if len(values))
+            partial_entries_max = max(partial_entries_max, touched)
+
+        merge_pe_cycles = self._merge_cycles_pe(plan, partial_entries_max)
+
+        stats = SpmvStats(
+            step1_ns=PE_CLOCK.cycles_to_ns(step1_pe_cycles),
+            merge_ns=PE_CLOCK.cycles_to_ns(merge_pe_cycles),
+            matrix_stream_bytes=matrix.nnz * STREAM_ENTRY_BYTES,
+            intermediate_bytes=(
+                plan.chunks * partial_entries_max * STREAM_ENTRY_BYTES
+                if plan.merge_iterations
+                else 0
+            ),
+            nnz=matrix.nnz,
+            partial_entries=partial_entries_max,
+        )
+        return SpmvResult(y=y, stats=stats, plan=plan)

@@ -1,0 +1,56 @@
+"""Common interface and result types for SpMV engines."""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import List
+
+import numpy as np
+
+from repro.spmv.planner import SpmvPlan
+
+
+@dataclass
+class SpmvStats:
+    """Timing and traffic measurements for one SpMV execution.
+
+    ``step1_ns`` is the multiply iteration (iteration 0); ``merge_ns`` is all
+    merge iterations.  The paper's Fig. 14 discussion rests on exactly this
+    split: FAFNIR wins step 1 (no decompression, in-flight reduction),
+    Two-Step wins the merge.
+    """
+
+    step1_ns: float = 0.0
+    merge_ns: float = 0.0
+    matrix_stream_bytes: int = 0
+    intermediate_bytes: int = 0
+    nnz: int = 0
+    partial_entries: int = 0
+
+    @property
+    def total_ns(self) -> float:
+        return self.step1_ns + self.merge_ns
+
+
+@dataclass
+class SpmvResult:
+    """Output vector plus stats plus the plan that produced it."""
+
+    y: np.ndarray
+    stats: SpmvStats
+    plan: SpmvPlan
+
+
+class SpmvEngine(abc.ABC):
+    """An engine computing y = A·x over the shared DDR4 substrate."""
+
+    name: str = "abstract"
+
+    @abc.abstractmethod
+    def multiply(self, matrix, x: np.ndarray) -> SpmvResult:
+        """Compute A·x, returning the exact result and modelled timing."""
+
+    def oracle_check(self, matrix, x: np.ndarray, rtol: float = 1e-9) -> bool:
+        result = self.multiply(matrix, x)
+        return bool(np.allclose(result.y, matrix.matvec(x), rtol=rtol))

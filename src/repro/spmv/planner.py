@@ -1,0 +1,82 @@
+"""Iteration/round planning for SpMV on FAFNIR (paper Fig. 8 and Fig. 9).
+
+A matrix wider than the tree's operand capacity is split along its
+uncompressed dimension into column chunks of ``vector_size`` columns.
+Iteration 0 multiplies one chunk per round, producing one partial-result
+stream per chunk; merge iterations (> 0) then combine up to
+``merge_fan_in`` partial streams per round until one stream remains.
+
+``merge_fan_in`` reflects how many ordered partial streams the tree can
+interleave at once (32 rank streams × 4-deep interleave buffers = 128 by
+default) and is chosen so the planner reproduces Fig. 9's observation that
+matrices beyond 5 M columns still need **no more than two merge
+iterations** at vector size 2048.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List
+
+
+@dataclass(frozen=True)
+class SpmvPlan:
+    """The execution schedule for one SpMV of a given width."""
+
+    n_cols: int
+    vector_size: int = 2048
+    merge_fan_in: int = 128
+
+    def __post_init__(self) -> None:
+        if self.n_cols <= 0:
+            raise ValueError("n_cols must be positive")
+        if self.vector_size <= 0:
+            raise ValueError("vector_size must be positive")
+        if self.merge_fan_in < 2:
+            raise ValueError("merge_fan_in must be at least 2")
+
+    @property
+    def chunks(self) -> int:
+        """Column chunks = rounds of iteration 0."""
+        return math.ceil(self.n_cols / self.vector_size)
+
+    @property
+    def rounds_per_iteration(self) -> List[int]:
+        """Rounds in each iteration, iteration 0 first."""
+        rounds = [self.chunks]
+        streams = self.chunks
+        while streams > 1:
+            streams = math.ceil(streams / self.merge_fan_in)
+            rounds.append(streams)
+        return rounds
+
+    @property
+    def iterations(self) -> int:
+        """Total iterations including the multiply iteration 0."""
+        return len(self.rounds_per_iteration)
+
+    @property
+    def merge_iterations(self) -> int:
+        return self.iterations - 1
+
+    @property
+    def total_merges(self) -> int:
+        """Partial streams eliminated by merging (Fig. 9's merge count)."""
+        merges = 0
+        streams = self.chunks
+        while streams > 1:
+            after = math.ceil(streams / self.merge_fan_in)
+            merges += streams - after
+            streams = after
+        return merges
+
+
+def sweep(
+    column_counts: List[int], vector_size: int, merge_fan_in: int = 128
+) -> List[SpmvPlan]:
+    """Plans for a sweep of matrix widths (the Fig. 9 x-axis)."""
+    return [
+        SpmvPlan(n_cols=n, vector_size=vector_size, merge_fan_in=merge_fan_in)
+        for n in column_counts
+    ]

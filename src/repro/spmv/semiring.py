@@ -1,0 +1,88 @@
+"""Semiring algebra for generalized SpMV.
+
+The FAFNIR tree only needs its reduction to be associative and commutative
+(§IV); nothing ties it to (+, ×).  Replacing the pair with another semiring
+turns the same hardware into other graph kernels:
+
+* ``PLUS_TIMES`` — ordinary SpMV (PageRank, solvers);
+* ``MIN_PLUS`` — the tropical semiring: one relaxation step of single-source
+  shortest paths (Bellman-Ford);
+* ``MAX_TIMES`` — widest-path / reliability propagation;
+* ``OR_AND`` — Boolean reachability (BFS frontiers).
+
+A semiring's additive identity doubles as the "no edge" value, which is what
+makes sparse storage consistent: unstored entries contribute the identity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class Semiring:
+    """An (⊕, ⊗) pair with the ⊕-identity.
+
+    ``add`` must be associative and commutative (it runs in the tree);
+    ``multiply`` runs at the leaf PEs (paper Table II: "leaf PE:
+    multiplication with vector").
+    """
+
+    name: str
+    add: Callable[[np.ndarray, np.ndarray], np.ndarray]
+    multiply: Callable[[np.ndarray, np.ndarray], np.ndarray]
+    zero: float
+
+    def reduce(self, values: np.ndarray) -> float:
+        """⊕-fold of a 1-D array; the ⊕-identity for an empty one."""
+        values = np.asarray(values, dtype=np.float64)
+        if values.size == 0:
+            return self.zero
+        result = values[0]
+        for value in values[1:]:
+            result = self.add(result, value)
+        return float(result)
+
+    def matvec(self, matrix, x: np.ndarray) -> np.ndarray:
+        """Generalized y = A ⊗ x with ⊕-accumulation, on a LIL matrix."""
+        x = np.asarray(x, dtype=np.float64)
+        n_rows, n_cols = matrix.shape
+        if x.shape != (n_cols,):
+            raise ValueError(f"operand has shape {x.shape}, expected ({n_cols},)")
+        y = np.full(n_rows, self.zero)
+        for row, (indices, values) in enumerate(
+            zip(matrix.row_indices, matrix.row_values)
+        ):
+            if len(indices):
+                y[row] = self.reduce(self.multiply(values, x[indices]))
+        return y
+
+    def __repr__(self) -> str:
+        return f"Semiring({self.name!r})"
+
+
+PLUS_TIMES = Semiring("plus_times", np.add, np.multiply, 0.0)
+MIN_PLUS = Semiring("min_plus", np.minimum, np.add, np.inf)
+MAX_TIMES = Semiring("max_times", np.maximum, np.multiply, 0.0)
+OR_AND = Semiring(
+    "or_and",
+    lambda a, b: np.maximum(a != 0, b != 0).astype(np.float64),
+    lambda a, b: np.logical_and(a != 0, b != 0).astype(np.float64),
+    0.0,
+)
+
+_SEMIRINGS: Dict[str, Semiring] = {
+    s.name: s for s in (PLUS_TIMES, MIN_PLUS, MAX_TIMES, OR_AND)
+}
+
+
+def get_semiring(name: str) -> Semiring:
+    try:
+        return _SEMIRINGS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown semiring {name!r}; available: {sorted(_SEMIRINGS)}"
+        ) from None

@@ -1,0 +1,134 @@
+"""Anchor validation against the paper's published numbers (paper Fig. 10).
+
+The paper's flow validates reproduced baseline numbers against the numbers
+their papers report; this module does the same for this reproduction's
+*bookkeeping anchors* — the quantities that should match the paper
+numerically (buffer sizes, area, power, connection counts, pipeline
+latencies), as opposed to the simulator-dependent performance figures whose
+shape EXPERIMENTS.md tracks.
+
+Run programmatically (``validate_anchors()``) or via
+``python -m repro.cli validate``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List
+
+from repro.core.config import FafnirConfig
+from repro.hw import (
+    AsicPower,
+    all_to_all_connections,
+    fafnir_connections,
+    pe_area_mm2,
+    recnmp_comparison_mw,
+    recnmp_system_area_mm2,
+    reference_system_area,
+    size_buffers,
+    table5,
+)
+
+
+@dataclass(frozen=True)
+class AnchorResult:
+    """One anchor comparison: the model's value vs the paper's.
+
+    ``mode`` is "approx" (within relative ``tolerance`` of the paper value)
+    or "at_most" (must not exceed the paper's stated bound).
+    """
+
+    name: str
+    measured: float
+    expected: float
+    tolerance: float  # relative
+    mode: str = "approx"
+
+    @property
+    def ok(self) -> bool:
+        if self.mode == "at_most":
+            return self.measured <= self.expected * (1 + self.tolerance)
+        if self.expected == 0:
+            return self.measured == 0
+        return abs(self.measured - self.expected) / abs(self.expected) <= self.tolerance
+
+    @property
+    def deviation_percent(self) -> float:
+        if self.expected == 0:
+            return 0.0
+        return 100.0 * (self.measured - self.expected) / self.expected
+
+    def __str__(self) -> str:
+        status = "ok " if self.ok else "FAIL"
+        return (
+            f"[{status}] {self.name}: {self.measured:.4g} vs paper "
+            f"{self.expected:.4g} ({self.deviation_percent:+.1f}%)"
+        )
+
+
+def validate_anchors(config: FafnirConfig = None) -> List[AnchorResult]:
+    """Check every numeric anchor this reproduction is calibrated against."""
+    config = config or FafnirConfig()
+    checks: List[AnchorResult] = []
+
+    def add(name: str, measured: float, expected: float, tolerance: float = 0.02):
+        checks.append(AnchorResult(name, float(measured), float(expected), tolerance))
+
+    # Table I — buffers.
+    for batch_size, (pe_kb, node_kb) in {
+        8: (4.6, 32.4),
+        16: (9.3, 64.8),
+        32: (18.5, 129.5),
+    }.items():
+        sizing = size_buffers(config.with_batch_size(batch_size))
+        add(f"Table I PE buffer KB (B={batch_size})", sizing.pe_buffer_kb, pe_kb)
+        add(
+            f"Table I DIMM/rank node KB (B={batch_size})",
+            sizing.dimm_rank_node_kb,
+            node_kb,
+        )
+
+    # Table IV — latencies (exact).
+    add("Table IV compare cycles", config.latencies.compare, 12, 0.0)
+    add("Table IV reduce(value) cycles", config.latencies.reduce_value, 4, 0.0)
+    add("Table IV reduce(header) cycles", config.latencies.reduce_header, 16, 0.0)
+    add("Table IV forward cycles", config.latencies.forward, 2, 0.0)
+
+    # Table VI — area and power.
+    add("PE area mm²", pe_area_mm2(), 0.077, 0.01)
+    area = reference_system_area()
+    add("DIMM/rank node area mm²", area.dimm_rank_node_mm2, 0.282, 0.01)
+    add("channel node area mm²", area.channel_node_mm2, 0.121, 0.01)
+    add("system area mm²", area.total_mm2, 1.25, 0.02)
+    power = AsicPower()
+    add("system power mW", power.total_mw, 111.64, 0.001)
+    add("per-DIMM power mW", power.per_dimm_mw, 5.9, 0.02)
+    add("RecNMP power per DIMM mW", recnmp_comparison_mw(1), 184.2, 0.001)
+    add("RecNMP area 16 DIMMs mm²", recnmp_system_area_mm2(16), 8.64, 0.001)
+
+    # Table V — FPGA utilization bounds (measured must be ≤ paper bound).
+    utilization = table5()
+    for resource, bound in {"lut": 5.0, "lutram": 0.15, "ff": 1.0, "bram": 13.0}.items():
+        checks.append(
+            AnchorResult(
+                name=f"Table V {resource} utilization % ≤ bound",
+                measured=float(utilization[resource]),
+                expected=bound,
+                tolerance=0.0,
+                mode="at_most",
+            )
+        )
+
+    # §IV-A — connection formulas (exact).
+    add("connections all-to-all (m=32,c=4)", all_to_all_connections(32, 4), 128, 0.0)
+    add("connections fafnir (m=32,c=4)", fafnir_connections(32, 4), 66, 0.0)
+
+    # Structure.
+    add("PE count (32 ranks, 1PE:2R)", config.num_pes, 31, 0.0)
+    add("tree levels", config.tree_levels, 5, 0.0)
+    add("header bytes (q=16, 5-bit ids)", config.header_bytes, 10.0, 0.0)
+    return checks
+
+
+def all_anchors_hold(config: FafnirConfig = None) -> bool:
+    return all(check.ok for check in validate_anchors(config))

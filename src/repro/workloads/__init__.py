@@ -1,0 +1,36 @@
+"""Workload generators: embedding lookups, DLRM inference, SpMV suites."""
+
+from repro.workloads.dlrm import InferenceBreakdown, InferenceModel
+from repro.workloads.embedding import EmbeddingTableSet, QueryGenerator
+from repro.workloads.scheduler import (
+    BatchScheduler,
+    FifoScheduler,
+    ScheduleReport,
+    SharingAwareScheduler,
+    evaluate_schedule,
+)
+from repro.workloads.mlp import MlpConfig, calibrated_fc_batch, mlp_latency_ms
+from repro.workloads.recommender import RecommendationModel, ScoredBatch
+from repro.workloads.suites import SpmvWorkload, fig14_suite, suite_by_name
+from repro.workloads.traces import QueryTrace
+
+__all__ = [
+    "BatchScheduler",
+    "EmbeddingTableSet",
+    "FifoScheduler",
+    "QueryTrace",
+    "ScheduleReport",
+    "SharingAwareScheduler",
+    "evaluate_schedule",
+    "InferenceBreakdown",
+    "MlpConfig",
+    "RecommendationModel",
+    "ScoredBatch",
+    "calibrated_fc_batch",
+    "mlp_latency_ms",
+    "InferenceModel",
+    "QueryGenerator",
+    "SpmvWorkload",
+    "fig14_suite",
+    "suite_by_name",
+]

@@ -1,0 +1,68 @@
+"""End-to-end recommendation-inference latency model (paper Fig. 12).
+
+The paper decomposes total inference latency into three components:
+
+* **embedding lookup** — what FAFNIR/RecNMP accelerate; varies with the
+  number of ranks;
+* **fully-connected (FC) layers** — executed at the CPU, fixed at 0.5 ms in
+  Fig. 12 regardless of rank count;
+* **other operations** — feature interaction, data prep, etc.
+
+This module composes those into end-to-end latency and speedup-over-baseline
+so the Fig. 12 bench can sweep rank counts for each engine.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class InferenceBreakdown:
+    """Latency components of one recommendation inference, in milliseconds."""
+
+    embedding_ms: float
+    fc_ms: float
+    other_ms: float
+
+    def __post_init__(self) -> None:
+        if min(self.embedding_ms, self.fc_ms, self.other_ms) < 0:
+            raise ValueError("latency components must be non-negative")
+
+    @property
+    def total_ms(self) -> float:
+        return self.embedding_ms + self.fc_ms + self.other_ms
+
+    def speedup_over(self, baseline: "InferenceBreakdown") -> float:
+        if self.total_ms <= 0:
+            raise ValueError("cannot compute speedup of a zero-latency run")
+        return baseline.total_ms / self.total_ms
+
+
+@dataclass(frozen=True)
+class InferenceModel:
+    """Fixed non-embedding costs of the recommendation model.
+
+    Defaults follow Fig. 12: FC layers take 0.5 ms; 'other' covers the
+    remaining fixed work.  Both are invariant to the memory-system size.
+    """
+
+    fc_ms: float = 0.5
+    other_ms: float = 0.1
+
+    def __post_init__(self) -> None:
+        if self.fc_ms < 0 or self.other_ms < 0:
+            raise ValueError("fixed latencies must be non-negative")
+
+    def breakdown(self, embedding_ms: float) -> InferenceBreakdown:
+        return InferenceBreakdown(
+            embedding_ms=embedding_ms, fc_ms=self.fc_ms, other_ms=self.other_ms
+        )
+
+    def ideal_breakdown(
+        self, baseline_embedding_ms: float, rank_factor: int
+    ) -> InferenceBreakdown:
+        """The red 'ideal linear' line of Fig. 12: embedding scales 1/ranks."""
+        if rank_factor <= 0:
+            raise ValueError("rank_factor must be positive")
+        return self.breakdown(baseline_embedding_ms / rank_factor)

@@ -1,0 +1,107 @@
+"""MLP latency model for the recommendation model's dense layers.
+
+The paper fixes FC-layer latency at 0.5 ms in Fig. 12 and notes it "varies
+significantly based on the host system (CPU vs GPU) and batch size".  This
+module derives that number from first principles — layer shapes × a
+roofline over the host's peak compute and bandwidth — so users can ask what
+the end-to-end picture looks like on *their* host instead of the paper's.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Sequence, Tuple
+
+from repro.analysis.roofline import Roofline, SERVER_ROOFLINE
+
+
+@dataclass(frozen=True)
+class MlpConfig:
+    """A DLRM-style top/bottom MLP stack.
+
+    Defaults follow the published DLRM RM-2 shape family: a bottom MLP over
+    dense features and a top MLP over the concatenated interactions.
+    """
+
+    bottom_layers: Tuple[int, ...] = (256, 128, 128)
+    top_layers: Tuple[int, ...] = (512, 256, 1)
+    dense_features: int = 256
+    interaction_width: int = 512
+    element_bytes: int = 4
+
+    def __post_init__(self) -> None:
+        if not self.bottom_layers or not self.top_layers:
+            raise ValueError("MLPs need at least one layer")
+        if min(self.bottom_layers + self.top_layers) < 1:
+            raise ValueError("layer widths must be positive")
+        if self.dense_features < 1 or self.interaction_width < 1:
+            raise ValueError("feature widths must be positive")
+
+    def _stack_shapes(self) -> List[Tuple[int, int]]:
+        shapes: List[Tuple[int, int]] = []
+        previous = self.dense_features
+        for width in self.bottom_layers:
+            shapes.append((previous, width))
+            previous = width
+        previous = self.interaction_width
+        for width in self.top_layers:
+            shapes.append((previous, width))
+            previous = width
+        return shapes
+
+    def flops(self, batch_size: int) -> int:
+        """Multiply-accumulate FLOPs for one batch (2 per MAC)."""
+        if batch_size < 1:
+            raise ValueError("batch_size must be positive")
+        return sum(
+            2 * batch_size * rows * cols for rows, cols in self._stack_shapes()
+        )
+
+    def weight_bytes(self) -> int:
+        return sum(
+            rows * cols * self.element_bytes for rows, cols in self._stack_shapes()
+        )
+
+    def activation_bytes(self, batch_size: int) -> int:
+        widths = [self.dense_features, *self.bottom_layers]
+        widths += [self.interaction_width, *self.top_layers]
+        return sum(batch_size * width * self.element_bytes for width in widths)
+
+
+def mlp_latency_ms(
+    config: MlpConfig,
+    batch_size: int,
+    roofline: Roofline = SERVER_ROOFLINE,
+    efficiency: float = 0.5,
+) -> float:
+    """Roofline-bounded MLP latency in milliseconds.
+
+    The stack's time is the max of its compute-bound time (FLOPs over the
+    achievable fraction of peak) and its memory-bound time (weights +
+    activations over peak bandwidth).
+    """
+    if not 0 < efficiency <= 1:
+        raise ValueError("efficiency must be in (0, 1]")
+    flops = config.flops(batch_size)
+    bytes_moved = config.weight_bytes() + config.activation_bytes(batch_size)
+    compute_ns = flops / (roofline.peak_gflops * efficiency)
+    memory_ns = bytes_moved / roofline.peak_bandwidth_gbps
+    return max(compute_ns, memory_ns) / 1e6
+
+
+def calibrated_fc_batch(
+    config: MlpConfig = None,
+    target_ms: float = 0.5,
+    roofline: Roofline = SERVER_ROOFLINE,
+    max_batch: int = 65536,
+) -> int:
+    """Batch size at which this MLP reaches the paper's 0.5 ms FC figure."""
+    config = config or MlpConfig()
+    if target_ms <= 0:
+        raise ValueError("target_ms must be positive")
+    batch = 1
+    while batch <= max_batch:
+        if mlp_latency_ms(config, batch, roofline) >= target_ms:
+            return batch
+        batch *= 2
+    return max_batch

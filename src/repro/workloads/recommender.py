@@ -1,0 +1,143 @@
+"""A complete toy recommendation model on the simulated accelerator.
+
+The paper situates FAFNIR inside a DLRM-style pipeline: embedding lookup →
+feature interaction → MLP → score (§II).  This module implements that whole
+pipeline *functionally* — real numerics end to end — with the embedding
+gather running on any :class:`~repro.baselines.base.GatherEngine`, so a user
+can score candidates on FAFNIR and verify bit-identical results against the
+CPU baseline, while the timing side composes gather measurements with the
+roofline MLP model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.baselines.base import GatherEngine
+from repro.workloads.embedding import EmbeddingTableSet
+from repro.workloads.mlp import MlpConfig, mlp_latency_ms
+
+
+@dataclass
+class ScoredBatch:
+    """Scores plus the latency composition of one inference batch."""
+
+    scores: np.ndarray
+    embedding_ms: float
+    mlp_ms: float
+
+    @property
+    def total_ms(self) -> float:
+        return self.embedding_ms + self.mlp_ms
+
+
+class RecommendationModel:
+    """DLRM-style scorer: pooled embeddings ⊕ dense features → MLP → score.
+
+    The architecture (deliberately small but complete):
+
+    * per-query pooled embedding vector, gathered-and-summed by the engine;
+    * dense features pass through the bottom MLP;
+    * feature interaction = concatenation of the pooled embedding, the
+      bottom-MLP output, and their elementwise product;
+    * the top MLP maps the interaction to one score (sigmoid).
+
+    Weights are deterministic from ``seed`` so results are reproducible
+    across engines and runs.
+    """
+
+    def __init__(
+        self,
+        tables: EmbeddingTableSet,
+        dense_features: int = 16,
+        hidden: int = 32,
+        seed: int = 0,
+    ) -> None:
+        if dense_features < 1 or hidden < 1:
+            raise ValueError("dense_features and hidden must be positive")
+        self.tables = tables
+        self.dense_features = dense_features
+        self.hidden = hidden
+        rng = np.random.default_rng(seed)
+        d = tables.vector_elements
+        scale = 1.0 / np.sqrt(max(dense_features, d))
+        self._bottom_w = rng.normal(scale=scale, size=(dense_features, d))
+        self._bottom_b = np.zeros(d)
+        interaction = 3 * d  # pooled ‖ bottom ‖ pooled⊙bottom
+        self._top1_w = rng.normal(scale=1.0 / np.sqrt(interaction), size=(interaction, hidden))
+        self._top1_b = np.zeros(hidden)
+        self._top2_w = rng.normal(scale=1.0 / np.sqrt(hidden), size=(hidden, 1))
+        self._top2_b = np.zeros(1)
+
+    # ------------------------------------------------------------------
+    def _interact(self, pooled: np.ndarray, dense: np.ndarray) -> np.ndarray:
+        bottom = np.maximum(dense @ self._bottom_w + self._bottom_b, 0.0)
+        return np.concatenate([pooled, bottom, pooled * bottom], axis=-1)
+
+    def _top(self, interaction: np.ndarray) -> np.ndarray:
+        hidden = np.maximum(interaction @ self._top1_w + self._top1_b, 0.0)
+        logits = hidden @ self._top2_w + self._top2_b
+        return 1.0 / (1.0 + np.exp(-logits[..., 0]))
+
+    def _mlp_config(self) -> MlpConfig:
+        d = self.tables.vector_elements
+        return MlpConfig(
+            bottom_layers=(d,),
+            top_layers=(self.hidden, 1),
+            dense_features=self.dense_features,
+            interaction_width=3 * d,
+        )
+
+    # ------------------------------------------------------------------
+    def score(
+        self,
+        engine: GatherEngine,
+        queries: Sequence[Sequence[int]],
+        dense: np.ndarray,
+    ) -> ScoredBatch:
+        """Score one batch: each query is a candidate's sparse features,
+        each ``dense`` row its dense features."""
+        dense = np.asarray(dense, dtype=np.float64)
+        if dense.shape != (len(queries), self.dense_features):
+            raise ValueError(
+                f"dense features have shape {dense.shape}; expected "
+                f"({len(queries)}, {self.dense_features})"
+            )
+        gather = engine.lookup(queries, self.tables.vector)
+        pooled = np.stack(gather.vectors)
+        scores = self._top(self._interact(pooled, dense))
+        mlp_ms = mlp_latency_ms(self._mlp_config(), batch_size=len(queries))
+        return ScoredBatch(
+            scores=scores,
+            embedding_ms=gather.total_ns / 1e6,
+            mlp_ms=mlp_ms,
+        )
+
+    def reference_scores(
+        self, queries: Sequence[Sequence[int]], dense: np.ndarray
+    ) -> np.ndarray:
+        """NumPy-only oracle (no engine) for verification."""
+        pooled = np.stack(
+            [
+                np.sum([self.tables.vector(i) for i in sorted(set(q))], axis=0)
+                for q in queries
+            ]
+        )
+        return self._top(self._interact(pooled, np.asarray(dense, dtype=np.float64)))
+
+    def rank_candidates(
+        self,
+        engine: GatherEngine,
+        queries: Sequence[Sequence[int]],
+        dense: np.ndarray,
+        top_k: int = 10,
+    ) -> Tuple[List[int], ScoredBatch]:
+        """Score and return the indices of the top-k candidates."""
+        if top_k < 1:
+            raise ValueError("top_k must be positive")
+        batch = self.score(engine, queries, dense)
+        order = list(np.argsort(batch.scores)[::-1][:top_k])
+        return [int(i) for i in order], batch

@@ -1,0 +1,125 @@
+"""Software batch scheduling: which queries to group into hardware batches.
+
+FAFNIR's redundant-access elimination works *within* a hardware batch
+(§IV-C), so the host-side grouping of a query stream into batches changes
+how many DRAM reads are saved.  The paper serves oversized software batches
+"as several small batches at hardware" in arrival order; this module adds a
+sharing-aware alternative and the machinery to compare policies:
+
+* :class:`FifoScheduler` — arrival order (the paper's implicit policy);
+* :class:`SharingAwareScheduler` — greedily co-schedules queries that share
+  indices, increasing per-batch dedup at the cost of reordering.
+
+Both are online-feasible: they look only at a bounded window of pending
+queries.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from repro.core.batch import plan_batch
+
+
+@dataclass
+class ScheduleReport:
+    """Dedup quality of one batching of a query stream."""
+
+    batches: List[List[List[int]]]
+    total_lookups: int
+    total_reads: int
+
+    @property
+    def accesses_saved(self) -> int:
+        return self.total_lookups - self.total_reads
+
+    @property
+    def savings_fraction(self) -> float:
+        return (
+            self.accesses_saved / self.total_lookups if self.total_lookups else 0.0
+        )
+
+
+def evaluate_schedule(batches: Sequence[Sequence[Sequence[int]]]) -> ScheduleReport:
+    """Count the deduplicated reads a batching would issue."""
+    total_lookups = 0
+    total_reads = 0
+    materialised: List[List[List[int]]] = []
+    for batch in batches:
+        if not batch:
+            continue
+        plan = plan_batch(batch)
+        total_lookups += plan.total_lookups
+        total_reads += len(plan.unique_indices)
+        materialised.append([list(query) for query in batch])
+    return ScheduleReport(
+        batches=materialised,
+        total_lookups=total_lookups,
+        total_reads=total_reads,
+    )
+
+
+class BatchScheduler(abc.ABC):
+    """Groups a stream of queries into hardware-sized batches."""
+
+    def __init__(self, batch_size: int) -> None:
+        if batch_size <= 0:
+            raise ValueError("batch_size must be positive")
+        self.batch_size = batch_size
+
+    @abc.abstractmethod
+    def schedule(self, queries: Sequence[Sequence[int]]) -> List[List[List[int]]]:
+        """Partition the stream into batches of at most ``batch_size``."""
+
+    def report(self, queries: Sequence[Sequence[int]]) -> ScheduleReport:
+        return evaluate_schedule(self.schedule(queries))
+
+
+class FifoScheduler(BatchScheduler):
+    """Arrival-order batching — the paper's behaviour for large software
+    batches (§IV-B)."""
+
+    def schedule(self, queries: Sequence[Sequence[int]]) -> List[List[List[int]]]:
+        return [
+            [list(query) for query in queries[start : start + self.batch_size]]
+            for start in range(0, len(queries), self.batch_size)
+        ]
+
+
+class SharingAwareScheduler(BatchScheduler):
+    """Greedy sharing-aware batching within a bounded reorder window.
+
+    Builds each batch by seeding it with the oldest pending query, then
+    repeatedly pulling, from the next ``window`` pending queries, the one
+    with the largest index overlap with the batch so far.  Queries never
+    wait more than ``window`` batch-formations, bounding added latency.
+    """
+
+    def __init__(self, batch_size: int, window: int = 128) -> None:
+        super().__init__(batch_size)
+        if window < batch_size:
+            raise ValueError("window must be at least the batch size")
+        self.window = window
+
+    def schedule(self, queries: Sequence[Sequence[int]]) -> List[List[List[int]]]:
+        pending: List[List[int]] = [list(query) for query in queries]
+        batches: List[List[List[int]]] = []
+        while pending:
+            batch: List[List[int]] = [pending.pop(0)]
+            covered = set(batch[0])
+            while len(batch) < self.batch_size and pending:
+                horizon = min(self.window, len(pending))
+                best_position = 0
+                best_overlap = -1
+                for position in range(horizon):
+                    overlap = len(covered & set(pending[position]))
+                    if overlap > best_overlap:
+                        best_overlap = overlap
+                        best_position = position
+                chosen = pending.pop(best_position)
+                covered.update(chosen)
+                batch.append(chosen)
+            batches.append(batch)
+        return batches

@@ -1,0 +1,126 @@
+"""Tests for the analysis utilities (locality, movement, unique, report)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    MovementModel,
+    Table,
+    expected_lonely_vectors,
+    expected_ndp_reducible_fraction,
+    expected_occupied_devices,
+    max_accesses_per_rank,
+    measured_colocation_fraction,
+    per_rank_access_counts,
+    prob_all_same_device,
+    unique_fraction_stats,
+)
+from repro.workloads import EmbeddingTableSet, QueryGenerator
+
+
+class TestLocality:
+    def test_paper_birthday_claim(self):
+        """§III-C: ≤25 % chance a query stays on one channel (4 channels)."""
+        assert prob_all_same_device(2, 4) == pytest.approx(0.25)
+        assert prob_all_same_device(16, 4) < 1e-8
+
+    def test_expected_occupied_devices_bounds(self):
+        assert expected_occupied_devices(1, 16) == pytest.approx(1.0)
+        assert expected_occupied_devices(1000, 16) == pytest.approx(16.0, rel=0.01)
+
+    def test_lonely_vectors_grow_with_devices(self):
+        few = expected_lonely_vectors(16, 4)
+        many = expected_lonely_vectors(16, 64)
+        assert many > few
+
+    def test_reducible_fraction_decreases_with_devices(self):
+        """More devices ⇒ less spatial locality ⇒ less NDP for RecNMP."""
+        fractions = [
+            expected_ndp_reducible_fraction(16, devices)
+            for devices in (2, 4, 8, 16, 32)
+        ]
+        assert all(a > b for a, b in zip(fractions, fractions[1:]))
+
+    def test_single_index_query_has_nothing_to_reduce(self):
+        assert expected_ndp_reducible_fraction(1, 8) == 0.0
+
+    def test_measured_matches_expectation(self):
+        rng = np.random.default_rng(0)
+        queries = [list(rng.integers(0, 10_000, size=16)) for _ in range(500)]
+        measured = measured_colocation_fraction(queries, devices=16)
+        expected = expected_ndp_reducible_fraction(16, 16)
+        assert measured == pytest.approx(expected, abs=0.05)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            prob_all_same_device(0, 4)
+        with pytest.raises(ValueError):
+            expected_occupied_devices(4, 0)
+
+
+class TestMovement:
+    def test_baseline_vs_ndp(self):
+        """§III-A: baseline n·q·v; TensorDIMM/FAFNIR n·v."""
+        model = MovementModel(queries=4, query_len=16, vector_elements=128)
+        assert model.baseline_elements == 4 * 16 * 128
+        assert model.fafnir_elements == 4 * 128
+        assert model.movement_reduction("fafnir") == pytest.approx(16.0)
+        assert model.movement_reduction("tensordimm") == pytest.approx(16.0)
+
+    def test_recnmp_between_extremes(self):
+        model = MovementModel(queries=8, query_len=16, vector_elements=128)
+        recnmp = model.recnmp_expected_elements(dimms=16)
+        assert model.fafnir_elements < recnmp < model.baseline_elements
+
+    def test_ndp_operation_count(self):
+        model = MovementModel(queries=2, query_len=16, vector_elements=128)
+        assert model.ndp_operations == 2 * 15 * 128
+
+    def test_unknown_engine(self):
+        model = MovementModel(queries=1, query_len=2, vector_elements=4)
+        with pytest.raises(KeyError):
+            model.movement_reduction("gpu")
+
+
+class TestUnique:
+    def test_fig3_series_decreases_with_batch(self):
+        tables = EmbeddingTableSet(rows_per_table=100_000)
+        stats = unique_fraction_stats(tables, [8, 16, 32], seeds=range(4))
+        fractions = [s.mean_unique_fraction for s in stats]
+        assert fractions[0] > fractions[1] > fractions[2]
+        assert stats[0].mean_savings_percent + stats[0].mean_unique_percent == pytest.approx(100.0)
+
+    def test_per_rank_counts_cover_all_unique(self):
+        queries = [[0, 1, 33], [1, 64]]
+        counts = per_rank_access_counts(queries, total_ranks=32)
+        assert sum(counts.values()) == 4  # unique: 0, 1, 33, 64 → 0,1,1,0 ranks
+        assert counts[0] == 2  # ids 0 and 64
+        assert counts[1] == 2  # ids 1 and 33
+
+    def test_fig15_per_leaf_bound(self):
+        """Per-rank unique accesses stay below the batch size."""
+        tables = EmbeddingTableSet(rows_per_table=100_000)
+        for batch_size in (8, 16, 32):
+            generator = QueryGenerator.paper_calibrated(tables, seed=1)
+            batch = generator.batch(batch_size)
+            assert max_accesses_per_rank(batch) <= batch_size
+
+
+class TestTable:
+    def test_render_alignment(self):
+        table = Table(["name", "value"])
+        table.add_row(["alpha", 1.5])
+        table.add_row(["b", 22.25])
+        text = table.render()
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert lines[0].startswith("name")
+        assert "1.50" in text and "22.25" in text
+
+    def test_row_width_checked(self):
+        with pytest.raises(ValueError):
+            Table(["a", "b"]).add_row([1])
+
+    def test_empty_headers_rejected(self):
+        with pytest.raises(ValueError):
+            Table([])

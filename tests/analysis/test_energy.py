@@ -1,0 +1,62 @@
+"""Tests for end-to-end energy accounting."""
+
+import pytest
+
+from repro.analysis.energy import (
+    EnergyBreakdown,
+    NDP_POWER_MW,
+    energy_saving_vs,
+    run_energy,
+)
+from repro.baselines import FafnirGatherEngine, RecNmpGatherEngine
+from repro.workloads import EmbeddingTableSet, QueryGenerator
+
+
+class TestEnergyBreakdown:
+    def test_composition(self):
+        breakdown = EnergyBreakdown(dram_nj=90.0, ndp_nj=10.0)
+        assert breakdown.total_nj == pytest.approx(100.0)
+        assert breakdown.dram_share == pytest.approx(0.9)
+
+    def test_known_engines(self):
+        assert NDP_POWER_MW["fafnir"] == pytest.approx(111.64)
+        assert NDP_POWER_MW["recnmp"] == pytest.approx(184.2 * 16)
+        with pytest.raises(KeyError):
+            run_energy(_stats(10, 10), 100.0, "gpu")
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            run_energy(_stats(1, 1), -1.0, "fafnir")
+        with pytest.raises(ValueError):
+            energy_saving_vs(
+                EnergyBreakdown(1, 1), EnergyBreakdown(0, 0)
+            )
+
+
+def _stats(bursts, activates):
+    from repro.memory.trace import AccessStats
+
+    return AccessStats(bursts=bursts, activates=activates)
+
+
+class TestEndToEnd:
+    def test_fafnir_saves_energy_over_recnmp(self):
+        """§VI: fewer accesses + lower NDP power ⇒ lower energy."""
+        tables = EmbeddingTableSet(rows_per_table=50_000, seed=11)
+        batch = QueryGenerator.paper_calibrated(tables, seed=12).batch(32)
+        fafnir = FafnirGatherEngine().lookup(batch, tables.vector)
+        recnmp = RecNmpGatherEngine().lookup(batch, tables.vector)
+        fafnir_energy = run_energy(fafnir.memory_stats, fafnir.total_ns, "fafnir")
+        recnmp_energy = run_energy(recnmp.memory_stats, recnmp.total_ns, "recnmp")
+        assert fafnir_energy.dram_nj < recnmp_energy.dram_nj  # dedup
+        assert fafnir_energy.ndp_nj < recnmp_energy.ndp_nj    # power × time
+        saving = energy_saving_vs(fafnir_energy, recnmp_energy)
+        assert 0.0 < saving < 1.0
+
+    def test_dram_dominates_for_baseline(self):
+        """'The energy consumption of DRAM dominates that of computation.'"""
+        tables = EmbeddingTableSet(rows_per_table=50_000, seed=13)
+        batch = QueryGenerator.paper_calibrated(tables, seed=14).batch(32)
+        result = FafnirGatherEngine().lookup(batch, tables.vector)
+        breakdown = run_energy(result.memory_stats, result.total_ns, "fafnir")
+        assert breakdown.dram_share > 0.5

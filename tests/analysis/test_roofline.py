@@ -1,0 +1,67 @@
+"""Tests for the roofline model (§II motivation)."""
+
+import pytest
+
+from repro.analysis import (
+    Roofline,
+    SERVER_ROOFLINE,
+    bandwidth_utilization,
+    gather_reduce_intensity,
+)
+
+
+class TestRoofline:
+    def test_ridge_point(self):
+        roofline = Roofline(peak_gflops=100.0, peak_bandwidth_gbps=50.0)
+        assert roofline.ridge_intensity == pytest.approx(2.0)
+
+    def test_attainable_performance(self):
+        roofline = Roofline(peak_gflops=100.0, peak_bandwidth_gbps=50.0)
+        assert roofline.attainable_gflops(1.0) == pytest.approx(50.0)
+        assert roofline.attainable_gflops(10.0) == pytest.approx(100.0)
+
+    def test_memory_bound_classification(self):
+        roofline = Roofline(peak_gflops=100.0, peak_bandwidth_gbps=50.0)
+        assert roofline.is_memory_bound(0.5)
+        assert not roofline.is_memory_bound(5.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Roofline(peak_gflops=0, peak_bandwidth_gbps=1)
+        with pytest.raises(ValueError):
+            SERVER_ROOFLINE.attainable_gflops(-1)
+
+
+class TestGatherReduceIntensity:
+    def test_paper_workload_is_deeply_memory_bound(self):
+        """§II: embedding lookup sits in the memory-bound region, far below
+        the ceiling."""
+        intensity = gather_reduce_intensity(query_len=16, vector_bytes=512)
+        assert intensity < 0.25  # FLOP/byte
+        assert SERVER_ROOFLINE.is_memory_bound(intensity)
+
+    def test_intensity_formula(self):
+        # q=2: v adds over 2v·4 bytes = 1/8 FLOP/byte.
+        assert gather_reduce_intensity(2, 512) == pytest.approx(1 / 8)
+
+    def test_single_vector_has_zero_intensity(self):
+        assert gather_reduce_intensity(1, 512) == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            gather_reduce_intensity(0, 512)
+
+
+class TestBandwidthUtilization:
+    def test_fraction_of_peak(self):
+        # 76.8 GB/s roofline: 76.8 bytes/ns is 100 %.
+        assert bandwidth_utilization(768, 10.0, SERVER_ROOFLINE) == pytest.approx(1.0)
+
+    def test_underutilization_detectable(self):
+        assert bandwidth_utilization(76, 10.0, SERVER_ROOFLINE) < 0.11
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            bandwidth_utilization(-1, 1.0, SERVER_ROOFLINE)
+        with pytest.raises(ValueError):
+            bandwidth_utilization(1, 0.0, SERVER_ROOFLINE)

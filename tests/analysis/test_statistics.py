@@ -1,0 +1,81 @@
+"""Tests for the bootstrap statistics helpers."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.statistics import (
+    SummaryStats,
+    bootstrap_mean,
+    speedup_significant,
+)
+
+
+class TestBootstrapMean:
+    def test_mean_and_interval_contain_truth(self):
+        rng = np.random.default_rng(1)
+        values = rng.normal(loc=10.0, scale=1.0, size=40)
+        stats = bootstrap_mean(values, seed=2)
+        assert stats.low < 10.0 < stats.high
+        assert stats.mean == pytest.approx(values.mean())
+        assert stats.samples == 40
+
+    def test_interval_narrows_with_more_samples(self):
+        rng = np.random.default_rng(3)
+        small = bootstrap_mean(rng.normal(size=8), seed=4)
+        large = bootstrap_mean(rng.normal(size=200), seed=4)
+        assert large.half_width < small.half_width
+
+    def test_single_sample_degenerates(self):
+        stats = bootstrap_mean([5.0])
+        assert stats.mean == stats.low == stats.high == 5.0
+
+    def test_deterministic_by_seed(self):
+        values = [1.0, 2.0, 3.0, 4.0]
+        a = bootstrap_mean(values, seed=7)
+        b = bootstrap_mean(values, seed=7)
+        assert (a.low, a.high) == (b.low, b.high)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            bootstrap_mean([])
+        with pytest.raises(ValueError):
+            bootstrap_mean([1.0], confidence=1.5)
+        with pytest.raises(ValueError):
+            bootstrap_mean([1.0], resamples=10)
+
+    def test_str(self):
+        text = str(bootstrap_mean([1.0, 2.0], seed=1))
+        assert "CI" in text
+
+
+class TestSpeedupSignificance:
+    def test_clear_speedup_detected(self):
+        rng = np.random.default_rng(5)
+        baseline = rng.normal(loc=100.0, scale=3.0, size=20)
+        improved = rng.normal(loc=20.0, scale=1.0, size=20)
+        assert speedup_significant(baseline, improved, seed=6)
+
+    def test_noise_not_called_significant(self):
+        rng = np.random.default_rng(7)
+        baseline = rng.normal(loc=100.0, scale=10.0, size=10)
+        improved = rng.normal(loc=100.0, scale=10.0, size=10)
+        assert not speedup_significant(baseline, improved, seed=8)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            speedup_significant([], [1.0])
+        with pytest.raises(ValueError):
+            speedup_significant([1.0], [0.0])
+
+    def test_real_engines_speedup_is_significant(self):
+        """FAFNIR's advantage over RecNMP survives seed noise."""
+        from repro.baselines import FafnirGatherEngine, RecNmpGatherEngine
+        from repro.workloads import EmbeddingTableSet, QueryGenerator
+
+        tables = EmbeddingTableSet(rows_per_table=50_000, seed=9)
+        recnmp, fafnir = [], []
+        for seed in range(5):
+            batch = QueryGenerator.paper_calibrated(tables, seed=seed).batch(16)
+            recnmp.append(RecNmpGatherEngine().lookup(batch, tables.vector).total_ns)
+            fafnir.append(FafnirGatherEngine().lookup(batch, tables.vector).total_ns)
+        assert speedup_significant(recnmp, fafnir, seed=10)

@@ -1,0 +1,74 @@
+"""Tests for the RecNMP rank-cache model."""
+
+import pytest
+
+from repro.baselines import RankCacheArray, VectorCache
+
+
+class TestVectorCache:
+    def test_capacity_in_vectors(self):
+        cache = VectorCache(size_bytes=128 * 1024, vector_bytes=512, ways=8)
+        assert cache.capacity_vectors == 256
+
+    def test_miss_then_hit(self):
+        cache = VectorCache()
+        assert not cache.access(7)
+        assert cache.access(7)
+        assert cache.stats.hits == 1
+        assert cache.stats.misses == 1
+        assert cache.stats.hit_rate == pytest.approx(0.5)
+
+    def test_lru_eviction_within_set(self):
+        cache = VectorCache(size_bytes=2 * 512, vector_bytes=512, ways=2)
+        assert cache.num_sets == 1
+        cache.access(1)
+        cache.access(2)
+        cache.access(1)      # 1 becomes MRU
+        cache.access(3)      # evicts 2 (LRU)
+        assert cache.access(1)
+        assert not cache.access(2)
+
+    def test_distinct_sets_do_not_conflict(self):
+        cache = VectorCache(size_bytes=4 * 512, vector_bytes=512, ways=2)
+        assert cache.num_sets == 2
+        cache.access(0)  # set 0
+        cache.access(1)  # set 1
+        assert cache.access(0)
+        assert cache.access(1)
+
+    def test_reset(self):
+        cache = VectorCache()
+        cache.access(5)
+        cache.reset()
+        assert not cache.access(5)
+        assert cache.stats.misses == 1
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            VectorCache(size_bytes=0)
+        with pytest.raises(ValueError):
+            VectorCache(size_bytes=512, vector_bytes=512, ways=8)
+        cache = VectorCache()
+        with pytest.raises(ValueError):
+            cache.access(-1)
+
+
+class TestRankCacheArray:
+    def test_per_rank_isolation(self):
+        array = RankCacheArray(num_ranks=2)
+        array.access(0, 5)
+        assert not array.access(1, 5)  # different rank: cold
+        assert array.access(0, 5)
+
+    def test_aggregate_stats(self):
+        array = RankCacheArray(num_ranks=2)
+        array.access(0, 1)
+        array.access(0, 1)
+        array.access(1, 2)
+        stats = array.stats
+        assert stats.hits == 1
+        assert stats.misses == 2
+
+    def test_rejects_zero_ranks(self):
+        with pytest.raises(ValueError):
+            RankCacheArray(num_ranks=0)

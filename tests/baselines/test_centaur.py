@@ -1,0 +1,55 @@
+"""Tests for the Centaur baseline (§III-D)."""
+
+import pytest
+
+from repro.baselines import (
+    CentaurGatherEngine,
+    CpuGatherEngine,
+    FafnirGatherEngine,
+)
+from repro.workloads import EmbeddingTableSet, QueryGenerator
+
+
+@pytest.fixture(scope="module")
+def workload():
+    tables = EmbeddingTableSet(rows_per_table=100_000, seed=4)
+    batch = QueryGenerator.paper_calibrated(tables, seed=5).batch(16)
+    return tables, batch
+
+
+class TestCentaur:
+    def test_functionally_correct(self, workload):
+        tables, batch = workload
+        assert CentaurGatherEngine().oracle_check(batch, tables.vector)
+
+    def test_moves_as_much_data_as_the_baseline(self, workload):
+        """§III-D: 'unlike TensorDIMM, Centaur does not reduce data
+        movement but instead transfers data more quickly'."""
+        tables, batch = workload
+        centaur = CentaurGatherEngine().lookup(batch, tables.vector)
+        cpu = CpuGatherEngine().lookup(batch, tables.vector)
+        assert centaur.bytes_to_core == cpu.bytes_to_core
+
+    def test_but_transfers_it_faster(self, workload):
+        tables, batch = workload
+        centaur = CentaurGatherEngine().lookup(batch, tables.vector)
+        cpu = CpuGatherEngine().lookup(batch, tables.vector)
+        assert centaur.timing.transfer_ns < cpu.timing.transfer_ns
+
+    def test_fafnir_still_wins(self, workload):
+        """Moving q× fewer bytes beats moving the same bytes faster."""
+        tables, batch = workload
+        centaur = CentaurGatherEngine().lookup(batch, tables.vector)
+        fafnir = FafnirGatherEngine().lookup(batch, tables.vector)
+        assert fafnir.total_ns < centaur.total_ns
+        assert fafnir.bytes_to_core < centaur.bytes_to_core
+
+    def test_link_multiplier_validated(self):
+        with pytest.raises(ValueError):
+            CentaurGatherEngine(link_multiplier=0)
+
+    def test_faster_link_helps(self, workload):
+        tables, batch = workload
+        slow = CentaurGatherEngine(link_multiplier=1.0).lookup(batch, tables.vector)
+        fast = CentaurGatherEngine(link_multiplier=8.0).lookup(batch, tables.vector)
+        assert fast.timing.transfer_ns < slow.timing.transfer_ns

@@ -1,0 +1,143 @@
+"""Tests for the gather engines: functional parity and qualitative shape."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    CpuGatherEngine,
+    FafnirGatherEngine,
+    HostLink,
+    RecNmpGatherEngine,
+    TensorDimmGatherEngine,
+)
+from repro.core import get_operator
+from repro.workloads.embedding import EmbeddingTableSet, QueryGenerator
+
+
+@pytest.fixture(scope="module")
+def tables():
+    return EmbeddingTableSet(num_tables=32, rows_per_table=100_000, seed=0)
+
+
+@pytest.fixture(scope="module")
+def batch(tables):
+    return QueryGenerator.paper_calibrated(tables, seed=4).batch(16)
+
+
+@pytest.fixture(scope="module")
+def results(tables, batch):
+    engines = {
+        "cpu": CpuGatherEngine(),
+        "tensordimm": TensorDimmGatherEngine(),
+        "recnmp": RecNmpGatherEngine(),
+        "fafnir": FafnirGatherEngine(),
+    }
+    return {
+        name: engine.lookup(batch, tables.vector)
+        for name, engine in engines.items()
+    }
+
+
+class TestFunctionalParity:
+    def test_all_engines_agree(self, results):
+        reference = results["fafnir"].vectors
+        for name, result in results.items():
+            for a, b in zip(reference, result.vectors):
+                assert np.allclose(a, b), name
+
+    def test_all_engines_pass_oracle(self, tables, batch):
+        for engine in (
+            CpuGatherEngine(),
+            TensorDimmGatherEngine(),
+            RecNmpGatherEngine(with_cache=True),
+            FafnirGatherEngine(),
+        ):
+            assert engine.oracle_check(batch, tables.vector), engine.name
+
+    def test_mean_operator_supported_everywhere(self, tables, batch):
+        operator = get_operator("mean")
+        for engine_cls in (CpuGatherEngine, TensorDimmGatherEngine, RecNmpGatherEngine):
+            engine = engine_cls(operator=operator)
+            assert engine.oracle_check(batch[:4], tables.vector), engine_cls
+
+
+class TestDataMovement:
+    def test_cpu_ships_every_vector(self, results, batch):
+        total_lookups = sum(len(set(q)) for q in batch)
+        assert results["cpu"].bytes_to_core == total_lookups * 512
+
+    def test_ndp_designs_ship_only_outputs(self, results, batch):
+        assert results["tensordimm"].bytes_to_core == len(batch) * 512
+        assert results["fafnir"].bytes_to_core == len(batch) * 512
+
+    def test_recnmp_between_the_extremes(self, results):
+        """§III-C: RecNMP's movement depends on spatial locality."""
+        assert (
+            results["fafnir"].bytes_to_core
+            < results["recnmp"].bytes_to_core
+            <= results["cpu"].bytes_to_core
+        )
+
+    def test_fafnir_reads_fewest_vectors(self, results):
+        assert results["fafnir"].dram_reads < results["cpu"].dram_reads
+        assert results["fafnir"].dram_reads < results["recnmp"].dram_reads
+
+
+class TestQualitativeShape:
+    def test_tensordimm_memory_slowest(self, results):
+        """§III-B: column-major striping breaks row-buffer locality."""
+        tensordimm = results["tensordimm"].timing.memory_ns
+        assert tensordimm > 2 * results["recnmp"].timing.memory_ns
+        assert tensordimm > 2 * results["fafnir"].timing.memory_ns
+
+    def test_recnmp_and_fafnir_memory_comparable(self, results):
+        """Fig. 11: both use rank-parallel row-major reads.  (FAFNIR issues
+        fewer reads thanks to dedup, so it may be somewhat faster.)"""
+        ratio = results["recnmp"].timing.memory_ns / results["fafnir"].timing.memory_ns
+        assert 0.8 <= ratio <= 3.0
+
+    def test_fafnir_fastest_overall(self, results):
+        fastest = results["fafnir"].total_ns
+        for name in ("cpu", "tensordimm", "recnmp"):
+            assert results[name].total_ns > fastest, name
+
+    def test_fafnir_does_all_reduction_at_ndp(self, results):
+        assert results["fafnir"].core_reduced_vectors == 0
+        assert results["recnmp"].core_reduced_vectors > 0
+
+    def test_tensordimm_row_hit_rate_is_poor(self, results):
+        assert results["tensordimm"].memory_stats.row_hit_rate < 0.5
+
+
+class TestRecNmpCache:
+    def test_cache_absorbs_redundant_reads(self, tables):
+        batch = QueryGenerator.paper_calibrated(tables, seed=7).batch(32)
+        without = RecNmpGatherEngine().lookup(batch, tables.vector)
+        with_cache = RecNmpGatherEngine(with_cache=True).lookup(batch, tables.vector)
+        assert with_cache.cache_hits > 0
+        assert with_cache.dram_reads < without.dram_reads
+        assert (
+            with_cache.dram_reads + with_cache.cache_hits == without.dram_reads
+        )
+
+    def test_hit_rate_clamped_to_paper_bound(self, tables):
+        # Pathological batch: the same query 32 times.
+        query = QueryGenerator.paper_calibrated(tables, seed=8).query()
+        batch = [query] * 32
+        engine = RecNmpGatherEngine(with_cache=True, max_cache_hit_rate=0.5)
+        result = engine.lookup(batch, tables.vector)
+        hit_rate = result.cache_hits / (result.cache_hits + result.dram_reads)
+        assert hit_rate <= 0.51
+
+
+class TestHostLink:
+    def test_transfer_time_scales_with_bytes(self):
+        link = HostLink()
+        assert link.transfer_ns(0) == 0.0
+        small = link.transfer_ns(1024)
+        large = link.transfer_ns(1024 * 1024)
+        assert large > small > 0
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            HostLink().transfer_ns(-1)

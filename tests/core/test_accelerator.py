@@ -1,0 +1,68 @@
+"""Tests for the public FafnirAccelerator facade."""
+
+import numpy as np
+import pytest
+
+from repro.core import FafnirAccelerator, FafnirConfig
+
+
+def make_source(seed=0, elements=128):
+    rng = np.random.default_rng(seed)
+    store = {}
+
+    def source(index):
+        if index not in store:
+            store[index] = rng.normal(size=elements)
+        return store[index]
+
+    return source
+
+
+class TestFacade:
+    def test_operator_accepts_string(self):
+        accelerator = FafnirAccelerator(operator="max")
+        assert accelerator.operator.name == "max"
+
+    def test_lookup_returns_one_vector_per_query(self):
+        accelerator = FafnirAccelerator()
+        source = make_source()
+        result = accelerator.lookup(source, [[1, 2], [3], [4, 5, 6]])
+        assert len(result.vectors) == 3
+        assert all(v.shape == (128,) for v in result.vectors)
+
+    def test_verify_against_oracle(self):
+        accelerator = FafnirAccelerator(check_values=True)
+        source = make_source(seed=2)
+        rng = np.random.default_rng(3)
+        queries = [list(rng.choice(1024, size=8, replace=False)) for _ in range(16)]
+        assert accelerator.verify_against_oracle(source, queries)
+
+    def test_software_batches_split_into_hardware_batches(self):
+        """Paper §IV-B: larger software batches are served as several small
+        hardware batches."""
+        config = FafnirConfig(batch_size=4)
+        accelerator = FafnirAccelerator(config=config, check_values=True)
+        source = make_source(seed=4)
+        rng = np.random.default_rng(5)
+        queries = [list(rng.choice(256, size=4, replace=False)) for _ in range(10)]
+        result = accelerator.lookup(source, queries)
+        assert len(result.vectors) == 10
+        # Stats accumulate across the three hardware batches (4 + 4 + 2).
+        assert result.stats.total_lookups == sum(len(q) for q in queries)
+        assert len(result.plan.queries) == 10
+        # Every output still matches the oracle.
+        for query, vector in zip(queries, result.vectors):
+            want = np.sum([source(i) for i in set(query)], axis=0)
+            assert np.allclose(vector, want)
+
+    def test_split_batches_accumulate_latency(self):
+        config = FafnirConfig(batch_size=2)
+        accelerator = FafnirAccelerator(config=config)
+        source = make_source(seed=6)
+        single = accelerator.lookup(source, [[1, 2], [3, 4]])
+        double = accelerator.lookup(source, [[1, 2], [3, 4], [5, 6], [7, 8]])
+        assert double.stats.latency_pe_cycles > single.stats.latency_pe_cycles
+
+    def test_engine_property_exposed(self):
+        accelerator = FafnirAccelerator()
+        assert accelerator.engine.config is accelerator.config

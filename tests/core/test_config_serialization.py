@@ -1,0 +1,46 @@
+"""Tests for FafnirConfig serialisation."""
+
+import json
+
+import pytest
+
+from repro.core import FafnirConfig, PELatencies
+
+
+class TestSerialization:
+    def test_round_trip_default(self):
+        config = FafnirConfig()
+        assert FafnirConfig.from_dict(config.to_dict()) == config
+
+    def test_round_trip_custom(self):
+        config = FafnirConfig(
+            batch_size=8,
+            max_query_len=8,
+            vector_bytes=256,
+            total_ranks=16,
+            ranks_per_leaf_pe=1,
+            num_tables=16,
+            latencies=PELatencies(compare=10, reduce_value=3, reduce_header=12, forward=1),
+        )
+        assert FafnirConfig.from_dict(config.to_dict()) == config
+
+    def test_json_compatible(self):
+        config = FafnirConfig()
+        text = json.dumps(config.to_dict())
+        assert FafnirConfig.from_dict(json.loads(text)) == config
+
+    def test_partial_dict_uses_defaults(self):
+        config = FafnirConfig.from_dict({"batch_size": 8})
+        assert config.batch_size == 8
+        assert config.total_ranks == 32
+        assert config.latencies.compare == 12
+
+    def test_unknown_keys_rejected(self):
+        with pytest.raises(ValueError, match="unknown configuration keys"):
+            FafnirConfig.from_dict({"batchsize": 8})
+
+    def test_invalid_values_still_validated(self):
+        with pytest.raises(ValueError):
+            FafnirConfig.from_dict({"batch_size": 0})
+        with pytest.raises(ValueError):
+            FafnirConfig.from_dict({"total_ranks": 24})

@@ -1,0 +1,95 @@
+"""Tests for the interactive (single-query) mode (§IV-C)."""
+
+import numpy as np
+import pytest
+
+from repro.core import FafnirConfig, FafnirEngine, InteractiveEngine, get_operator
+
+
+def make_source(seed=0, elements=128):
+    rng = np.random.default_rng(seed)
+    store = {}
+
+    def source(index):
+        if index not in store:
+            store[index] = rng.normal(size=elements)
+        return store[index]
+
+    return source
+
+
+class TestInteractive:
+    def test_matches_oracle(self):
+        engine = InteractiveEngine()
+        source = make_source(seed=1)
+        query = [3, 77, 515, 1030]
+        result = engine.lookup_one(query, source)
+        want = np.sum([source(i) for i in query], axis=0)
+        assert np.allclose(result.vector, want)
+
+    def test_matches_batch_engine_result(self):
+        source = make_source(seed=2)
+        query = [10, 43, 76, 109, 200]
+        interactive = InteractiveEngine().lookup_one(query, source)
+        batch = FafnirEngine(FafnirConfig(batch_size=1)).run_batch(
+            [query], source
+        )
+        assert np.allclose(interactive.vector, batch.vectors[0])
+
+    def test_lower_latency_than_batch_path(self):
+        """Compare-free PEs: the single query travels the tree faster than
+        through the full header-processing pipeline."""
+        source = make_source(seed=3)
+        query = [1, 34, 67, 100, 133, 166, 199, 232]
+        interactive = InteractiveEngine().lookup_one(query, source)
+        batch = FafnirEngine(FafnirConfig(batch_size=1)).run_batch([query], source)
+        assert interactive.latency_pe_cycles < batch.stats.latency_pe_cycles
+
+    def test_mean_operator(self):
+        operator = get_operator("mean")
+        engine = InteractiveEngine(operator=operator)
+        source = make_source(seed=4)
+        query = [5, 70, 135]
+        result = engine.lookup_one(query, source)
+        assert np.allclose(result.vector, np.mean([source(i) for i in query], axis=0))
+
+    def test_operator_accepts_string(self):
+        engine = InteractiveEngine(operator="max")
+        assert engine.operator.name == "max"
+
+    def test_single_index(self):
+        engine = InteractiveEngine()
+        source = make_source(seed=5)
+        result = engine.lookup_one([42], source)
+        assert np.allclose(result.vector, source(42))
+
+    def test_same_rank_indices_fold(self):
+        engine = InteractiveEngine()
+        source = make_source(seed=6)
+        query = [0, 32, 64]  # all homed in rank 0
+        result = engine.lookup_one(query, source)
+        assert np.allclose(result.vector, np.sum([source(i) for i in query], axis=0))
+
+    def test_validation(self):
+        engine = InteractiveEngine()
+        source = make_source()
+        with pytest.raises(ValueError):
+            engine.lookup_one([], source)
+        with pytest.raises(ValueError):
+            engine.lookup_one(list(range(17)), source)
+        with pytest.raises(ValueError):
+            engine.lookup_one([1], lambda i: np.zeros(3))
+
+    def test_latency_includes_memory(self):
+        engine = InteractiveEngine()
+        source = make_source(seed=7)
+        result = engine.lookup_one([1, 2, 3], source)
+        assert result.latency_pe_cycles > result.memory_latency_pe_cycles >= 0
+        assert result.tree_latency_pe_cycles > 0
+        assert result.memory.reads == 3
+
+    def test_stage_is_compare_free(self):
+        engine = InteractiveEngine()
+        latencies = engine.config.latencies
+        assert engine.stage_cycles < latencies.compare
+        assert engine.stage_cycles == max(latencies.reduce_value, latencies.forward)

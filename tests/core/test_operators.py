@@ -1,0 +1,73 @@
+"""Tests for reduction operators."""
+
+import numpy as np
+import pytest
+
+from repro.core import MAX, MEAN, MIN, SUM, available_operators, get_operator
+
+
+class TestLookup:
+    def test_all_paper_operators_available(self):
+        assert set(available_operators()) >= {"sum", "min", "max", "mean"}
+
+    def test_get_operator_round_trip(self):
+        for name in available_operators():
+            assert get_operator(name).name == name
+
+    def test_unknown_operator_raises(self):
+        with pytest.raises(KeyError, match="unknown reduction operator"):
+            get_operator("median")
+
+
+class TestSemantics:
+    def test_sum_combine(self):
+        a = np.array([1.0, 2.0])
+        b = np.array([3.0, -1.0])
+        assert np.array_equal(SUM.combine(a, b), [4.0, 1.0])
+
+    def test_min_max_combine(self):
+        a = np.array([1.0, 5.0])
+        b = np.array([3.0, -1.0])
+        assert np.array_equal(MIN.combine(a, b), [1.0, -1.0])
+        assert np.array_equal(MAX.combine(a, b), [3.0, 5.0])
+
+    def test_mean_uses_sum_in_tree_and_divides_at_host(self):
+        a = np.array([2.0, 4.0])
+        b = np.array([4.0, 0.0])
+        in_tree = MEAN.combine(a, b)
+        assert np.array_equal(in_tree, [6.0, 4.0])
+        assert np.array_equal(MEAN.finalize(in_tree, 2), [3.0, 2.0])
+
+    def test_mean_finalize_rejects_bad_count(self):
+        with pytest.raises(ValueError):
+            MEAN.finalize(np.array([1.0]), 0)
+
+    def test_sum_finalize_is_identity(self):
+        v = np.array([1.0, 2.0])
+        assert SUM.finalize(v, 7) is v
+
+
+class TestReduceMany:
+    def test_matches_numpy(self):
+        rng = np.random.default_rng(3)
+        vectors = [rng.normal(size=16) for _ in range(5)]
+        assert np.allclose(SUM.reduce_many(vectors), np.sum(vectors, axis=0))
+        assert np.allclose(MIN.reduce_many(vectors), np.min(vectors, axis=0))
+        assert np.allclose(MAX.reduce_many(vectors), np.max(vectors, axis=0))
+        assert np.allclose(MEAN.reduce_many(vectors), np.mean(vectors, axis=0))
+
+    def test_single_vector(self):
+        v = np.array([1.0, 2.0])
+        assert np.array_equal(MEAN.reduce_many([v]), v)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            SUM.reduce_many([])
+
+    def test_associativity_order_independence(self):
+        """The tree combines in arbitrary order; results must not depend on it."""
+        rng = np.random.default_rng(4)
+        vectors = [rng.normal(size=8) for _ in range(6)]
+        forward = SUM.reduce_many(vectors)
+        backward = SUM.reduce_many(list(reversed(vectors)))
+        assert np.allclose(forward, backward)

@@ -1,0 +1,64 @@
+"""Tests for the phased (store-and-forward) timing variant."""
+
+import numpy as np
+import pytest
+
+from repro.core import FafnirConfig, FafnirEngine, PhasedFafnirEngine
+from repro.workloads import EmbeddingTableSet, QueryGenerator
+
+
+@pytest.fixture(scope="module")
+def workload():
+    tables = EmbeddingTableSet(rows_per_table=50_000, seed=20)
+    batch = QueryGenerator.paper_calibrated(tables, seed=21).batch(16)
+    return tables, batch
+
+
+class TestPhasedEngine:
+    def test_functional_outputs_identical_to_dataflow(self, workload):
+        tables, batch = workload
+        config = FafnirConfig(batch_size=16)
+        dataflow = FafnirEngine(config).run_batch(batch, tables.vector)
+        phased = PhasedFafnirEngine(config).run_batch(batch, tables.vector)
+        for a, b in zip(dataflow.vectors, phased.vectors):
+            assert np.allclose(a, b)
+
+    def test_phased_latency_upper_bounds_dataflow(self, workload):
+        """Dataflow lets messages race ahead; phased waits for whole
+        batches — the two bracket the hardware."""
+        tables, batch = workload
+        config = FafnirConfig(batch_size=16)
+        dataflow = FafnirEngine(config).run_batch(batch, tables.vector)
+        phased = PhasedFafnirEngine(config).run_batch(batch, tables.vector)
+        assert (
+            phased.stats.latency_pe_cycles >= dataflow.stats.latency_pe_cycles
+        )
+
+    def test_work_counts_identical(self, workload):
+        """Timing models differ; the work performed must not."""
+        tables, batch = workload
+        config = FafnirConfig(batch_size=16)
+        dataflow = FafnirEngine(config).run_batch(batch, tables.vector)
+        phased = PhasedFafnirEngine(config).run_batch(batch, tables.vector)
+        assert (
+            dataflow.stats.total_work.reduces == phased.stats.total_work.reduces
+        )
+        assert dataflow.stats.memory.reads == phased.stats.memory.reads
+
+    def test_phased_matches_oracle(self, workload):
+        tables, batch = workload
+        engine = PhasedFafnirEngine(FafnirConfig(batch_size=16), check_values=True)
+        result = engine.run_batch(batch, tables.vector)
+        for query, vector in zip(result.plan.queries, result.vectors):
+            want = np.sum([tables.vector(i) for i in query], axis=0)
+            assert np.allclose(vector, want)
+
+    def test_phased_latency_still_ordered_vs_memory(self, workload):
+        tables, batch = workload
+        phased = PhasedFafnirEngine(FafnirConfig(batch_size=16)).run_batch(
+            batch, tables.vector
+        )
+        assert (
+            phased.stats.latency_pe_cycles
+            > phased.stats.memory_latency_pe_cycles
+        )

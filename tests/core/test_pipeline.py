@@ -1,0 +1,77 @@
+"""Tests for the batch-pipelined throughput model."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    BatchStageCosts,
+    FafnirConfig,
+    FafnirEngine,
+    PipelinedRun,
+    simulate_stream,
+)
+from repro.workloads import EmbeddingTableSet, QueryGenerator
+
+
+class TestBatchStageCosts:
+    def test_bottleneck(self):
+        costs = BatchStageCosts(memory_cycles=100, tree_cycles=40, latency_cycles=130)
+        assert costs.bottleneck_cycles == 100
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BatchStageCosts(memory_cycles=-1, tree_cycles=0, latency_cycles=0)
+
+
+class TestPipelinedRun:
+    def make_run(self, n=4):
+        costs = BatchStageCosts(memory_cycles=100, tree_cycles=60, latency_cycles=160)
+        return PipelinedRun(per_batch=[costs] * n)
+
+    def test_serial_vs_pipelined(self):
+        run = self.make_run(4)
+        assert run.serial_cycles == 4 * 160
+        assert run.pipelined_cycles == 160 + 3 * 100
+        assert run.pipeline_speedup == pytest.approx(640 / 460)
+
+    def test_single_batch_degenerates(self):
+        run = self.make_run(1)
+        assert run.pipelined_cycles == run.serial_cycles == 160
+        assert run.steady_state_cycles_per_batch() == 160.0
+
+    def test_steady_state(self):
+        run = self.make_run(5)
+        assert run.steady_state_cycles_per_batch() == pytest.approx(100.0)
+
+    def test_queries_per_second(self):
+        run = self.make_run(4)
+        qps = run.queries_per_second(queries_per_batch=32, pe_clock_mhz=200.0)
+        seconds = run.pipelined_cycles / 200e6
+        assert qps == pytest.approx(4 * 32 / seconds)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PipelinedRun(per_batch=[])
+        with pytest.raises(ValueError):
+            self.make_run(2).queries_per_second(0)
+
+
+class TestSimulateStream:
+    def test_pipelining_beats_serial_on_real_batches(self):
+        tables = EmbeddingTableSet(rows_per_table=50_000, seed=7)
+        generator = QueryGenerator.paper_calibrated(tables, seed=8)
+        engine = FafnirEngine(FafnirConfig(batch_size=16))
+        batches = [generator.batch(16) for _ in range(4)]
+        run = simulate_stream(engine, batches, tables.vector)
+        assert run.batches == 4
+        assert run.pipeline_speedup > 1.0
+        assert run.pipelined_cycles < run.serial_cycles
+
+    def test_results_depend_on_dedup(self):
+        tables = EmbeddingTableSet(rows_per_table=50_000, seed=9)
+        generator = QueryGenerator.paper_calibrated(tables, seed=10)
+        engine = FafnirEngine(FafnirConfig(batch_size=16))
+        batches = [generator.batch(16) for _ in range(3)]
+        with_dedup = simulate_stream(engine, batches, tables.vector, deduplicate=True)
+        without = simulate_stream(engine, batches, tables.vector, deduplicate=False)
+        assert with_dedup.pipelined_cycles <= without.pipelined_cycles

@@ -1,0 +1,79 @@
+"""Tests for the header wire format."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import FafnirConfig, Header
+from repro.core.wire import HeaderOverflowError, WireFormat
+
+
+@pytest.fixture
+def wire():
+    return WireFormat.for_config(FafnirConfig())
+
+
+class TestWireFormat:
+    def test_reference_format_is_5_bit(self, wire):
+        assert wire.index_bits == 5
+        assert wire.max_index == 31
+
+    def test_round_trip_simple(self, wire):
+        header = Header.make({3}, [{7, 11}, {2}])
+        assert wire.decode(wire.encode(header)) == header
+
+    def test_round_trip_with_complete_entry(self, wire):
+        header = Header.make({3, 7, 11}, [set()])
+        assert wire.decode(wire.encode(header)) == header
+
+    def test_paper_example_round_trip(self, wire):
+        """Fig. 6: [indices: 50,11 | queries: 94,26] with 5-bit table ids
+        (relabelled into range)."""
+        header = Header.make({5, 1}, [{9, 2}])
+        decoded = wire.decode(wire.encode(header))
+        assert decoded.indices == frozenset({5, 1})
+        assert decoded.entries == (frozenset({2, 9}),)
+
+    def test_oversized_index_rejected(self, wire):
+        header = Header.make({32}, [{1}])
+        with pytest.raises(HeaderOverflowError, match="5-bit"):
+            wire.encode(header)
+
+    def test_slot_budget_enforced(self):
+        tight = WireFormat(index_bits=5, slot_budget=4)
+        header = Header.make({1, 2, 3}, [{4, 5}])  # needs 1+3+1+2 = 7 slots
+        assert not tight.fits(header)
+        with pytest.raises(HeaderOverflowError, match="budget"):
+            tight.encode(header)
+
+    def test_reference_budget_fits_full_queries(self, wire):
+        """A header carrying one full q=16 query fits the budget."""
+        header = Header.make({0}, [set(range(1, 16))])
+        assert wire.fits(header)
+        assert wire.decode(wire.encode(header)) == header
+
+    def test_decode_rejects_garbage(self, wire):
+        with pytest.raises(ValueError):
+            wire.decode(b"")
+        with pytest.raises(ValueError):
+            wire.decode(bytes([9]) + b"\x00")  # promises 9 tokens, has none
+
+    def test_wire_bytes_accounting(self, wire):
+        small = Header.make({1}, [{2}])
+        large = Header.make({1, 2, 3, 4}, [{5, 6, 7}, {8, 9}])
+        assert wire.wire_bytes(large) > wire.wire_bytes(small)
+
+
+@settings(max_examples=80, deadline=None)
+@given(
+    indices=st.sets(st.integers(min_value=0, max_value=31), min_size=1, max_size=4),
+    entries=st.lists(
+        st.sets(st.integers(min_value=0, max_value=31), max_size=4),
+        min_size=1,
+        max_size=3,
+    ),
+)
+def test_round_trip_property(indices, entries):
+    cleaned = [set(entry) - indices for entry in entries]
+    header = Header.make(indices, cleaned)
+    wire = WireFormat(index_bits=5, slot_budget=64)
+    assert wire.decode(wire.encode(header)) == header

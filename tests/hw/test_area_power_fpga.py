@@ -1,0 +1,118 @@
+"""Tests for ASIC area/power and FPGA utilization models (Tables V/VI)."""
+
+import pytest
+
+from repro.hw import (
+    AsicPower,
+    CHANNEL_NODE_AREA_MM2,
+    PE_AREA_MM2,
+    PE_MW,
+    SYSTEM_MW,
+    XCVU9P,
+    fpga_node_power_w,
+    fpga_power_breakdown_w,
+    memory_energy_saving,
+    pe_area_mm2,
+    pe_utilization,
+    recnmp_comparison_mw,
+    recnmp_system_area_mm2,
+    reference_system_area,
+    system_utilization,
+    table5,
+)
+
+
+class TestArea:
+    def test_pe_matches_published_layout(self):
+        """274 µm × 282 µm ≈ 0.077 mm²."""
+        assert PE_AREA_MM2 == pytest.approx(0.274 * 0.282, rel=0.01)
+
+    def test_reference_system_close_to_paper_total(self):
+        """4 DIMM/rank nodes + 1 channel node ≈ 1.2–1.25 mm²."""
+        area = reference_system_area()
+        assert area.total_mm2 == pytest.approx(1.249, rel=0.01)
+        assert 1.2 <= area.total_mm2 <= 1.3
+
+    def test_channel_node_is_tiny(self):
+        assert CHANNEL_NODE_AREA_MM2 == pytest.approx(0.121)
+
+    def test_fafnir_far_smaller_than_recnmp(self):
+        """§VI: RecNMP needs 8.64 mm² across 16 DIMMs."""
+        assert recnmp_system_area_mm2(16) == pytest.approx(8.64)
+        assert reference_system_area().total_mm2 < recnmp_system_area_mm2(16) / 5
+
+    def test_embedding_only_pe_smaller(self):
+        assert pe_area_mm2(with_multiplier=False) < pe_area_mm2()
+
+
+class TestPower:
+    def test_system_power_matches_table6(self):
+        power = AsicPower()
+        assert power.total_mw == pytest.approx(SYSTEM_MW, rel=0.001)
+        assert power.total_mw == pytest.approx(111.64, rel=0.001)
+
+    def test_per_dimm_power(self):
+        assert AsicPower().per_dimm_mw == pytest.approx(5.9, abs=0.1)
+
+    def test_negligible_vs_dram(self):
+        """§VI: 111.64 mW against 16 DIMMs × 13 W."""
+        assert AsicPower().fraction_of_dram_power < 0.001
+
+    def test_recnmp_comparison(self):
+        """RecNMP adds 184.2 mW per DIMM — far above FAFNIR's 5.9 mW."""
+        assert recnmp_comparison_mw(1) == pytest.approx(184.2)
+        assert recnmp_comparison_mw(1) > 20 * AsicPower().per_dimm_mw
+
+    def test_pe_power_consistent(self):
+        assert 7 * PE_MW == pytest.approx(23.82, rel=0.001)
+
+
+class TestFpgaPower:
+    def test_node_power_anchors(self):
+        assert fpga_node_power_w("dimm_rank") == pytest.approx(0.23)
+        assert fpga_node_power_w("channel") == pytest.approx(0.18)
+        with pytest.raises(ValueError):
+            fpga_node_power_w("other")
+
+    def test_breakdown_sums_to_total(self):
+        breakdown = fpga_power_breakdown_w("dimm_rank")
+        assert sum(breakdown.values()) == pytest.approx(0.23)
+        assert set(breakdown) == {"signals", "logic", "bram", "clocks", "dsp"}
+
+
+class TestFpgaUtilization:
+    def test_table5_within_paper_bounds(self):
+        """Table V: ≤5 % LUT, ≤0.15 % LUTRAM, ≤1 % FF, ≤13 % BRAM."""
+        utilization = table5()
+        assert utilization["lut"] <= 5.0
+        assert utilization["lutram"] <= 0.16
+        assert utilization["ff"] <= 1.0
+        assert utilization["bram"] <= 13.0
+
+    def test_reference_system_fits(self):
+        assert system_utilization().fits()
+
+    def test_scales_with_pe_count(self):
+        one = pe_utilization(1)
+        system = pe_utilization(31)
+        for resource in XCVU9P:
+            assert system.used[resource] == 31 * one.used[resource]
+
+    def test_rejects_zero_pes(self):
+        with pytest.raises(ValueError):
+            pe_utilization(0)
+
+
+class TestMemoryEnergySaving:
+    def test_saving_tracks_access_elimination(self):
+        assert memory_energy_saving(100, 66) == pytest.approx(0.34)
+        assert memory_energy_saving(100, 42) == pytest.approx(0.58)
+
+    def test_no_sharing_no_saving(self):
+        assert memory_energy_saving(100, 100) == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            memory_energy_saving(0, 0)
+        with pytest.raises(ValueError):
+            memory_energy_saving(10, 11)

@@ -1,0 +1,39 @@
+"""Tests for buffer sizing against paper Table I."""
+
+import pytest
+
+from repro.core import FafnirConfig
+from repro.hw import size_buffers, table1
+
+
+class TestTable1:
+    """Paper Table I: PE 4.6/9.3/18.5 KB, DIMM/rank node 32.4/64.8/129.5 KB
+    for B = 8/16/32."""
+
+    @pytest.mark.parametrize(
+        "batch_size, pe_kb, node_kb",
+        [(8, 4.6, 32.4), (16, 9.3, 64.8), (32, 18.5, 129.5)],
+    )
+    def test_matches_paper_within_two_percent(self, batch_size, pe_kb, node_kb):
+        sizing = size_buffers(FafnirConfig().with_batch_size(batch_size))
+        assert sizing.pe_buffer_kb == pytest.approx(pe_kb, rel=0.02)
+        assert sizing.dimm_rank_node_kb == pytest.approx(node_kb, rel=0.02)
+
+    def test_buffer_scales_linearly_with_batch(self):
+        small = size_buffers(FafnirConfig().with_batch_size(8))
+        large = size_buffers(FafnirConfig().with_batch_size(32))
+        assert large.pe_buffer_bytes == pytest.approx(4 * small.pe_buffer_bytes)
+
+    def test_node_is_seven_pes(self):
+        sizing = size_buffers(FafnirConfig())
+        assert sizing.dimm_rank_node_kb == pytest.approx(7 * sizing.pe_buffer_kb)
+        assert sizing.channel_node_kb == pytest.approx(3 * sizing.pe_buffer_kb)
+
+    def test_table1_helper_covers_paper_batch_sizes(self):
+        rows = table1()
+        assert set(rows) == {8, 16, 32}
+        assert rows[8]["pe_kb"] < rows[16]["pe_kb"] < rows[32]["pe_kb"]
+
+    def test_entry_includes_value_header_metadata(self):
+        sizing = size_buffers(FafnirConfig())
+        assert sizing.entry_bytes > 512 + 10  # value + header + metadata

@@ -1,0 +1,117 @@
+"""Cross-module integration tests: the full stacks working together."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    CentaurGatherEngine,
+    CpuGatherEngine,
+    FafnirGatherEngine,
+    RecNmpGatherEngine,
+    TensorDimmGatherEngine,
+)
+from repro.baselines.twostep import TwoStepSpmvEngine
+from repro.core import FafnirAccelerator, FafnirConfig, InteractiveEngine
+from repro.memory import hbm2_stack
+from repro.sparse import laplacian_2d, rmat
+from repro.spmv import FafnirSpmvEngine, jacobi_solve, pagerank
+from repro.workloads import (
+    EmbeddingTableSet,
+    InferenceModel,
+    QueryGenerator,
+    fig14_suite,
+)
+
+
+@pytest.fixture(scope="module")
+def tables():
+    return EmbeddingTableSet(num_tables=32, rows_per_table=50_000, seed=10)
+
+
+class TestEmbeddingStack:
+    def test_five_engines_agree_on_one_batch(self, tables):
+        batch = QueryGenerator.paper_calibrated(tables, seed=11).batch(8)
+        engines = [
+            CpuGatherEngine(),
+            TensorDimmGatherEngine(),
+            CentaurGatherEngine(),
+            RecNmpGatherEngine(with_cache=True),
+            FafnirGatherEngine(),
+        ]
+        outputs = [engine.lookup(batch, tables.vector).vectors for engine in engines]
+        for other in outputs[1:]:
+            for a, b in zip(outputs[0], other):
+                assert np.allclose(a, b)
+
+    def test_interactive_and_batch_modes_agree(self, tables):
+        query = QueryGenerator.paper_calibrated(tables, seed=12).query()
+        batch_result = FafnirAccelerator().lookup(tables.vector, [query])
+        interactive = InteractiveEngine().lookup_one(query, tables.vector)
+        assert np.allclose(batch_result.vectors[0], interactive.vector)
+
+    def test_full_inference_pipeline(self, tables):
+        """Workload generator → engine → inference model, end to end."""
+        batch = QueryGenerator.paper_calibrated(tables, seed=13).batch(64)
+        model = InferenceModel()
+        engine = FafnirGatherEngine()
+        result = engine.lookup(batch, tables.vector)
+        breakdown = model.breakdown(result.total_ns / 1e6)
+        assert breakdown.total_ms > breakdown.fc_ms
+        assert result.dram_reads < sum(len(set(q)) for q in batch)
+
+    def test_fafnir_on_hbm_full_stack(self, tables):
+        engine = FafnirGatherEngine(
+            config=FafnirConfig(), memory_config=hbm2_stack()
+        )
+        batch = QueryGenerator.paper_calibrated(tables, seed=14).batch(16)
+        assert engine.oracle_check(batch, tables.vector)
+
+
+class TestSpmvStack:
+    def test_fig14_suite_runs_on_both_engines(self):
+        fafnir = FafnirSpmvEngine()
+        twostep = TwoStepSpmvEngine()
+        rng = np.random.default_rng(15)
+        for workload in fig14_suite()[:4]:  # keep runtime modest
+            matrix = workload.matrix()
+            x = rng.normal(size=matrix.shape[1])
+            f = fafnir.multiply(matrix, x)
+            t = twostep.multiply(matrix, x)
+            assert np.allclose(f.y, t.y)
+            assert np.allclose(f.y, matrix.matvec(x))
+
+    def test_pagerank_agrees_across_engines(self):
+        graph = rmat(9, edge_factor=4, seed=16)
+        fafnir_rank = pagerank(graph, FafnirSpmvEngine(), tolerance=1e-10)
+        twostep_rank = pagerank(graph, TwoStepSpmvEngine(), tolerance=1e-10)
+        assert np.allclose(fafnir_rank.values, twostep_rank.values)
+        assert fafnir_rank.total_ns < twostep_rank.total_ns
+
+    def test_solver_feeds_back_into_matvec(self):
+        matrix = laplacian_2d(20)
+        # Regularise for Jacobi convergence.
+        dense = matrix.to_dense() + 2.0 * np.eye(matrix.shape[0])
+        from repro.sparse import LilMatrix
+
+        system = LilMatrix.from_dense(dense)
+        rhs = np.random.default_rng(17).normal(size=system.shape[0])
+        solution = jacobi_solve(system, rhs, FafnirSpmvEngine(), tolerance=1e-10)
+        assert solution.converged
+        assert np.linalg.norm(system.matvec(solution.values) - rhs) < 1e-8
+
+
+class TestGenericityClaim:
+    def test_same_config_serves_both_domains(self):
+        """§IV contribution 4: one hardware configuration runs embedding
+        lookup and SpMV without modification."""
+        config = FafnirConfig()
+        embedding_engine = FafnirGatherEngine(config=config)
+        spmv_engine = FafnirSpmvEngine(config=config)
+
+        tables = EmbeddingTableSet(rows_per_table=10_000, seed=18)
+        batch = QueryGenerator.paper_calibrated(tables, seed=18).batch(8)
+        assert embedding_engine.oracle_check(batch, tables.vector)
+
+        matrix = laplacian_2d(30)
+        x = np.ones(matrix.shape[1])
+        assert spmv_engine.oracle_check(matrix, x)

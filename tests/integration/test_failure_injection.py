@@ -1,0 +1,92 @@
+"""Failure-injection tests: the system fails loudly, not wrongly."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    FafnirConfig,
+    FafnirEngine,
+    Header,
+    Message,
+    ProcessingElement,
+    SUM,
+)
+
+
+def good_source(index):
+    rng = np.random.default_rng(1000 + index)
+    return rng.normal(size=128)
+
+
+class TestSourceFailures:
+    def test_raising_source_propagates(self):
+        engine = FafnirEngine()
+
+        def broken(index):
+            raise KeyError(f"vector {index} missing from storage")
+
+        with pytest.raises(KeyError, match="missing from storage"):
+            engine.run_batch([[1, 2]], broken)
+
+    def test_wrong_dtype_is_coerced_not_corrupted(self):
+        engine = FafnirEngine()
+        result = engine.run_batch([[1, 2]], lambda i: np.full(128, i, dtype=np.int32))
+        assert result.vectors[0].dtype == np.float64
+        assert np.allclose(result.vectors[0], 3.0)
+
+    def test_nan_values_propagate_visibly(self):
+        """A poisoned vector poisons exactly the queries using it."""
+        engine = FafnirEngine()
+
+        def poisoned(index):
+            if index == 2:
+                return np.full(128, np.nan)
+            return good_source(index)
+
+        result = engine.run_batch([[1, 2], [3, 4]], poisoned)
+        assert np.isnan(result.vectors[0]).all()
+        assert not np.isnan(result.vectors[1]).any()
+
+    def test_shape_mismatch_rejected_before_tree(self):
+        engine = FafnirEngine()
+        with pytest.raises(ValueError, match="expected"):
+            engine.run_batch([[1]], lambda i: np.zeros((2, 64)))
+
+
+class TestHeaderTampering:
+    def test_overlapping_entry_rejected_at_construction(self):
+        with pytest.raises(ValueError, match="overlaps"):
+            Header.make({1, 2}, [{2, 3}])
+
+    def test_reduce_with_non_matching_partner_rejected(self):
+        header = Header.make({1}, [{2, 3}])
+        with pytest.raises(ValueError, match="not contained"):
+            header.reduced_with(frozenset({9}), frozenset({2, 3}))
+
+    def test_merge_unit_catches_value_divergence(self):
+        """check_values turns a silently-wrong merge into a loud failure."""
+        config = FafnirConfig(batch_size=8, total_ranks=8, ranks_per_leaf_pe=2)
+        pe = ProcessingElement(config, SUM, check_values=True)
+        clean = Message(Header.make({1}, [{2}]), np.ones(4))
+        tampered = Message(Header.make({1}, [{2, 3}]), np.full(4, 99.0))
+        partner = Message(Header.make({2}, [{1}, {1, 3}]), np.ones(4))
+        with pytest.raises(AssertionError, match="merge-unit invariant"):
+            pe.process([clean, tampered], [partner])
+
+
+class TestConfigurationGuards:
+    def test_engine_rejects_query_longer_than_hardware(self):
+        engine = FafnirEngine(FafnirConfig(max_query_len=4))
+        with pytest.raises(ValueError, match="exceeding"):
+            engine.run_batch([[1, 2, 3, 4, 5]], good_source)
+
+    def test_engine_rejects_batch_larger_than_hardware(self):
+        engine = FafnirEngine(FafnirConfig(batch_size=2))
+        with pytest.raises(ValueError, match="exceeds configured batch size"):
+            engine.run_batch([[1], [2], [3]], good_source)
+
+    def test_operator_name_typo_is_loud(self):
+        from repro.core import get_operator
+
+        with pytest.raises(KeyError, match="available"):
+            get_operator("summ")

@@ -1,0 +1,63 @@
+"""Tests for periodic-refresh modelling."""
+
+import dataclasses
+
+import pytest
+
+from repro.memory import DramTiming, MemoryConfig, MemorySystem, ReadRequest
+from repro.memory.config import MemoryGeometry
+
+
+def refresh_config():
+    base = MemoryConfig.small_test_system()
+    return MemoryConfig(
+        geometry=base.geometry,
+        timing=dataclasses.replace(base.timing, refresh_enabled=True),
+        energy=base.energy,
+    )
+
+
+class TestRefresh:
+    def test_disabled_by_default(self):
+        assert not DramTiming().refresh_enabled
+
+    def test_request_in_blackout_is_delayed(self):
+        system = MemorySystem(refresh_config())
+        timing = system.config.timing
+        # Rank 0's blackout starts at cycle 0 (offset 0).
+        request = ReadRequest(rank=0, bank=0, row=0, column=0, bytes_=64, issue_cycle=0)
+        completion = system.execute([request])[0][0]
+        assert completion.finish_cycle >= timing.tRFC
+
+    def test_request_outside_blackout_unaffected(self):
+        plain = MemorySystem(MemoryConfig.small_test_system())
+        refreshing = MemorySystem(refresh_config())
+        timing = plain.config.timing
+        safe_cycle = timing.tRFC + 100  # past rank 0's blackout
+        request = ReadRequest(
+            rank=0, bank=0, row=0, column=0, bytes_=64, issue_cycle=safe_cycle
+        )
+        a = plain.execute([request])[0][0]
+        b = refreshing.execute([request])[0][0]
+        assert a.finish_cycle == b.finish_cycle
+
+    def test_blackouts_staggered_across_ranks(self):
+        system = MemorySystem(refresh_config())
+        timing = system.config.timing
+        # At cycle 0, rank 0 is refreshing but a later-offset rank is not.
+        r0 = ReadRequest(rank=0, bank=0, row=0, column=0, bytes_=64)
+        r3 = ReadRequest(rank=3, bank=0, row=0, column=0, bytes_=64)
+        c0 = system.execute([r0])[0][0]
+        system.reset()
+        c3 = system.execute([r3])[0][0]
+        assert c0.finish_cycle > c3.finish_cycle
+
+    def test_blackout_recurs_every_trefi(self):
+        system = MemorySystem(refresh_config())
+        timing = system.config.timing
+        request = ReadRequest(
+            rank=0, bank=0, row=0, column=0, bytes_=64,
+            issue_cycle=timing.tREFI + 1,
+        )
+        completion = system.execute([request])[0][0]
+        assert completion.start_cycle >= timing.tREFI + timing.tRFC

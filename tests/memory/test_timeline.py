@@ -1,0 +1,71 @@
+"""Tests for the ASCII DRAM timeline renderer."""
+
+import pytest
+
+from repro.memory import MemoryConfig, MemorySystem, ReadRequest
+from repro.memory.timeline import (
+    TimelineOptions,
+    render_rank_timeline,
+    utilization_summary,
+)
+
+
+@pytest.fixture
+def completions():
+    system = MemorySystem(MemoryConfig.small_test_system())
+    requests = [
+        ReadRequest(rank=rank, bank=0, row=0, column=0, bytes_=512)
+        for rank in range(4)
+    ]
+    done, _ = system.execute(requests)
+    return done
+
+
+class TestRender:
+    def test_one_row_per_rank(self, completions):
+        text = render_rank_timeline(completions)
+        lines = text.splitlines()
+        assert lines[0].startswith("cycles 0..")
+        assert sum(1 for line in lines if line.startswith("rank")) == 4
+
+    def test_busy_marks_present(self, completions):
+        text = render_rank_timeline(completions)
+        assert "#" in text
+
+    def test_width_respected(self, completions):
+        options = TimelineOptions(width=40)
+        for line in render_rank_timeline(completions, options).splitlines()[1:]:
+            strip = line.split("|")[1]
+            assert len(strip) == 40
+
+    def test_validation(self, completions):
+        with pytest.raises(ValueError):
+            render_rank_timeline([])
+        with pytest.raises(ValueError):
+            TimelineOptions(width=4)
+        with pytest.raises(ValueError):
+            TimelineOptions(busy_char="##")
+
+
+class TestUtilization:
+    def test_fractions_bounded(self, completions):
+        summary = utilization_summary(completions)
+        assert set(summary) == {0, 1, 2, 3}
+        for fraction in summary.values():
+            assert 0.0 < fraction <= 1.0
+
+    def test_overlaps_merged(self):
+        """Two overlapping spans must not double-count."""
+        from repro.memory.request import Completion, ReadRequest as RR
+
+        r = RR(rank=0, bank=0, row=0, column=0, bytes_=64)
+        spans = [
+            Completion(r, start_cycle=0, finish_cycle=60, row_hit=True, bursts=1, activated=False),
+            Completion(r, start_cycle=30, finish_cycle=100, row_hit=True, bursts=1, activated=False),
+        ]
+        summary = utilization_summary(spans)
+        assert summary[0] == pytest.approx(1.0)
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            utilization_summary([])

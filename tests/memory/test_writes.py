@@ -1,0 +1,90 @@
+"""Tests for the DRAM write path."""
+
+import pytest
+
+from repro.memory import DramTiming, MemoryConfig, MemorySystem, ReadRequest
+from repro.memory.bank import Bank
+from repro.memory.request import WriteRequest
+
+
+@pytest.fixture
+def timing():
+    return DramTiming()
+
+
+class TestWriteRequests:
+    def test_is_write_flags(self):
+        read = ReadRequest(rank=0, bank=0, row=0, column=0, bytes_=64)
+        write = WriteRequest(rank=0, bank=0, row=0, column=0, bytes_=64)
+        assert not read.is_write
+        assert write.is_write
+
+    def test_write_validation_shared_with_reads(self):
+        with pytest.raises(ValueError):
+            WriteRequest(rank=0, bank=0, row=0, column=0, bytes_=0)
+
+
+class TestBankWrites:
+    def test_write_uses_cwl(self, timing):
+        bank = Bank(timing)
+        outcome = bank.access(row=3, at_cycle=0, bursts=1, is_write=True)
+        assert outcome.data_ready == timing.tRCD + timing.tCWL
+
+    def test_write_recovery_delays_next_access(self, timing):
+        bank = Bank(timing)
+        bank.access(row=3, at_cycle=0, bursts=1, is_write=True)
+        after_write = bank.ready_cycle
+        bank.reset()
+        bank.access(row=3, at_cycle=0, bursts=1, is_write=False)
+        after_read = bank.ready_cycle
+        assert after_write == after_read + timing.tWR
+
+    def test_write_then_read_same_row_hits(self, timing):
+        bank = Bank(timing)
+        bank.access(row=3, at_cycle=0, bursts=1, is_write=True)
+        outcome = bank.access(row=3, at_cycle=1000, bursts=1, is_write=False)
+        assert outcome.row_hit
+
+
+class TestSystemWrites:
+    def test_mixed_read_write_stream(self):
+        system = MemorySystem(MemoryConfig.small_test_system())
+        requests = [
+            WriteRequest(rank=0, bank=0, row=0, column=0, bytes_=512),
+            ReadRequest(rank=0, bank=0, row=0, column=0, bytes_=512),
+        ]
+        completions, stats = system.execute(requests)
+        assert stats.reads == 2  # accesses, read or write
+        # The read-back of the just-written row hits the open row buffer.
+        assert completions[1].row_hit
+        assert completions[1].finish_cycle > completions[0].finish_cycle
+
+    def test_write_recovery_visible_through_system(self):
+        system = MemorySystem(MemoryConfig.small_test_system())
+        timing = system.config.timing
+        write_then_read = [
+            WriteRequest(rank=0, bank=0, row=0, column=0, bytes_=64),
+            ReadRequest(rank=0, bank=0, row=0, column=64, bytes_=64),
+        ]
+        _, after_write = system.execute(write_then_read)
+        system.reset()
+        read_then_read = [
+            ReadRequest(rank=0, bank=0, row=0, column=0, bytes_=64),
+            ReadRequest(rank=0, bank=0, row=0, column=64, bytes_=64),
+        ]
+        _, after_read = system.execute(read_then_read)
+        assert (
+            after_write.finish_cycle - after_read.finish_cycle == timing.tWR
+        )
+
+    def test_parallel_bank_writes_overlap(self):
+        system = MemorySystem(MemoryConfig.small_test_system())
+        requests = [
+            WriteRequest(rank=0, bank=bank, row=0, column=0, bytes_=64)
+            for bank in range(4)
+        ]
+        completions, _ = system.execute(requests)
+        spread = completions[-1].finish_cycle - completions[0].finish_cycle
+        timing = system.config.timing
+        # Bus-limited spacing, not serialized full accesses.
+        assert spread == 3 * timing.tBL

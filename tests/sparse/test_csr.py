@@ -1,0 +1,60 @@
+"""Tests for the CSR format."""
+
+import numpy as np
+import pytest
+
+from repro.sparse import CooMatrix, CsrMatrix, LilMatrix
+
+
+@pytest.fixture
+def dense():
+    rng = np.random.default_rng(5)
+    matrix = rng.normal(size=(6, 8))
+    matrix[rng.random(size=matrix.shape) < 0.5] = 0.0
+    return matrix
+
+
+class TestCsr:
+    def test_round_trip_dense(self, dense):
+        assert np.allclose(CsrMatrix.from_dense(dense).to_dense(), dense)
+
+    def test_round_trip_coo(self, dense):
+        csr = CsrMatrix.from_coo(CooMatrix.from_dense(dense))
+        assert np.allclose(csr.to_coo().to_dense(), dense)
+
+    def test_to_lil(self, dense):
+        lil = CsrMatrix.from_dense(dense).to_lil()
+        assert isinstance(lil, LilMatrix)
+        assert np.allclose(lil.to_dense(), dense)
+
+    def test_matvec(self, dense):
+        csr = CsrMatrix.from_dense(dense)
+        x = np.random.default_rng(6).normal(size=dense.shape[1])
+        assert np.allclose(csr.matvec(x), dense @ x)
+
+    def test_row_accessor(self, dense):
+        csr = CsrMatrix.from_dense(dense)
+        for r in range(dense.shape[0]):
+            indices, values = csr.row(r)
+            reconstructed = np.zeros(dense.shape[1])
+            reconstructed[indices] = values
+            assert np.allclose(reconstructed, dense[r])
+        with pytest.raises(ValueError):
+            csr.row(dense.shape[0])
+
+    def test_nnz(self, dense):
+        assert CsrMatrix.from_dense(dense).nnz == np.count_nonzero(dense)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CsrMatrix((2, 2), [0, 1], [0], [1.0])  # indptr wrong length
+        with pytest.raises(ValueError):
+            CsrMatrix((2, 2), [0, 2, 1], [0, 1], [1.0, 2.0])  # decreasing
+        with pytest.raises(ValueError):
+            CsrMatrix((2, 2), [0, 1, 2], [0, 5], [1.0, 2.0])  # col OOB
+        with pytest.raises(ValueError):
+            CsrMatrix((2, 2), [0, 1, 2], [0, 1], [1.0])  # len mismatch
+
+    def test_matvec_shape_checked(self, dense):
+        with pytest.raises(ValueError):
+            CsrMatrix.from_dense(dense).matvec(np.zeros(3))

@@ -1,0 +1,110 @@
+"""Tests for COO/LIL sparse formats."""
+
+import numpy as np
+import pytest
+
+from repro.sparse import CooMatrix, LilMatrix
+
+
+@pytest.fixture
+def dense():
+    rng = np.random.default_rng(0)
+    matrix = rng.normal(size=(7, 9))
+    matrix[rng.random(size=matrix.shape) < 0.6] = 0.0
+    return matrix
+
+
+class TestCoo:
+    def test_round_trip_dense(self, dense):
+        assert np.allclose(CooMatrix.from_dense(dense).to_dense(), dense)
+
+    def test_coalesce_sums_duplicates(self):
+        coo = CooMatrix(
+            shape=(2, 2), rows=[0, 0, 1], cols=[1, 1, 0], values=[1.0, 2.0, 5.0]
+        )
+        merged = coo.coalesce()
+        assert merged.nnz == 2
+        assert merged.to_dense()[0, 1] == 3.0
+
+    def test_matvec_oracle(self, dense):
+        coo = CooMatrix.from_dense(dense)
+        x = np.random.default_rng(1).normal(size=dense.shape[1])
+        assert np.allclose(coo.matvec(x), dense @ x)
+
+    def test_bounds_checked(self):
+        with pytest.raises(ValueError):
+            CooMatrix(shape=(2, 2), rows=[2], cols=[0], values=[1.0])
+        with pytest.raises(ValueError):
+            CooMatrix(shape=(2, 2), rows=[0], cols=[-1], values=[1.0])
+        with pytest.raises(ValueError):
+            CooMatrix(shape=(2, 2), rows=[0, 1], cols=[0], values=[1.0])
+
+    def test_matvec_shape_checked(self, dense):
+        coo = CooMatrix.from_dense(dense)
+        with pytest.raises(ValueError):
+            coo.matvec(np.zeros(3))
+
+    def test_density(self):
+        coo = CooMatrix(shape=(10, 10), rows=[0], cols=[0], values=[1.0])
+        assert coo.density == pytest.approx(0.01)
+
+
+class TestLil:
+    def test_round_trips(self, dense):
+        lil = LilMatrix.from_dense(dense)
+        assert np.allclose(lil.to_dense(), dense)
+        assert np.allclose(lil.to_coo().to_dense(), dense)
+        assert lil.nnz == np.count_nonzero(dense)
+
+    def test_matvec_matches_dense(self, dense):
+        lil = LilMatrix.from_dense(dense)
+        x = np.random.default_rng(2).normal(size=dense.shape[1])
+        assert np.allclose(lil.matvec(x), dense @ x)
+
+    def test_iter_nonzeros_row_major(self, dense):
+        lil = LilMatrix.from_dense(dense)
+        triples = list(lil.iter_nonzeros())
+        assert len(triples) == lil.nnz
+        rows = [r for r, _, _ in triples]
+        assert rows == sorted(rows)
+        for row, col, value in triples:
+            assert dense[row, col] == value
+
+    def test_stream_bytes(self, dense):
+        lil = LilMatrix.from_dense(dense)
+        assert lil.stream_bytes() == lil.nnz * 8
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LilMatrix((1, 2), [np.array([5])], [np.array([1.0])])  # col OOB
+        with pytest.raises(ValueError):
+            LilMatrix((1, 2), [np.array([0, 1])], [np.array([1.0])])  # len mismatch
+        with pytest.raises(ValueError):
+            LilMatrix((2, 2), [np.array([0])], [np.array([1.0])])  # row count
+
+
+class TestSplitColumns:
+    def test_chunks_reassemble(self, dense):
+        lil = LilMatrix.from_dense(dense)
+        chunks = lil.split_columns(4)
+        assert [c.shape[1] for c in chunks] == [4, 4, 1]
+        reassembled = np.hstack([c.to_dense() for c in chunks])
+        assert np.allclose(reassembled, dense)
+
+    def test_chunk_matvecs_sum_to_full(self, dense):
+        """The split is exactly FAFNIR's iteration-0 decomposition: chunk
+        partial products sum to the full SpMV."""
+        lil = LilMatrix.from_dense(dense)
+        x = np.random.default_rng(3).normal(size=dense.shape[1])
+        partial_sum = np.zeros(dense.shape[0])
+        for k, chunk in enumerate(lil.split_columns(3)):
+            partial_sum += chunk.matvec(x[3 * k : 3 * k + chunk.shape[1]])
+        assert np.allclose(partial_sum, lil.matvec(x))
+
+    def test_nnz_preserved(self, dense):
+        lil = LilMatrix.from_dense(dense)
+        assert sum(c.nnz for c in lil.split_columns(2)) == lil.nnz
+
+    def test_invalid_width(self, dense):
+        with pytest.raises(ValueError):
+            LilMatrix.from_dense(dense).split_columns(0)

@@ -1,0 +1,101 @@
+"""Tests for synthetic sparse-matrix generators."""
+
+import numpy as np
+import pytest
+
+from repro.sparse import (
+    diagonally_dominant,
+    laplacian_2d,
+    random_sparse,
+    rmat,
+    road_mesh,
+)
+
+
+class TestRandomSparse:
+    def test_density_approximate(self):
+        matrix = random_sparse(100, 100, 0.05, seed=1)
+        assert matrix.nnz == 500
+
+    def test_deterministic(self):
+        a = random_sparse(50, 50, 0.1, seed=3)
+        b = random_sparse(50, 50, 0.1, seed=3)
+        assert np.allclose(a.to_dense(), b.to_dense())
+
+    def test_invalid_density(self):
+        with pytest.raises(ValueError):
+            random_sparse(10, 10, 0.0)
+        with pytest.raises(ValueError):
+            random_sparse(10, 10, 1.5)
+
+
+class TestLaplacian:
+    def test_shape_and_structure(self):
+        matrix = laplacian_2d(4, 5)
+        assert matrix.shape == (20, 20)
+        dense = matrix.to_dense()
+        assert np.allclose(dense, dense.T)  # symmetric
+        assert np.all(np.diag(dense) == 4.0)
+
+    def test_interior_row_has_five_nonzeros(self):
+        matrix = laplacian_2d(5)
+        center = 2 * 5 + 2
+        assert matrix.row_nnz(center) == 5
+
+    def test_positive_definite(self):
+        dense = laplacian_2d(6).to_dense()
+        eigenvalues = np.linalg.eigvalsh(dense)
+        assert eigenvalues.min() > 0
+
+    def test_rejects_bad_grid(self):
+        with pytest.raises(ValueError):
+            laplacian_2d(0)
+
+
+class TestRmat:
+    def test_power_law_degree_skew(self):
+        graph = rmat(12, edge_factor=8, seed=0)
+        degrees = np.array([graph.row_nnz(r) for r in range(graph.shape[0])])
+        # Heavy tail: the top 1% of vertices holds far more than 1% of edges.
+        top = np.sort(degrees)[-len(degrees) // 100 :].sum()
+        assert top > 0.05 * degrees.sum() * 2
+
+    def test_vertex_count(self):
+        graph = rmat(8, edge_factor=4, seed=1)
+        assert graph.shape == (256, 256)
+
+    def test_rejects_bad_scale(self):
+        with pytest.raises(ValueError):
+            rmat(0)
+        with pytest.raises(ValueError):
+            rmat(30)
+
+
+class TestRoadMesh:
+    def test_near_constant_degree(self):
+        graph = road_mesh(20, seed=0)
+        degrees = np.array([graph.row_nnz(r) for r in range(graph.shape[0])])
+        assert degrees.mean() < 6  # road-like, not social-like
+        assert degrees.max() <= 10
+
+    def test_symmetric(self):
+        dense = road_mesh(10, seed=1).to_dense()
+        assert np.allclose((dense != 0), (dense.T != 0))
+
+    def test_rejects_tiny(self):
+        with pytest.raises(ValueError):
+            road_mesh(1)
+
+
+class TestDiagonallyDominant:
+    def test_dominance(self):
+        dense = diagonally_dominant(50, density=0.05, seed=2).to_dense()
+        off_diagonal = np.abs(dense) - np.diag(np.abs(np.diag(dense)))
+        assert np.all(np.abs(np.diag(dense)) > off_diagonal.sum(axis=1) - 1e-9)
+
+    def test_jacobi_spectral_radius_below_one(self):
+        dense = diagonally_dominant(40, density=0.05, seed=3).to_dense()
+        d = np.diag(dense)
+        iteration_matrix = -(dense - np.diag(d)) / d[:, None]
+        radius = np.abs(np.linalg.eigvals(iteration_matrix)).max()
+        assert radius < 1.0

@@ -1,0 +1,150 @@
+"""Tests for the SpMV applications (PageRank, BFS, Jacobi)."""
+
+import numpy as np
+import pytest
+
+from repro.sparse import CooMatrix, LilMatrix, diagonally_dominant, rmat
+from repro.spmv import FafnirSpmvEngine, bfs, jacobi_solve, pagerank
+
+
+@pytest.fixture(scope="module")
+def engine():
+    return FafnirSpmvEngine()
+
+
+def tiny_chain():
+    """Directed path 0→1→2→3 plus a back edge 3→0."""
+    return LilMatrix.from_coo(
+        CooMatrix(
+            shape=(4, 4),
+            rows=[0, 1, 2, 3],
+            cols=[1, 2, 3, 0],
+            values=[1.0, 1.0, 1.0, 1.0],
+        )
+    )
+
+
+class TestPageRank:
+    def test_cycle_graph_is_uniform(self, engine):
+        result = pagerank(tiny_chain(), engine, tolerance=1e-12)
+        assert result.converged
+        assert np.allclose(result.values, 0.25, atol=1e-6)
+
+    def test_rank_sums_to_one(self, engine):
+        graph = rmat(9, edge_factor=4, seed=1)
+        result = pagerank(graph, engine, tolerance=1e-10)
+        assert result.converged
+        assert result.values.sum() == pytest.approx(1.0)
+
+    def test_matches_dense_oracle(self, engine):
+        graph = rmat(8, edge_factor=4, seed=2)
+        result = pagerank(graph, engine, tolerance=1e-12, max_iterations=300)
+        dense = graph.to_dense()
+        n = dense.shape[0]
+        out_degree = dense.sum(axis=1)
+        transition = np.zeros_like(dense)
+        has_out = out_degree > 0
+        transition[has_out] = (dense[has_out].T / out_degree[has_out]).T
+        rank = np.full(n, 1 / n)
+        for _ in range(500):
+            updated = (
+                0.85 * transition.T @ rank
+                + 0.15 / n
+                + 0.85 * rank[~has_out].sum() / n
+            )
+            if np.abs(updated - rank).sum() < 1e-14:
+                break
+            rank = updated
+        assert np.allclose(result.values, rank, atol=1e-8)
+
+    def test_accumulates_hardware_time(self, engine):
+        result = pagerank(tiny_chain(), engine, tolerance=1e-12)
+        assert result.total_ns > 0
+        assert len(result.residuals) == result.iterations
+
+    def test_rejects_non_square(self, engine):
+        bad = LilMatrix.from_dense(np.ones((2, 3)))
+        with pytest.raises(ValueError):
+            pagerank(bad, engine)
+
+    def test_rejects_bad_damping(self, engine):
+        with pytest.raises(ValueError):
+            pagerank(tiny_chain(), engine, damping=1.5)
+
+
+class TestBfs:
+    def test_chain_levels(self, engine):
+        result = bfs(tiny_chain(), engine, source=0)
+        assert result.converged
+        assert list(result.values) == [0, 1, 2, 3]
+
+    def test_unreachable_vertices_stay_minus_one(self, engine):
+        graph = LilMatrix.from_coo(
+            CooMatrix(shape=(3, 3), rows=[0], cols=[1], values=[1.0])
+        )
+        result = bfs(graph, engine, source=0)
+        assert list(result.values) == [0, 1, -1]
+
+    def test_matches_networkx_style_bfs(self, engine):
+        graph = rmat(7, edge_factor=4, seed=3)
+        result = bfs(graph, engine, source=0)
+        # Reference BFS on the dense adjacency.
+        dense = graph.to_dense() != 0
+        n = dense.shape[0]
+        levels = np.full(n, -1)
+        levels[0] = 0
+        frontier = [0]
+        depth = 0
+        while frontier:
+            depth += 1
+            next_frontier = []
+            for u in frontier:
+                for v in np.nonzero(dense[u])[0]:
+                    if levels[v] < 0:
+                        levels[v] = depth
+                        next_frontier.append(v)
+            frontier = next_frontier
+        assert np.array_equal(result.values.astype(int), levels)
+
+    def test_source_validated(self, engine):
+        with pytest.raises(ValueError):
+            bfs(tiny_chain(), engine, source=9)
+
+    def test_max_levels_cap(self, engine):
+        result = bfs(tiny_chain(), engine, source=0, max_levels=1)
+        assert result.iterations == 1
+        assert list(result.values) == [0, 1, -1, -1]
+
+
+class TestJacobi:
+    def test_solves_diagonally_dominant_system(self, engine):
+        matrix = diagonally_dominant(120, density=0.03, seed=4)
+        rhs = np.random.default_rng(5).normal(size=120)
+        result = jacobi_solve(matrix, rhs, engine, tolerance=1e-10)
+        assert result.converged
+        assert np.linalg.norm(matrix.matvec(result.values) - rhs) < 1e-9
+
+    def test_matches_numpy_solve(self, engine):
+        matrix = diagonally_dominant(60, density=0.05, seed=6)
+        rhs = np.random.default_rng(7).normal(size=60)
+        result = jacobi_solve(matrix, rhs, engine, tolerance=1e-12)
+        expected = np.linalg.solve(matrix.to_dense(), rhs)
+        assert np.allclose(result.values, expected, atol=1e-8)
+
+    def test_residuals_decrease(self, engine):
+        matrix = diagonally_dominant(80, density=0.04, seed=8)
+        rhs = np.ones(80)
+        result = jacobi_solve(matrix, rhs, engine, tolerance=1e-10)
+        assert result.residuals[-1] < result.residuals[0]
+
+    def test_zero_diagonal_rejected(self, engine):
+        matrix = LilMatrix.from_dense(np.array([[0.0, 1.0], [1.0, 2.0]]))
+        with pytest.raises(ValueError, match="zero diagonal"):
+            jacobi_solve(matrix, np.ones(2), engine)
+
+    def test_shape_validation(self, engine):
+        matrix = diagonally_dominant(10, seed=9)
+        with pytest.raises(ValueError):
+            jacobi_solve(matrix, np.ones(5), engine)
+        with pytest.raises(ValueError):
+            jacobi_solve(LilMatrix.from_dense(np.ones((2, 3))), np.ones(2), engine)

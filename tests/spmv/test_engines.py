@@ -1,0 +1,115 @@
+"""Tests for the FAFNIR SpMV engine and the Two-Step baseline."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.twostep import TwoStepSpmvEngine
+from repro.sparse import laplacian_2d, random_sparse, rmat
+from repro.spmv import FafnirSpmvEngine
+
+
+@pytest.fixture(scope="module")
+def fafnir():
+    return FafnirSpmvEngine()
+
+
+@pytest.fixture(scope="module")
+def twostep():
+    return TwoStepSpmvEngine()
+
+
+class TestFunctional:
+    def test_fafnir_matches_oracle_small(self, fafnir):
+        matrix = random_sparse(50, 60, 0.1, seed=1)
+        x = np.random.default_rng(2).normal(size=60)
+        assert fafnir.oracle_check(matrix, x)
+
+    def test_fafnir_matches_oracle_multi_chunk(self, fafnir):
+        matrix = laplacian_2d(70)  # 4 900 columns → 3 chunks
+        x = np.random.default_rng(3).normal(size=matrix.shape[1])
+        result = fafnir.multiply(matrix, x)
+        assert result.plan.chunks == 3
+        assert np.allclose(result.y, matrix.matvec(x))
+
+    def test_twostep_matches_oracle(self, twostep):
+        matrix = rmat(11, edge_factor=4, seed=4)
+        x = np.random.default_rng(5).normal(size=matrix.shape[1])
+        assert twostep.oracle_check(matrix, x)
+
+    def test_engines_agree(self, fafnir, twostep):
+        matrix = laplacian_2d(50)
+        x = np.random.default_rng(6).normal(size=matrix.shape[1])
+        assert np.allclose(
+            fafnir.multiply(matrix, x).y, twostep.multiply(matrix, x).y
+        )
+
+    def test_operand_shape_checked(self, fafnir, twostep):
+        matrix = laplacian_2d(10)
+        for engine in (fafnir, twostep):
+            with pytest.raises(ValueError):
+                engine.multiply(matrix, np.zeros(7))
+
+    def test_empty_rows_handled(self, fafnir):
+        from repro.sparse import CooMatrix, LilMatrix
+
+        matrix = LilMatrix.from_coo(
+            CooMatrix(shape=(5, 5), rows=[0], cols=[4], values=[2.0])
+        )
+        x = np.ones(5)
+        result = fafnir.multiply(matrix, x)
+        assert np.allclose(result.y, [2.0, 0, 0, 0, 0])
+
+
+class TestTimingShape:
+    def test_fafnir_step1_beats_twostep(self, fafnir, twostep):
+        """FAFNIR applies SpMV in-stream; Two-Step writes intermediates."""
+        matrix = laplacian_2d(45)
+        x = np.ones(matrix.shape[1])
+        f = fafnir.multiply(matrix, x).stats
+        t = twostep.multiply(matrix, x).stats
+        assert f.step1_ns < t.step1_ns
+
+    def test_twostep_merges_faster_per_iteration(self, fafnir, twostep):
+        """The dedicated multi-way merge core outpaces the generic tree."""
+        matrix = rmat(15, edge_factor=8, seed=7)
+        x = np.ones(matrix.shape[1])
+        f = fafnir.multiply(matrix, x).stats
+        t = twostep.multiply(matrix, x).stats
+        assert f.merge_ns > t.merge_ns > 0
+
+    def test_speedup_range_matches_fig14(self, fafnir, twostep):
+        """Fig. 14: FAFNIR 1.1–4.6× over Two-Step; small scientific inputs
+        at the top, large merge-bound graphs at the bottom."""
+        rng = np.random.default_rng(8)
+        small_sci = laplacian_2d(45)
+        large_graph = rmat(15, edge_factor=8, seed=9)
+        speedups = {}
+        for name, matrix in (("sci", small_sci), ("graph", large_graph)):
+            x = rng.normal(size=matrix.shape[1])
+            f = fafnir.multiply(matrix, x).stats.total_ns
+            t = twostep.multiply(matrix, x).stats.total_ns
+            speedups[name] = t / f
+        assert speedups["sci"] > speedups["graph"]
+        assert 1.0 < speedups["graph"] < 2.5
+        assert 2.5 < speedups["sci"] < 6.0
+
+    def test_single_chunk_fafnir_has_no_merge_time(self, fafnir):
+        matrix = laplacian_2d(40)
+        result = fafnir.multiply(matrix, np.ones(matrix.shape[1]))
+        assert result.plan.merge_iterations == 0
+        assert result.stats.merge_ns == 0.0
+
+    def test_single_chunk_twostep_still_pays_second_step(self, twostep):
+        """The algorithm always reads its runs back — its namesake step."""
+        matrix = laplacian_2d(40)
+        result = twostep.multiply(matrix, np.ones(matrix.shape[1]))
+        assert result.stats.merge_ns > 0.0
+
+    def test_step1_scales_with_nnz(self, fafnir):
+        small = random_sparse(1000, 1000, 0.005, seed=10)
+        dense = random_sparse(1000, 1000, 0.05, seed=10)
+        x = np.ones(1000)
+        assert (
+            fafnir.multiply(dense, x).stats.step1_ns
+            > fafnir.multiply(small, x).stats.step1_ns
+        )

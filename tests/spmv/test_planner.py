@@ -1,0 +1,68 @@
+"""Tests for the SpMV iteration/round planner (paper Fig. 8/9)."""
+
+import pytest
+
+from repro.spmv import SpmvPlan, sweep
+
+
+class TestSpmvPlan:
+    def test_single_chunk_needs_no_merging(self):
+        plan = SpmvPlan(n_cols=2048, vector_size=2048)
+        assert plan.chunks == 1
+        assert plan.iterations == 1
+        assert plan.merge_iterations == 0
+        assert plan.total_merges == 0
+
+    def test_small_matrix_single_chunk(self):
+        plan = SpmvPlan(n_cols=100, vector_size=2048)
+        assert plan.chunks == 1
+
+    def test_chunk_count(self):
+        plan = SpmvPlan(n_cols=10_000, vector_size=2048)
+        assert plan.chunks == 5
+        assert plan.rounds_per_iteration == [5, 1]
+        assert plan.merge_iterations == 1
+        assert plan.total_merges == 4
+
+    def test_paper_claim_5m_columns_two_merge_iterations(self):
+        """Fig. 9: beyond 5 M columns, no more than two merge iterations at
+        vector size 2048."""
+        for n_cols in (5_000_000, 10_000_000, 20_000_000):
+            plan = SpmvPlan(n_cols=n_cols, vector_size=2048)
+            assert plan.merge_iterations <= 2, n_cols
+
+    def test_merge_iterations_grow_logarithmically(self):
+        small = SpmvPlan(n_cols=2048 * 10, vector_size=2048)
+        large = SpmvPlan(n_cols=2048 * 10_000, vector_size=2048)
+        assert small.merge_iterations == 1
+        assert large.merge_iterations == 2
+
+    def test_smaller_vector_size_needs_more_rounds(self):
+        """Fig. 9a vs 9b: vector size 1024 needs ~2× the rounds of 2048."""
+        at_1024 = SpmvPlan(n_cols=1_000_000, vector_size=1024)
+        at_2048 = SpmvPlan(n_cols=1_000_000, vector_size=2048)
+        assert at_1024.chunks == pytest.approx(2 * at_2048.chunks, rel=0.01)
+        assert at_1024.total_merges >= at_2048.total_merges
+
+    def test_monotone_in_columns(self):
+        plans = sweep(
+            [2048 * (1 << k) for k in range(12)], vector_size=2048
+        )
+        chunk_counts = [plan.chunks for plan in plans]
+        assert chunk_counts == sorted(chunk_counts)
+        merge_counts = [plan.total_merges for plan in plans]
+        assert merge_counts == sorted(merge_counts)
+
+    def test_merges_equal_streams_minus_one(self):
+        """Merging S streams down to 1 always takes S−1 merges."""
+        for n_cols in (2048, 10_000, 500_000, 20_000_000):
+            plan = SpmvPlan(n_cols=n_cols, vector_size=2048)
+            assert plan.total_merges == plan.chunks - 1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SpmvPlan(n_cols=0)
+        with pytest.raises(ValueError):
+            SpmvPlan(n_cols=10, vector_size=0)
+        with pytest.raises(ValueError):
+            SpmvPlan(n_cols=10, merge_fan_in=1)

@@ -1,0 +1,91 @@
+"""Tests for the CG and power-iteration solvers."""
+
+import numpy as np
+import pytest
+
+from repro.sparse import LilMatrix, laplacian_2d
+from repro.spmv import (
+    FafnirSpmvEngine,
+    conjugate_gradient,
+    power_iteration,
+)
+
+
+@pytest.fixture(scope="module")
+def engine():
+    return FafnirSpmvEngine()
+
+
+class TestConjugateGradient:
+    def test_solves_laplacian_system(self, engine):
+        matrix = laplacian_2d(15)
+        rhs = np.random.default_rng(1).normal(size=matrix.shape[0])
+        result = conjugate_gradient(matrix, rhs, engine, tolerance=1e-10)
+        assert result.converged
+        assert np.linalg.norm(matrix.matvec(result.values) - rhs) < 1e-8
+
+    def test_matches_numpy_solve(self, engine):
+        matrix = laplacian_2d(8)
+        rhs = np.random.default_rng(2).normal(size=matrix.shape[0])
+        result = conjugate_gradient(matrix, rhs, engine, tolerance=1e-12)
+        expected = np.linalg.solve(matrix.to_dense(), rhs)
+        assert np.allclose(result.values, expected, atol=1e-8)
+
+    def test_residuals_shrink(self, engine):
+        matrix = laplacian_2d(12)
+        rhs = np.ones(matrix.shape[0])
+        result = conjugate_gradient(matrix, rhs, engine, tolerance=1e-10)
+        assert result.residuals[-1] < result.residuals[0]
+        assert result.total_ns > 0
+
+    def test_rejects_indefinite_matrix(self, engine):
+        indefinite = LilMatrix.from_dense(np.diag([1.0, -1.0]))
+        with pytest.raises(ValueError, match="positive definite"):
+            conjugate_gradient(indefinite, np.ones(2), engine)
+
+    def test_validation(self, engine):
+        matrix = laplacian_2d(4)
+        with pytest.raises(ValueError):
+            conjugate_gradient(matrix, np.ones(3), engine)
+        with pytest.raises(ValueError):
+            conjugate_gradient(matrix, np.ones(16), engine, tolerance=0)
+        with pytest.raises(ValueError):
+            conjugate_gradient(
+                LilMatrix.from_dense(np.ones((2, 3))), np.ones(2), engine
+            )
+
+
+class TestPowerIteration:
+    def test_finds_dominant_eigenpair(self, engine):
+        dense = np.diag([5.0, 2.0, 1.0])
+        dense[0, 1] = 0.1  # break symmetry of the iterate
+        matrix = LilMatrix.from_dense(dense)
+        result = power_iteration(matrix, engine, tolerance=1e-12)
+        assert result.converged
+        assert result.eigenvalue == pytest.approx(5.0, rel=1e-6)
+
+    def test_matches_numpy_on_laplacian(self, engine):
+        matrix = laplacian_2d(7)
+        result = power_iteration(matrix, engine, tolerance=1e-12)
+        expected = np.max(np.linalg.eigvalsh(matrix.to_dense()))
+        assert result.eigenvalue == pytest.approx(expected, rel=1e-6)
+
+    def test_eigenvector_satisfies_definition(self, engine):
+        matrix = laplacian_2d(6)
+        result = power_iteration(matrix, engine, tolerance=1e-12)
+        product = matrix.matvec(result.eigenvector)
+        assert np.allclose(
+            product, result.eigenvalue * result.eigenvector, atol=1e-5
+        )
+
+    def test_accumulates_hardware_time(self, engine):
+        matrix = laplacian_2d(5)
+        result = power_iteration(matrix, engine, tolerance=1e-10)
+        assert result.total_ns > 0
+        assert len(result.history) == result.iterations
+
+    def test_validation(self, engine):
+        with pytest.raises(ValueError):
+            power_iteration(LilMatrix.from_dense(np.ones((2, 3))), engine)
+        with pytest.raises(ValueError):
+            power_iteration(laplacian_2d(4), engine, tolerance=0)

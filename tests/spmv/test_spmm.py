@@ -1,0 +1,52 @@
+"""Tests for SpMM (sparse × dense block)."""
+
+import numpy as np
+import pytest
+
+from repro.sparse import laplacian_2d, random_sparse
+from repro.spmv import FafnirSpmvEngine
+from repro.spmv.spmm import spmm
+
+
+@pytest.fixture(scope="module")
+def engine():
+    return FafnirSpmvEngine()
+
+
+class TestSpmm:
+    def test_matches_dense_product(self, engine):
+        matrix = random_sparse(40, 50, 0.1, seed=1)
+        block = np.random.default_rng(2).normal(size=(50, 4))
+        result = spmm(engine, matrix, block)
+        assert result.y.shape == (40, 4)
+        assert np.allclose(result.y, matrix.to_dense() @ block)
+
+    def test_single_column_equals_spmv(self, engine):
+        matrix = laplacian_2d(12)
+        x = np.random.default_rng(3).normal(size=matrix.shape[1])
+        block_result = spmm(engine, matrix, x[:, None])
+        spmv_result = engine.multiply(matrix, x)
+        assert np.allclose(block_result.y[:, 0], spmv_result.y)
+
+    def test_stream_sharing_saves_time(self, engine):
+        """The shared matrix stream makes SpMM cheaper than k SpMVs."""
+        matrix = laplacian_2d(30)
+        block = np.random.default_rng(4).normal(size=(matrix.shape[1], 8))
+        result = spmm(engine, matrix, block)
+        assert result.stats.total_ns < result.naive_ns
+        assert result.stream_sharing_speedup > 2.0
+
+    def test_merge_cost_still_paid_per_column(self, engine):
+        matrix = laplacian_2d(70)  # multi-chunk → merge iterations exist
+        narrow = spmm(engine, matrix, np.ones((matrix.shape[1], 1)))
+        wide = spmm(engine, matrix, np.ones((matrix.shape[1], 4)))
+        assert wide.stats.merge_ns == pytest.approx(4 * narrow.stats.merge_ns)
+
+    def test_validation(self, engine):
+        matrix = laplacian_2d(8)
+        with pytest.raises(ValueError):
+            spmm(engine, matrix, np.ones(matrix.shape[1]))  # 1-D
+        with pytest.raises(ValueError):
+            spmm(engine, matrix, np.ones((3, 2)))  # wrong rows
+        with pytest.raises(ValueError):
+            spmm(engine, matrix, np.ones((matrix.shape[1], 0)))  # no columns

@@ -1,0 +1,72 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import ENGINES, build_parser, main
+
+
+class TestParser:
+    def test_all_subcommands_present(self):
+        parser = build_parser()
+        subparsers = next(
+            action
+            for action in parser._actions
+            if isinstance(action, type(parser._subparsers._group_actions[0]))
+        )
+        assert set(subparsers.choices) == {
+            "lookup",
+            "compare",
+            "spmv",
+            "pagerank",
+            "hw",
+            "validate",
+            "experiments",
+        }
+
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_engine_choices(self):
+        assert set(ENGINES) == {
+            "fafnir",
+            "recnmp",
+            "recnmp-cache",
+            "tensordimm",
+            "centaur",
+            "cpu",
+        }
+
+
+class TestCommands:
+    def test_lookup(self, capsys):
+        assert main(["lookup", "--engine", "fafnir", "--batch-size", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "total latency" in out
+        assert "DRAM reads" in out
+
+    def test_lookup_recnmp_cache(self, capsys):
+        assert main(["lookup", "--engine", "recnmp-cache", "--batch-size", "8"]) == 0
+        assert "engine: recnmp-cache" in capsys.readouterr().out
+
+    def test_compare(self, capsys):
+        assert main(["compare", "--batch-size", "4", "--query-len", "8"]) == 0
+        out = capsys.readouterr().out
+        for engine in ("cpu", "tensordimm", "centaur", "recnmp", "fafnir"):
+            assert engine in out
+
+    def test_spmv(self, capsys):
+        assert main(["spmv", "--kind", "stencil", "--size", "30"]) == 0
+        out = capsys.readouterr().out
+        assert "fafnir speedup" in out
+
+    def test_pagerank(self, capsys):
+        assert main(["pagerank", "--scale", "7", "--top", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "converged=True" in out
+
+    def test_hw(self, capsys):
+        assert main(["hw"]) == 0
+        out = capsys.readouterr().out
+        assert "system area" in out
+        assert "FPGA utilization" in out

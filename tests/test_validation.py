@@ -1,0 +1,50 @@
+"""Tests for the paper-anchor validation harness."""
+
+import pytest
+
+from repro.core import FafnirConfig
+from repro.validation import AnchorResult, all_anchors_hold, validate_anchors
+
+
+class TestAnchorResult:
+    def test_approx_within_tolerance(self):
+        assert AnchorResult("x", 1.01, 1.0, 0.02).ok
+        assert not AnchorResult("x", 1.10, 1.0, 0.02).ok
+
+    def test_exact_zero_tolerance(self):
+        assert AnchorResult("x", 12, 12, 0.0).ok
+        assert not AnchorResult("x", 13, 12, 0.0).ok
+
+    def test_at_most_mode(self):
+        assert AnchorResult("x", 4.9, 5.0, 0.0, mode="at_most").ok
+        assert not AnchorResult("x", 5.1, 5.0, 0.0, mode="at_most").ok
+
+    def test_zero_expected(self):
+        assert AnchorResult("x", 0.0, 0.0, 0.1).ok
+        assert not AnchorResult("x", 0.5, 0.0, 0.1).ok
+
+    def test_str_rendering(self):
+        text = str(AnchorResult("area", 1.25, 1.25, 0.01))
+        assert "ok" in text and "area" in text
+
+
+class TestValidateAnchors:
+    def test_all_reference_anchors_hold(self):
+        assert all_anchors_hold()
+
+    def test_anchor_coverage(self):
+        """Every bookkeeping table contributes anchors."""
+        names = [check.name for check in validate_anchors()]
+        text = " ".join(names)
+        for marker in ("Table I", "Table IV", "Table V", "area", "power",
+                       "connections", "PE count"):
+            assert marker in text, marker
+
+    def test_deviations_reported(self):
+        for check in validate_anchors():
+            assert abs(check.deviation_percent) < 5.0
+
+    def test_detects_a_broken_configuration(self):
+        """A mis-sized configuration must fail Table I anchors."""
+        tampered = FafnirConfig(vector_bytes=1024)
+        assert not all_anchors_hold(tampered)

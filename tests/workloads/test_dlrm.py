@@ -1,0 +1,49 @@
+"""Tests for the end-to-end inference latency model."""
+
+import pytest
+
+from repro.workloads.dlrm import InferenceBreakdown, InferenceModel
+
+
+class TestInferenceBreakdown:
+    def test_total(self):
+        breakdown = InferenceBreakdown(embedding_ms=1.0, fc_ms=0.5, other_ms=0.1)
+        assert breakdown.total_ms == pytest.approx(1.6)
+
+    def test_speedup_over(self):
+        slow = InferenceBreakdown(embedding_ms=3.5, fc_ms=0.5, other_ms=0.0)
+        fast = InferenceBreakdown(embedding_ms=0.5, fc_ms=0.5, other_ms=0.0)
+        assert fast.speedup_over(slow) == pytest.approx(4.0)
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            InferenceBreakdown(embedding_ms=-1.0, fc_ms=0.0, other_ms=0.0)
+
+
+class TestInferenceModel:
+    def test_fc_fixed_at_half_millisecond(self):
+        """Fig. 12 keeps FC layers at 0.5 ms regardless of rank count."""
+        assert InferenceModel().fc_ms == 0.5
+
+    def test_breakdown_composition(self):
+        model = InferenceModel(fc_ms=0.5, other_ms=0.2)
+        breakdown = model.breakdown(embedding_ms=1.3)
+        assert breakdown.total_ms == pytest.approx(2.0)
+
+    def test_ideal_scales_embedding_linearly(self):
+        model = InferenceModel(fc_ms=0.5, other_ms=0.0)
+        base = model.ideal_breakdown(baseline_embedding_ms=8.0, rank_factor=1)
+        ideal16 = model.ideal_breakdown(baseline_embedding_ms=8.0, rank_factor=16)
+        assert ideal16.embedding_ms == pytest.approx(0.5)
+        assert base.embedding_ms == pytest.approx(8.0)
+
+    def test_amdahl_limit(self):
+        """The fixed FC time bounds end-to-end speedup (visible in Fig. 12)."""
+        model = InferenceModel(fc_ms=0.5, other_ms=0.0)
+        base = model.breakdown(8.0)
+        infinitely_fast = model.breakdown(0.0)
+        assert infinitely_fast.speedup_over(base) == pytest.approx(17.0)
+
+    def test_ideal_rejects_bad_factor(self):
+        with pytest.raises(ValueError):
+            InferenceModel().ideal_breakdown(1.0, 0)

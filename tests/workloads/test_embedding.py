@@ -1,0 +1,115 @@
+"""Tests for embedding-table workloads and query generation."""
+
+import numpy as np
+import pytest
+
+from repro.core import plan_batch
+from repro.workloads.embedding import EmbeddingTableSet, QueryGenerator
+
+
+@pytest.fixture
+def tables():
+    return EmbeddingTableSet(num_tables=32, rows_per_table=1000, seed=3)
+
+
+class TestEmbeddingTableSet:
+    def test_global_id_round_trip(self, tables):
+        for table, row in [(0, 0), (5, 17), (31, 999)]:
+            gid = tables.global_id(table, row)
+            assert tables.decode(gid) == (table, row)
+
+    def test_table_bits_select_rank(self, tables):
+        """Fig. 4b: with 32 tables on 32 ranks, id mod 32 is the table."""
+        gid = tables.global_id(7, 123)
+        assert gid % 32 == 7
+
+    def test_out_of_range_rejected(self, tables):
+        with pytest.raises(ValueError):
+            tables.global_id(32, 0)
+        with pytest.raises(ValueError):
+            tables.global_id(0, 1000)
+        with pytest.raises(ValueError):
+            tables.decode(tables.total_vectors)
+        with pytest.raises(ValueError):
+            tables.vector(-1)
+
+    def test_vectors_deterministic_and_cached(self, tables):
+        v1 = tables.vector(42)
+        v2 = tables.vector(42)
+        assert v1 is v2
+        fresh = EmbeddingTableSet(num_tables=32, rows_per_table=1000, seed=3)
+        assert np.array_equal(fresh.vector(42), v1)
+
+    def test_different_seeds_differ(self):
+        a = EmbeddingTableSet(rows_per_table=10, seed=1).vector(5)
+        b = EmbeddingTableSet(rows_per_table=10, seed=2).vector(5)
+        assert not np.array_equal(a, b)
+
+    def test_storage_bytes(self, tables):
+        assert tables.storage_bytes() == 32 * 1000 * 512
+
+    def test_random_constructor_maps_bytes(self):
+        tables = EmbeddingTableSet.random(vector_bytes=256)
+        assert tables.vector_elements == 64
+
+
+class TestQueryGenerator:
+    def test_query_has_distinct_tables(self, tables):
+        generator = QueryGenerator(tables, query_len=16, seed=0)
+        for _ in range(20):
+            query = generator.query()
+            assert len(query) == 16
+            table_ids = {gid % 32 for gid in query}
+            assert len(table_ids) == 16  # one vector per table
+
+    def test_batch_shape(self, tables):
+        generator = QueryGenerator(tables, query_len=8, seed=0)
+        batch = generator.batch(16)
+        assert len(batch) == 16
+        assert all(len(q) == 8 for q in batch)
+
+    def test_deterministic_by_seed(self, tables):
+        a = QueryGenerator(tables, seed=9).batch(4)
+        b = QueryGenerator(tables, seed=9).batch(4)
+        assert a == b
+
+    def test_uniform_skew_has_few_repeats(self):
+        tables = EmbeddingTableSet(num_tables=32, rows_per_table=100_000)
+        generator = QueryGenerator(tables, skew=0.0, seed=1)
+        plan = plan_batch(generator.batch(32))
+        assert plan.unique_fraction > 0.98
+
+    def test_calibrated_savings_grow_with_batch_size(self):
+        """Fig. 3 / Fig. 15: sharing grows with batch size."""
+        tables = EmbeddingTableSet(num_tables=32, rows_per_table=100_000)
+        savings = []
+        for batch_size in (8, 16, 32):
+            values = [
+                1.0
+                - plan_batch(
+                    QueryGenerator.paper_calibrated(tables, seed=s).batch(batch_size)
+                ).unique_fraction
+                for s in range(6)
+            ]
+            savings.append(float(np.mean(values)))
+        assert savings[0] < savings[1] < savings[2]
+        # Calibration band around the paper's 34/43/58 %.
+        assert savings[0] == pytest.approx(0.34, abs=0.08)
+        assert savings[1] == pytest.approx(0.43, abs=0.08)
+        assert savings[2] == pytest.approx(0.58, abs=0.08)
+
+    def test_invalid_parameters_rejected(self, tables):
+        with pytest.raises(ValueError):
+            QueryGenerator(tables, query_len=0)
+        with pytest.raises(ValueError):
+            QueryGenerator(tables, query_len=33)
+        with pytest.raises(ValueError):
+            QueryGenerator(tables, skew=-1.0)
+        with pytest.raises(ValueError):
+            QueryGenerator(tables).batch(0)
+
+    def test_batches_helper(self, tables):
+        generator = QueryGenerator(tables, seed=0)
+        batches = generator.batches(3, 4)
+        assert len(batches) == 3
+        assert all(len(batch) == 4 for batch in batches)

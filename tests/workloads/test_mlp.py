@@ -1,0 +1,78 @@
+"""Tests for the MLP latency model."""
+
+import pytest
+
+from repro.analysis import Roofline
+from repro.workloads.mlp import MlpConfig, calibrated_fc_batch, mlp_latency_ms
+
+
+class TestMlpConfig:
+    def test_flops_scale_with_batch(self):
+        config = MlpConfig()
+        assert config.flops(64) == 64 * config.flops(1)
+
+    def test_flops_formula_tiny_stack(self):
+        config = MlpConfig(
+            bottom_layers=(4,),
+            top_layers=(2,),
+            dense_features=3,
+            interaction_width=5,
+        )
+        # (3×4) + (5×2) MACs per sample, 2 FLOPs each.
+        assert config.flops(1) == 2 * (12 + 10)
+
+    def test_weight_bytes_independent_of_batch(self):
+        config = MlpConfig()
+        assert config.weight_bytes() == config.weight_bytes()
+        assert config.weight_bytes() > 0
+
+    def test_activation_bytes_scale_with_batch(self):
+        config = MlpConfig()
+        assert config.activation_bytes(8) == 8 * config.activation_bytes(1)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MlpConfig(bottom_layers=())
+        with pytest.raises(ValueError):
+            MlpConfig(top_layers=(0,))
+        with pytest.raises(ValueError):
+            MlpConfig().flops(0)
+
+
+class TestLatency:
+    def test_latency_grows_with_batch(self):
+        config = MlpConfig()
+        assert mlp_latency_ms(config, 256) > mlp_latency_ms(config, 16)
+
+    def test_small_batch_is_memory_bound(self):
+        """At batch 1 the weights dominate: memory-bound territory."""
+        config = MlpConfig()
+        roofline = Roofline(peak_gflops=2000.0, peak_bandwidth_gbps=76.8)
+        latency = mlp_latency_ms(config, 1, roofline)
+        memory_only = config.weight_bytes() / roofline.peak_bandwidth_gbps / 1e6
+        assert latency >= memory_only * 0.99
+
+    def test_faster_host_is_faster(self):
+        config = MlpConfig()
+        slow = Roofline(peak_gflops=100.0, peak_bandwidth_gbps=20.0)
+        fast = Roofline(peak_gflops=4000.0, peak_bandwidth_gbps=300.0)
+        assert mlp_latency_ms(config, 512, fast) < mlp_latency_ms(config, 512, slow)
+
+    def test_efficiency_validated(self):
+        with pytest.raises(ValueError):
+            mlp_latency_ms(MlpConfig(), 1, efficiency=0.0)
+
+
+class TestCalibration:
+    def test_paper_fc_figure_reachable(self):
+        """Some batch size hits the paper's 0.5 ms on the default host —
+        consistent with 'their latency varies significantly with batch
+        size' (§VI)."""
+        batch = calibrated_fc_batch(target_ms=0.5)
+        latency = mlp_latency_ms(MlpConfig(), batch)
+        assert latency >= 0.5
+        assert mlp_latency_ms(MlpConfig(), max(1, batch // 4)) < 0.5
+
+    def test_target_validated(self):
+        with pytest.raises(ValueError):
+            calibrated_fc_batch(target_ms=0.0)

@@ -1,0 +1,83 @@
+"""Tests for the end-to-end recommendation model."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import CpuGatherEngine, FafnirGatherEngine, RecNmpGatherEngine
+from repro.workloads import EmbeddingTableSet, QueryGenerator
+from repro.workloads.recommender import RecommendationModel
+
+
+@pytest.fixture(scope="module")
+def setup():
+    tables = EmbeddingTableSet(num_tables=32, rows_per_table=10_000, seed=6)
+    model = RecommendationModel(tables, dense_features=16, hidden=32, seed=7)
+    generator = QueryGenerator.paper_calibrated(tables, seed=8)
+    queries = generator.batch(16)
+    dense = np.random.default_rng(9).normal(size=(16, 16))
+    return tables, model, queries, dense
+
+
+class TestFunctional:
+    def test_scores_match_numpy_oracle(self, setup):
+        _, model, queries, dense = setup
+        batch = model.score(FafnirGatherEngine(), queries, dense)
+        assert np.allclose(batch.scores, model.reference_scores(queries, dense))
+
+    def test_scores_identical_across_engines(self, setup):
+        _, model, queries, dense = setup
+        fafnir = model.score(FafnirGatherEngine(), queries, dense)
+        cpu = model.score(CpuGatherEngine(), queries, dense)
+        recnmp = model.score(RecNmpGatherEngine(), queries, dense)
+        assert np.allclose(fafnir.scores, cpu.scores)
+        assert np.allclose(fafnir.scores, recnmp.scores)
+
+    def test_scores_are_probabilities(self, setup):
+        _, model, queries, dense = setup
+        batch = model.score(FafnirGatherEngine(), queries, dense)
+        assert np.all(batch.scores > 0.0)
+        assert np.all(batch.scores < 1.0)
+
+    def test_deterministic_weights(self, setup):
+        tables, _, queries, dense = setup
+        a = RecommendationModel(tables, seed=3).reference_scores(queries[:4], dense[:4])
+        b = RecommendationModel(tables, seed=3).reference_scores(queries[:4], dense[:4])
+        assert np.array_equal(a, b)
+        c = RecommendationModel(tables, seed=4).reference_scores(queries[:4], dense[:4])
+        assert not np.allclose(a, c)
+
+
+class TestTimingComposition:
+    def test_latency_components_positive(self, setup):
+        _, model, queries, dense = setup
+        batch = model.score(FafnirGatherEngine(), queries, dense)
+        assert batch.embedding_ms > 0
+        assert batch.mlp_ms > 0
+        assert batch.total_ms == pytest.approx(batch.embedding_ms + batch.mlp_ms)
+
+    def test_fafnir_embedding_cheaper_than_cpu(self, setup):
+        _, model, queries, dense = setup
+        fafnir = model.score(FafnirGatherEngine(), queries, dense)
+        cpu = model.score(CpuGatherEngine(), queries, dense)
+        assert fafnir.embedding_ms < cpu.embedding_ms
+        assert fafnir.mlp_ms == pytest.approx(cpu.mlp_ms)  # same MLP
+
+
+class TestRanking:
+    def test_top_k_ordering(self, setup):
+        _, model, queries, dense = setup
+        top, batch = model.rank_candidates(
+            FafnirGatherEngine(), queries, dense, top_k=5
+        )
+        assert len(top) == 5
+        scores = batch.scores
+        assert list(scores[top]) == sorted(scores, reverse=True)[:5]
+
+    def test_validation(self, setup):
+        _, model, queries, dense = setup
+        with pytest.raises(ValueError):
+            model.score(FafnirGatherEngine(), queries, dense[:4])
+        with pytest.raises(ValueError):
+            model.rank_candidates(FafnirGatherEngine(), queries, dense, top_k=0)
+        with pytest.raises(ValueError):
+            RecommendationModel(setup[0], dense_features=0)

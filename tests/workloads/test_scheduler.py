@@ -1,0 +1,81 @@
+"""Tests for software batch scheduling."""
+
+import pytest
+
+from repro.workloads import EmbeddingTableSet, QueryGenerator
+from repro.workloads.scheduler import (
+    FifoScheduler,
+    SharingAwareScheduler,
+    evaluate_schedule,
+)
+
+
+@pytest.fixture
+def stream():
+    tables = EmbeddingTableSet(rows_per_table=100_000, seed=5)
+    generator = QueryGenerator.paper_calibrated(tables, seed=6)
+    return generator.batch(64)
+
+
+class TestFifoScheduler:
+    def test_preserves_order(self, stream):
+        batches = FifoScheduler(batch_size=16).schedule(stream)
+        flattened = [query for batch in batches for query in batch]
+        assert flattened == [list(q) for q in stream]
+
+    def test_batch_sizes(self, stream):
+        batches = FifoScheduler(batch_size=24).schedule(stream)
+        assert [len(batch) for batch in batches] == [24, 24, 16]
+
+    def test_rejects_bad_batch_size(self):
+        with pytest.raises(ValueError):
+            FifoScheduler(batch_size=0)
+
+
+class TestSharingAwareScheduler:
+    def test_schedules_every_query_once(self, stream):
+        batches = SharingAwareScheduler(batch_size=16).schedule(stream)
+        scheduled = sorted(tuple(sorted(q)) for batch in batches for q in batch)
+        original = sorted(tuple(sorted(q)) for q in stream)
+        assert scheduled == original
+
+    def test_respects_batch_size(self, stream):
+        batches = SharingAwareScheduler(batch_size=8).schedule(stream)
+        assert all(len(batch) <= 8 for batch in batches)
+
+    def test_beats_fifo_on_shared_stream(self, stream):
+        """Co-scheduling sharers must not reduce dedup quality."""
+        fifo = FifoScheduler(batch_size=16).report(stream)
+        aware = SharingAwareScheduler(batch_size=16).report(stream)
+        assert aware.total_reads <= fifo.total_reads
+        assert aware.savings_fraction >= fifo.savings_fraction
+
+    def test_obvious_grouping_found(self):
+        """Alternating sharers: FIFO splits them; sharing-aware pairs them."""
+        group_a = [[1, 2, 3], [1, 2, 4]]
+        group_b = [[100, 200, 300], [100, 200, 400]]
+        interleaved = [group_a[0], group_b[0], group_a[1], group_b[1]]
+        fifo = FifoScheduler(batch_size=2).report(interleaved)
+        aware = SharingAwareScheduler(batch_size=2, window=4).report(interleaved)
+        assert aware.total_reads < fifo.total_reads
+        assert aware.total_reads == 8  # {1,2,3,4} + {100,200,300,400}
+
+    def test_window_validation(self):
+        with pytest.raises(ValueError):
+            SharingAwareScheduler(batch_size=16, window=8)
+
+
+class TestEvaluateSchedule:
+    def test_counts(self):
+        report = evaluate_schedule([[[1, 2], [2, 3]], [[1, 2]]])
+        assert report.total_lookups == 6
+        assert report.total_reads == 5  # {1,2,3} + {1,2}
+        assert report.accesses_saved == 1
+
+    def test_empty_batches_skipped(self):
+        report = evaluate_schedule([[], [[1]]])
+        assert report.total_lookups == 1
+        assert len(report.batches) == 1
+
+    def test_savings_fraction_zero_for_empty(self):
+        assert evaluate_schedule([]).savings_fraction == 0.0

@@ -1,0 +1,85 @@
+"""Tests for query-trace recording and replay."""
+
+import numpy as np
+import pytest
+
+from repro.workloads import EmbeddingTableSet
+from repro.workloads.traces import QueryTrace
+
+
+@pytest.fixture
+def tables():
+    return EmbeddingTableSet(num_tables=32, rows_per_table=1000, seed=3)
+
+
+class TestQueryTrace:
+    def test_synthesize_shape(self, tables):
+        trace = QueryTrace.synthesize(tables, num_queries=20, query_len=8, seed=1)
+        assert len(trace) == 20
+        assert all(len(query) == 8 for query in trace)
+        assert trace.total_lookups == 160
+        assert trace.metadata["seed"] == 1
+
+    def test_synthesize_deterministic(self, tables):
+        a = QueryTrace.synthesize(tables, 10, seed=4)
+        b = QueryTrace.synthesize(tables, 10, seed=4)
+        assert a.queries == b.queries
+
+    def test_save_load_round_trip(self, tables, tmp_path):
+        trace = QueryTrace.synthesize(tables, 15, seed=5)
+        path = tmp_path / "trace.txt"
+        trace.save(path)
+        loaded = QueryTrace.load(path)
+        assert loaded.queries == trace.queries
+        assert loaded.metadata["seed"] == "5"  # strings on disk
+
+    def test_load_skips_comments_and_blanks(self, tmp_path):
+        path = tmp_path / "trace.txt"
+        path.write_text("# note=hello\n\n1,2,3\n\n4,5\n")
+        trace = QueryTrace.load(path)
+        assert trace.queries == [[1, 2, 3], [4, 5]]
+        assert trace.metadata == {"note": "hello"}
+
+    def test_load_rejects_malformed(self, tmp_path):
+        path = tmp_path / "bad.txt"
+        path.write_text("1,x,3\n")
+        with pytest.raises(ValueError, match="malformed"):
+            QueryTrace.load(path)
+
+    def test_load_rejects_empty(self, tmp_path):
+        path = tmp_path / "empty.txt"
+        path.write_text("# only a comment\n")
+        with pytest.raises(ValueError, match="no queries"):
+            QueryTrace.load(path)
+
+    def test_constructor_validation(self):
+        with pytest.raises(ValueError):
+            QueryTrace(queries=[[]])
+        with pytest.raises(ValueError):
+            QueryTrace(queries=[[1, -2]])
+
+    def test_batches(self, tables):
+        trace = QueryTrace.synthesize(tables, 10, seed=6)
+        batches = trace.batches(4)
+        assert [len(batch) for batch in batches] == [4, 4, 2]
+        with pytest.raises(ValueError):
+            trace.batches(0)
+
+    def test_distinct_indices(self):
+        trace = QueryTrace(queries=[[1, 2], [2, 3]])
+        assert trace.distinct_indices == 3
+
+    def test_replay_through_engine(self, tables, tmp_path):
+        """A saved trace replays to identical outputs."""
+        from repro.core import FafnirAccelerator
+
+        trace = QueryTrace.synthesize(tables, 8, query_len=4, seed=7)
+        path = tmp_path / "replay.txt"
+        trace.save(path)
+        replayed = QueryTrace.load(path)
+
+        accelerator = FafnirAccelerator()
+        first = accelerator.lookup(tables.vector, trace.queries)
+        second = accelerator.lookup(tables.vector, replayed.queries)
+        for a, b in zip(first.vectors, second.vectors):
+            assert np.array_equal(a, b)
