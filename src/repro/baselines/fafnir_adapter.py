@@ -3,6 +3,12 @@
 The evaluation benches compare engines through the common
 :class:`~repro.baselines.base.GatherEngine` API; this adapter maps
 :class:`~repro.core.engine.LookupStats` onto a :class:`GatherTiming`.
+
+Requests larger than one hardware batch are chunked and streamed through
+:meth:`FafnirEngine.run_batches`: with ``pipeline=True`` (default) the host
+overlaps chunk *k*'s memory phase with chunk *k−1*'s tree traversal, so the
+reported in-tree time is the pipelined makespan rather than the serial sum
+(paper §IV's host/tree pipelining).
 """
 
 from __future__ import annotations
@@ -19,6 +25,7 @@ from repro.baselines.base import (
 from repro.core.config import FafnirConfig
 from repro.core.engine import FafnirEngine
 from repro.core.operators import ReductionOperator, SUM
+from repro.core.pe import KERNEL_VECTOR
 from repro.memory.config import MemoryConfig
 
 
@@ -34,15 +41,21 @@ class FafnirGatherEngine(GatherEngine):
         operator: ReductionOperator = SUM,
         link: Optional[HostLink] = None,
         deduplicate: bool = True,
+        pipeline: bool = True,
+        kernel: str = KERNEL_VECTOR,
     ) -> None:
         super().__init__(operator)
         self.engine = FafnirEngine(
-            config=config, operator=operator, memory_config=memory_config
+            config=config,
+            operator=operator,
+            memory_config=memory_config,
+            kernel=kernel,
         )
         self.link = link or HostLink(
             channels=self.engine.memory.config.geometry.channels
         )
         self.deduplicate = deduplicate
+        self.pipeline = pipeline
 
     @property
     def config(self) -> FafnirConfig:
@@ -57,47 +70,40 @@ class FafnirGatherEngine(GatherEngine):
             for start in range(0, len(queries), hardware_batch)
         ]
 
-        vectors = []
-        memory_stats = None
-        memory_ns = 0.0
-        in_tree_ns = 0.0
+        multi = self.engine.run_batches(
+            chunks, source, deduplicate=self.deduplicate, pipeline=self.pipeline
+        )
+
         bytes_to_core = 0
         dram_reads = 0
         ndp_reduced = 0
-        for chunk in chunks:
-            result = self.engine.run_batch(
-                chunk, source, deduplicate=self.deduplicate
-            )
+        memory_pe_cycles = 0
+        for result in multi.results:
             stats = result.stats
-            vectors.extend(result.vectors)
-            memory_stats = (
-                stats.memory
-                if memory_stats is None
-                else memory_stats.merged_with(stats.memory)
-            )
-            memory_ns += self.config.pe_clock.cycles_to_ns(
-                stats.memory_latency_pe_cycles
-            )
-            in_tree_ns += stats.latency_ns(self.config)
             bytes_to_core += stats.output_bytes
             dram_reads += stats.memory.reads
             ndp_reduced += stats.total_work.reduces
+            memory_pe_cycles += stats.memory_latency_pe_cycles
 
+        pe_clock = self.config.pe_clock
+        memory_ns = pe_clock.cycles_to_ns(memory_pe_cycles)
+        # Pipelined makespan: chunk k's reads overlap chunk k−1's tree
+        # traversal, so in-tree time is max completion, not the serial sum.
+        in_tree_ns = pe_clock.cycles_to_ns(
+            multi.pipeline.pipelined_latency_pe_cycles
+        )
         transfer_ns = self.link.transfer_ns(bytes_to_core)
-        assert memory_stats is not None
         timing = GatherTiming(
             memory_ns=memory_ns,
             ndp_compute_ns=max(0.0, in_tree_ns - memory_ns),
             core_compute_ns=0.0,
             transfer_ns=transfer_ns,
-            # Tree compute overlaps memory (messages flow as reads finish);
-            # in_tree_ns already covers the overlap chain end-to-end.
             total_ns=in_tree_ns + transfer_ns,
         )
         return GatherResult(
-            vectors=vectors,
+            vectors=multi.vectors,
             timing=timing,
-            memory_stats=memory_stats,
+            memory_stats=multi.memory_stats,
             bytes_to_core=bytes_to_core,
             dram_reads=dram_reads,
             ndp_reduced_vectors=ndp_reduced,

@@ -3,7 +3,13 @@
 from repro.core.accelerator import FafnirAccelerator
 from repro.core.batch import BatchPlan, normalize_queries, plan_batch
 from repro.core.config import FafnirConfig, PELatencies
-from repro.core.engine import FafnirEngine, LookupResult, LookupStats
+from repro.core.engine import (
+    FafnirEngine,
+    LookupResult,
+    LookupStats,
+    MultiBatchResult,
+    PipelineStats,
+)
 from repro.core.header import Header, Message
 from repro.core.microsim import MicrosimReport, PEMicrosim
 from repro.core.phased import PhasedFafnirEngine
@@ -19,7 +25,19 @@ from repro.core.operators import (
     available_operators,
     get_operator,
 )
-from repro.core.pe import PEResult, PEWork, ProcessingElement
+from repro.core.pe import (
+    KERNEL_SCALAR,
+    KERNEL_VECTOR,
+    KERNELS,
+    PEResult,
+    PEWork,
+    ProcessingElement,
+)
+from repro.core.sharding import (
+    ShardedRunner,
+    fleet_makespan_pe_cycles,
+    shard_batches,
+)
 from repro.core.tree import FafnirTree, TreePE
 
 __all__ = [
@@ -34,9 +52,17 @@ __all__ = [
     "Header",
     "InteractiveEngine",
     "InteractiveResult",
+    "KERNELS",
+    "KERNEL_SCALAR",
+    "KERNEL_VECTOR",
     "LevelUtilization",
     "LookupResult",
     "LookupStats",
+    "MultiBatchResult",
+    "PipelineStats",
+    "ShardedRunner",
+    "fleet_makespan_pe_cycles",
+    "shard_batches",
     "MAX",
     "MEAN",
     "MIN",

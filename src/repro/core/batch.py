@@ -17,7 +17,7 @@ speedup (Fig. 13 solid bars) from its redundant-access elimination
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, FrozenSet, List, Sequence, Tuple
+from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
 
 from repro.core.header import Header
 
@@ -64,7 +64,7 @@ class BatchPlan:
 
 
 def normalize_queries(
-    raw_queries: Sequence[Sequence[int]], max_query_len: int = None
+    raw_queries: Sequence[Sequence[int]], max_query_len: Optional[int] = None
 ) -> Tuple[Query, ...]:
     """Validate and canonicalise a batch of queries.
 
@@ -92,14 +92,22 @@ def normalize_queries(
 
 def plan_batch(
     raw_queries: Sequence[Sequence[int]],
-    max_query_len: int = None,
+    max_query_len: Optional[int] = None,
     deduplicate: bool = True,
 ) -> BatchPlan:
     """Build the read list and initial headers for one batch."""
     queries = normalize_queries(raw_queries, max_query_len)
 
-    unique = sorted({index for query in queries for index in query})
-    headers = {index: Header.initial(index, queries) for index in unique}
+    # One pass over the batch (Header.initial per index would rescan every
+    # query for every unique index — quadratic in batch size × query length).
+    entries_of: Dict[int, List[Query]] = {}
+    for query in queries:
+        for index in query:
+            entries_of.setdefault(index, []).append(query - {index})
+    unique = sorted(entries_of)
+    headers = {
+        index: Header.make({index}, entries_of[index]) for index in unique
+    }
 
     if deduplicate:
         reads = tuple(unique)

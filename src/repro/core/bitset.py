@@ -1,0 +1,178 @@
+"""Packed-bitset kernels behind the vectorized PE compute units.
+
+The scalar PE decides reduce-vs-forward with an ``O(entries × partners)``
+Python loop of frozenset subset tests.  These helpers re-express the same
+decision as a handful of NumPy array operations:
+
+1. :class:`IndexUniverse` densely renumbers the global vector indices that
+   one PE invocation can see, so every index set becomes a row of packed
+   ``uint64`` words (64 universe positions per word).
+2. :func:`subset_matrix` / :func:`subset_mask` answer "is candidate set *j*
+   contained in superset *i*?" for whole matrices of sets at once using
+   bitwise AND-NOT — a candidate is contained iff it has no bit outside the
+   superset.
+
+The kernels are exact: they compute precisely the subset relation the
+scalar loops compute, so the vector and scalar PE paths are byte-identical
+(tested in ``tests/core/test_pe_vector_equivalence.py``).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, List, Sequence
+
+import numpy as np
+
+WORD_BITS = 64
+
+# Cap the temporary broadcast buffer used by subset_matrix (bytes).  The
+# buffer is chunked over superset rows so huge PE invocations stay within a
+# predictable memory footprint instead of materialising n × m × words words.
+_CHUNK_BUDGET_BYTES = 16 * 1024 * 1024
+
+
+class IndexUniverse:
+    """Dense numbering of the indices appearing in one PE invocation.
+
+    The universe is built once per kernel call from every set that can take
+    part in a containment test; encoding an index outside the universe is a
+    programming error (raises ``KeyError``).
+    """
+
+    def __init__(self, sets: Iterable[FrozenSet[int]]) -> None:
+        position: Dict[int, int] = {}
+        for index_set in sets:
+            for index in index_set:
+                if index not in position:
+                    position[index] = len(position)
+        self._position = position
+        self.size = len(position)
+        self.words = max(1, (self.size + WORD_BITS - 1) // WORD_BITS)
+
+    def position_map(self) -> Dict[int, int]:
+        """The dense index → position mapping (shared, do not mutate)."""
+        return self._position
+
+    def encode_one(self, index_set: FrozenSet[int]) -> np.ndarray:
+        """One set → a ``(words,)`` uint64 bit row."""
+        row = np.zeros(self.words, dtype=np.uint64)
+        if index_set:
+            position = self._position
+            positions = np.fromiter(
+                (position[i] for i in index_set),
+                dtype=np.int64,
+                count=len(index_set),
+            )
+            np.bitwise_or.at(
+                row,
+                positions >> 6,
+                np.uint64(1) << (positions & 63).astype(np.uint64),
+            )
+        return row
+
+    def encode(self, sets: Sequence[FrozenSet[int]]) -> np.ndarray:
+        """Many sets → a ``(len(sets), words)`` uint64 bit matrix."""
+        words = np.zeros((len(sets), self.words), dtype=np.uint64)
+        position = self._position
+        rows: List[int] = []
+        cols: List[int] = []
+        for row, index_set in enumerate(sets):
+            hits = [position[i] for i in index_set]
+            cols.extend(hits)
+            rows.extend([row] * len(hits))
+        if rows:
+            positions = np.asarray(cols, dtype=np.int64)
+            np.bitwise_or.at(
+                words,
+                (np.asarray(rows, dtype=np.int64), positions >> 6),
+                np.uint64(1) << (positions & 63).astype(np.uint64),
+            )
+        return words
+
+    def encode_bool_ext(
+        self, sets: Sequence[FrozenSet[int]], partial: bool = False
+    ) -> np.ndarray:
+        """Many sets → a ``(len(sets), size + 1)`` boolean membership matrix.
+
+        The extra trailing column is a sentinel that is always ``True``; it
+        pairs with the padding slot of :meth:`positions_padded` so padded
+        position lists test as contained.
+
+        With ``partial=True`` indices outside the universe are silently
+        skipped instead of raising — used when the universe is deliberately
+        restricted to the candidate side of a containment test (an index a
+        candidate can never mention cannot affect the outcome).
+        """
+        position = self._position
+        rows: List[int] = []
+        cols: List[int] = []
+        for row, index_set in enumerate(sets):
+            if partial:
+                hits = [position[i] for i in index_set if i in position]
+            else:
+                hits = [position[i] for i in index_set]
+            cols.extend(hits)
+            rows.extend([row] * len(hits))
+        matrix = np.zeros((len(sets), self.size + 1), dtype=bool)
+        if rows:
+            matrix[rows, cols] = True
+        matrix[:, self.size] = True
+        return matrix
+
+    def positions_padded(self, sets: Sequence[FrozenSet[int]]) -> np.ndarray:
+        """Many sets → ``(len(sets), max_len)`` position matrix.
+
+        Rows shorter than the widest set are padded with the sentinel
+        position ``self.size`` (always-true column of
+        :meth:`encode_bool_ext`).
+        """
+        position = self._position
+        width = max((len(s) for s in sets), default=0) or 1
+        matrix = np.full((len(sets), width), self.size, dtype=np.int64)
+        for row, index_set in enumerate(sets):
+            for slot, index in enumerate(index_set):
+                matrix[row, slot] = position[index]
+        return matrix
+
+    def decode(self, row: np.ndarray) -> FrozenSet[int]:
+        """Inverse of :meth:`encode_one` (used by tests)."""
+        members: List[int] = []
+        by_position = {pos: idx for idx, pos in self._position.items()}
+        for word_index, word in enumerate(row):
+            bits = int(word)
+            while bits:
+                low = bits & -bits
+                members.append(by_position[word_index * WORD_BITS + low.bit_length() - 1])
+                bits ^= low
+        return frozenset(members)
+
+
+def subset_mask(superset_row: np.ndarray, candidates: np.ndarray) -> np.ndarray:
+    """``(m,)`` bool vector: ``candidates[j] ⊆ superset_row``."""
+    if candidates.shape[0] == 0:
+        return np.zeros(0, dtype=bool)
+    outside = np.bitwise_and(candidates, ~superset_row[None, :])
+    return ~outside.any(axis=1)
+
+
+def subset_matrix(supersets: np.ndarray, candidates: np.ndarray) -> np.ndarray:
+    """``(n, m)`` bool matrix: ``result[i, j] == candidates[j] ⊆ supersets[i]``.
+
+    Chunked over superset rows so the broadcast temporary stays under
+    ``_CHUNK_BUDGET_BYTES`` regardless of PE input sizes.
+    """
+    n, words = supersets.shape
+    m = candidates.shape[0]
+    result = np.empty((n, m), dtype=bool)
+    if n == 0 or m == 0:
+        return result
+    row_bytes = max(1, m * words * 8)
+    chunk = max(1, _CHUNK_BUDGET_BYTES // row_bytes)
+    inverted = ~supersets
+    for start in range(0, n, chunk):
+        stop = min(n, start + chunk)
+        outside = np.bitwise_and(
+            candidates[None, :, :], inverted[start:stop, None, :]
+        )
+        result[start:stop] = ~outside.any(axis=2)
+    return result

@@ -4,6 +4,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
+from typing import Any, Dict, Optional
 
 from repro.clocks import Clock, DRAM_CLOCK, PE_CLOCK
 
@@ -132,7 +133,7 @@ class FafnirConfig:
         """One buffer entry: a vector value plus its header (Fig. 5)."""
         return self.vector_bytes + self.header_bytes
 
-    def to_dict(self) -> dict:
+    def to_dict(self) -> Dict[str, Any]:
         """Serialise to plain data (JSON-compatible) for configs on disk."""
         return {
             "batch_size": self.batch_size,
@@ -153,7 +154,7 @@ class FafnirConfig:
         }
 
     @staticmethod
-    def from_dict(data: dict) -> "FafnirConfig":
+    def from_dict(data: Dict[str, Any]) -> "FafnirConfig":
         """Inverse of :meth:`to_dict`; unknown keys are rejected."""
         known = {
             "batch_size",
@@ -203,7 +204,9 @@ class FafnirConfig:
             dram_clock=self.dram_clock,
         )
 
-    def with_ranks(self, total_ranks: int, ranks_per_leaf_pe: int = None) -> "FafnirConfig":
+    def with_ranks(
+        self, total_ranks: int, ranks_per_leaf_pe: Optional[int] = None
+    ) -> "FafnirConfig":
         per_leaf = self.ranks_per_leaf_pe if ranks_per_leaf_pe is None else ranks_per_leaf_pe
         if total_ranks % per_leaf != 0 or total_ranks < per_leaf:
             per_leaf = 1

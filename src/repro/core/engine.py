@@ -27,10 +27,10 @@ import numpy as np
 from repro.clocks import convert_cycles
 from repro.core.batch import BatchPlan, plan_batch
 from repro.core.config import FafnirConfig
-from repro.core.header import Message
+from repro.core.header import Header, Message
 from repro.core.operators import ReductionOperator, SUM, get_operator
-from repro.core.pe import PEWork, ProcessingElement
-from repro.core.tree import FafnirTree
+from repro.core.pe import KERNEL_VECTOR, KERNELS, PEWork, ProcessingElement
+from repro.core.tree import FafnirTree, TreePE
 from repro.memory.config import MemoryConfig
 from repro.memory.mapping import RowMajorPlacement
 from repro.memory.request import ReadRequest
@@ -94,6 +94,63 @@ class LookupResult:
     plan: BatchPlan
 
 
+@dataclass
+class PipelineStats:
+    """Timing of a multi-batch stream through one FAFNIR instance.
+
+    The paper's host streams batch *k*'s reads at the memory while the tree
+    is still draining batch *k−1* (§IV, Fig. 13): the memory system is the
+    serializing resource, the tree pipelines distinct batches through
+    distinct routes.  ``pipelined_latency_pe_cycles`` is the makespan under
+    that overlap; ``serial_latency_pe_cycles`` is the no-overlap sum used by
+    a batch-at-a-time host.
+    """
+
+    batches: int
+    total_queries: int
+    serial_latency_pe_cycles: int
+    pipelined_latency_pe_cycles: int
+    memory_busy_pe_cycles: int
+    batch_completion_cycles: List[int] = field(default_factory=list)
+
+    @property
+    def pipeline_speedup(self) -> float:
+        if not self.pipelined_latency_pe_cycles:
+            return 1.0
+        return self.serial_latency_pe_cycles / self.pipelined_latency_pe_cycles
+
+    def makespan_ns(self, config: FafnirConfig) -> float:
+        return config.pe_clock.cycles_to_ns(self.pipelined_latency_pe_cycles)
+
+    def throughput_queries_per_s(self, config: FafnirConfig) -> float:
+        ns = self.makespan_ns(config)
+        return self.total_queries / (ns * 1e-9) if ns else 0.0
+
+
+@dataclass
+class MultiBatchResult:
+    """Results of a streamed batch sequence plus pipeline timing."""
+
+    results: List[LookupResult]
+    pipeline: PipelineStats
+
+    @property
+    def vectors(self) -> List[np.ndarray]:
+        """All per-query outputs, in submission order across batches."""
+        return [vector for result in self.results for vector in result.vectors]
+
+    @property
+    def memory_stats(self) -> AccessStats:
+        merged: Optional[AccessStats] = None
+        for result in self.results:
+            merged = (
+                result.stats.memory
+                if merged is None
+                else merged.merged_with(result.stats.memory)
+            )
+        return merged if merged is not None else AccessStats()
+
+
 class FafnirEngine:
     """Executes batches of embedding-lookup queries on one FAFNIR instance."""
 
@@ -103,7 +160,10 @@ class FafnirEngine:
         operator: ReductionOperator = SUM,
         memory_config: Optional[MemoryConfig] = None,
         check_values: bool = False,
+        kernel: str = KERNEL_VECTOR,
     ) -> None:
+        if kernel not in KERNELS:
+            raise ValueError(f"unknown PE kernel {kernel!r}; choose from {KERNELS}")
         self.config = config or FafnirConfig()
         if isinstance(operator, str):
             operator = get_operator(operator)
@@ -122,39 +182,83 @@ class FafnirEngine:
         )
         self.tree = FafnirTree(self.config)
         self._check_values = check_values
+        self._kernel = kernel
         self._last_memory_stats = AccessStats()
 
     # ------------------------------------------------------------------
-    def _fetch_from_memory(self, plan: BatchPlan) -> Dict[int, int]:
-        """Issue all planned reads; returns per-index DRAM finish cycles."""
+    def _fetch_from_memory(self, plan: BatchPlan) -> Dict[int, List[int]]:
+        """Issue all planned reads; returns per-index DRAM finish cycles.
+
+        Each entry of ``plan.reads`` is one *occurrence*: a deduplicated
+        plan has one occurrence per unique index, the ablation plan one per
+        (query, index) lookup.  The result maps each index to its
+        occurrences' finish cycles in issue order, where an occurrence
+        finishes when the **last** of its split requests completes (a vector
+        is usable only once every piece has arrived).
+        """
         requests: List[ReadRequest] = []
+        occurrences: List[tuple] = []
         for index in plan.reads:
-            requests.extend(self.placement.requests_for(index))
+            pieces = self.placement.requests_for(index)
+            occurrences.append((index, len(requests), len(requests) + len(pieces)))
+            requests.extend(pieces)
         completions, stats = self.memory.execute(requests)
         self._last_memory_stats = stats
 
-        finish: Dict[int, int] = {}
-        for completion in completions:
-            index = completion.request.tag
-            assert isinstance(index, int)
-            # The message needs the data once; extra (non-deduplicated)
-            # reads of the same vector only add bus pressure.
-            previous = finish.get(index)
-            if previous is None or completion.finish_cycle < previous:
-                finish[index] = completion.finish_cycle
+        finish: Dict[int, List[int]] = {}
+        for index, start, stop in occurrences:
+            cycle = max(
+                completion.finish_cycle for completion in completions[start:stop]
+            )
+            finish.setdefault(index, []).append(cycle)
         return finish
+
+    @staticmethod
+    def _fifo_side(leaf: TreePE, rank: int) -> int:
+        """Which of the leaf PE's two input FIFOs a rank feeds.
+
+        Derived from the rank's *position* in ``leaf.leaf_ranks`` — the
+        first half of the leaf's ranks share FIFO 0, the rest FIFO 1 — so
+        the routing stays correct for non-contiguous or permuted
+        rank-to-leaf wirings (arithmetic on ``rank - leaf_ranks[0]`` would
+        silently misroute those).
+        """
+        ranks = leaf.leaf_ranks
+        assert ranks is not None
+        try:
+            position = ranks.index(rank)
+        except ValueError:
+            raise ValueError(
+                f"rank {rank} is not wired to leaf PE {leaf.pe_id} "
+                f"(ranks {ranks})"
+            ) from None
+        return 0 if 2 * position < len(ranks) else 1
 
     def _leaf_inputs(
         self,
         plan: BatchPlan,
-        finish_cycles: Dict[int, int],
+        finish_cycles: Dict[int, List[int]],
         source: VectorSource,
     ) -> Dict[int, List[List[Message]]]:
-        """Build each leaf PE's two input FIFOs from the fetched vectors."""
+        """Build each leaf PE's two input FIFOs from the fetched vectors.
+
+        With deduplication each index yields one message.  The ablation
+        path instead emits one message per read occurrence, each carrying
+        the entry of the query that occurrence serves and becoming ready at
+        *its own* read's completion — the redundant reads the ablation pays
+        for are charged individually rather than all riding the earliest
+        copy (they later coalesce in the leaf FIFO, exactly as redundant
+        copies physically would).
+        """
         per_leaf: Dict[int, List[List[Message]]] = {
             leaf.pe_id: [[], []] for leaf in self.tree.leaves()
         }
         vector_elements = self.config.vector_elements
+        queries_using: Dict[int, List] = {}
+        if not plan.deduplicated:
+            for query in plan.queries:
+                for index in query:
+                    queries_using.setdefault(index, []).append(query)
         for index in plan.unique_indices:
             value = np.asarray(source(index), dtype=np.float64)
             if value.shape != (vector_elements,):
@@ -165,13 +269,32 @@ class FafnirEngine:
             rank = self.placement.home_rank(index)
             assert rank is not None
             leaf = self.tree.leaf_for_rank(rank)
-            side = 0 if (rank - leaf.leaf_ranks[0]) < len(leaf.leaf_ranks) / 2 else 1
-            ready = convert_cycles(
-                finish_cycles[index], self.config.dram_clock, self.config.pe_clock
-            )
-            per_leaf[leaf.pe_id][side].append(
-                Message(header=plan.headers[index], value=value, ready_cycle=ready)
-            )
+            side = self._fifo_side(leaf, rank)
+            fifo = per_leaf[leaf.pe_id][side]
+            cycles = finish_cycles[index]
+            if plan.deduplicated:
+                ready = convert_cycles(
+                    cycles[0], self.config.dram_clock, self.config.pe_clock
+                )
+                fifo.append(
+                    Message(
+                        header=plan.headers[index], value=value, ready_cycle=ready
+                    )
+                )
+            else:
+                # plan.reads lists occurrences query-major, so occurrence j
+                # of this index belongs to the j-th query containing it.
+                for query, cycle in zip(queries_using[index], cycles):
+                    ready = convert_cycles(
+                        cycle, self.config.dram_clock, self.config.pe_clock
+                    )
+                    fifo.append(
+                        Message(
+                            header=Header.make({index}, [query - {index}]),
+                            value=value,
+                            ready_cycle=ready,
+                        )
+                    )
         return per_leaf
 
     def _run_tree(
@@ -187,6 +310,7 @@ class FafnirEngine:
                 self.operator,
                 name=f"PE{pe_id}",
                 check_values=self._check_values,
+                kernel=self._kernel,
             )
             if node.is_leaf:
                 # Items from one rank stream through one FIFO and may
@@ -278,3 +402,53 @@ class FafnirEngine:
             naive_movement_bytes=plan.total_lookups * self.config.vector_bytes,
         )
         return LookupResult(vectors=vectors, stats=stats, plan=plan)
+
+    # ------------------------------------------------------------------
+    def run_batches(
+        self,
+        batches: Sequence[Sequence[Sequence[int]]],
+        source: VectorSource,
+        deduplicate: bool = True,
+        pipeline: bool = True,
+    ) -> MultiBatchResult:
+        """Stream a sequence of batches through the engine (paper §IV).
+
+        With ``pipeline=True`` the host issues batch *k*'s reads the moment
+        the memory system frees up, while the tree is still draining batch
+        *k−1* — the memory is the serializing resource and batch *k*
+        completes at ``memory_start(k) + in_tree_latency(k)``.  With
+        ``pipeline=False`` each batch waits for the previous one's root
+        outputs (batch-at-a-time host), which is the serial sum.
+
+        Functional outputs are identical either way; only the
+        :class:`PipelineStats` timing differs.
+        """
+        if not batches:
+            raise ValueError("need at least one batch")
+        results: List[LookupResult] = []
+        completions: List[int] = []
+        memory_cursor = 0
+        serial_cursor = 0
+        for batch in batches:
+            result = self.run_batch(
+                batch, source, deduplicate=deduplicate, reset_memory=True
+            )
+            stats = result.stats
+            if pipeline:
+                completions.append(memory_cursor + stats.latency_pe_cycles)
+            else:
+                completions.append(serial_cursor + stats.latency_pe_cycles)
+                serial_cursor += stats.latency_pe_cycles
+            memory_cursor += stats.memory_latency_pe_cycles
+            results.append(result)
+
+        serial_total = sum(r.stats.latency_pe_cycles for r in results)
+        pipeline_stats = PipelineStats(
+            batches=len(results),
+            total_queries=sum(len(r.plan.queries) for r in results),
+            serial_latency_pe_cycles=serial_total,
+            pipelined_latency_pe_cycles=max(completions),
+            memory_busy_pe_cycles=memory_cursor,
+            batch_completion_cycles=completions,
+        )
+        return MultiBatchResult(results=results, pipeline=pipeline_stats)

@@ -19,11 +19,29 @@ still needing vectors 94 and 26 has header ``[indices: {50, 11} | queries:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from functools import lru_cache
 from typing import FrozenSet, Iterable, List, Sequence, Tuple
 
 import numpy as np
 
 Indices = FrozenSet[int]
+
+
+@lru_cache(maxsize=1 << 16)
+def sorted_tuple(indices: Indices) -> Tuple[int, ...]:
+    """Cached ascending tuple of an index set.
+
+    The same remainder sets recur in headers at every tree level, so the
+    canonical-order sort keys are memoised on the (hashable, immutable)
+    frozensets themselves.
+    """
+    return tuple(sorted(indices))
+
+
+@lru_cache(maxsize=1 << 16)
+def entry_sort_key(entry: Indices) -> Tuple[int, Tuple[int, ...]]:
+    """Canonical ordering key for header entries (cached per frozenset)."""
+    return (len(entry), tuple(sorted(entry)))
 
 
 def _canonical_entries(entries: Iterable[Indices]) -> Tuple[Indices, ...]:
@@ -34,7 +52,7 @@ def _canonical_entries(entries: Iterable[Indices]) -> Tuple[Indices, ...]:
     same upstream reductions (the merge unit's dedup, paper §IV-B).
     """
     unique = {frozenset(entry) for entry in entries}
-    return tuple(sorted(unique, key=lambda e: (len(e), sorted(e))))
+    return tuple(sorted(unique, key=entry_sort_key))
 
 
 @dataclass(frozen=True)
@@ -48,7 +66,7 @@ class Header:
         if not self.indices:
             raise ValueError("a header must cover at least one index")
         for entry in self.entries:
-            if entry & self.indices:
+            if entry and not entry.isdisjoint(self.indices):
                 raise ValueError(
                     f"entry {sorted(entry)} overlaps indices {sorted(self.indices)}"
                 )
@@ -108,13 +126,17 @@ class Header:
             raise ValueError("entry does not belong to this header")
         if not other_indices <= entry:
             raise ValueError("partner indices are not contained in the entry")
-        return Header.make(self.indices | other_indices, [entry - other_indices])
+        # A single entry is trivially canonical — skip Header.make's dedup.
+        return Header(
+            indices=self.indices | other_indices,
+            entries=(entry - other_indices,),
+        )
 
     def forwarded(self, entry: Indices) -> "Header":
         """Header carrying just one of our entries onward unchanged."""
         if entry not in self.entries:
             raise ValueError("entry does not belong to this header")
-        return Header.make(self.indices, [entry])
+        return Header(indices=self.indices, entries=(entry,))
 
     def merged_with(self, other: "Header") -> "Header":
         """Merge two headers for the *same* data (equal ``indices`` sets)."""

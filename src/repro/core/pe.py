@@ -21,18 +21,45 @@ same data (paper Fig. 6d).
 Timing is annotated per message: an output is ready one pipeline stage after
 the later of its parents, and the PE's finite compute units impose a simple
 one-output-per-unit-per-cycle issue limit on top.
+
+Two interchangeable kernel implementations back the compute units:
+
+* ``"scalar"`` — the original pure-Python ``O(entries × partners)`` scan,
+  kept as the executable specification;
+* ``"vector"`` (default) — NumPy kernels (sparse intersection counting for
+  the scan, membership gathers via :mod:`repro.core.bitset` for the fold)
+  that evaluate every entry-vs-partner subset test of one invocation in a
+  few array operations and combine all matched values in one batched
+  ``operator.combine`` call.
+
+Both kernels produce byte-identical outputs, headers, ready cycles, and
+:class:`PEWork` counters; the vector path simply gets there without the
+Python inner loops (see ``benchmarks/bench_engine_hotpath.py`` for the
+tracked speedup).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, List, Sequence, Tuple
+import operator
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.core.bitset import IndexUniverse
 from repro.core.config import FafnirConfig
-from repro.core.header import Header, Message
+from repro.core.header import Header, Message, entry_sort_key, sorted_tuple
 from repro.core.operators import ReductionOperator
+
+KERNEL_SCALAR = "scalar"
+KERNEL_VECTOR = "vector"
+KERNELS = (KERNEL_SCALAR, KERNEL_VECTOR)
+
+# Below this many entry-vs-partner pairs the NumPy set-up cost exceeds the
+# loop it replaces; both kernels are exact, so the cutover is purely a
+# performance knob.
+_VECTOR_SCAN_CUTOVER = 64
+_VECTOR_FOLD_CUTOVER = 8
 
 
 @dataclass
@@ -69,7 +96,13 @@ class PEResult:
 
 @dataclass
 class _RawOutput:
-    """A compute-unit output before the merge unit."""
+    """A compute-unit output before the merge unit.
+
+    ``source_header`` is set on forwards: it names the input message whose
+    entry this row carries unchanged, letting the merge unit reuse that
+    message's (already canonical) header when a group turns out to be one
+    message forwarded intact.
+    """
 
     indices: FrozenSet[int]
     entry: FrozenSet[int]
@@ -77,6 +110,7 @@ class _RawOutput:
     ready_cycle: int
     hops: int
     was_reduce: bool
+    source_header: Optional[Header] = None
 
 
 class ProcessingElement:
@@ -92,16 +126,34 @@ class ProcessingElement:
         operator: ReductionOperator,
         name: str = "PE",
         check_values: bool = False,
+        kernel: str = KERNEL_VECTOR,
     ) -> None:
+        if kernel not in KERNELS:
+            raise ValueError(f"unknown PE kernel {kernel!r}; choose from {KERNELS}")
         self.config = config
         self.operator = operator
         self.name = name
         self.check_values = check_values
+        self.kernel = kernel
 
     # ------------------------------------------------------------------
-    # Compute units
+    # Compute units — kernel dispatch
     # ------------------------------------------------------------------
     def _scan_side(
+        self,
+        own: Sequence[Message],
+        partners: Sequence[Message],
+        work: PEWork,
+        raw: List[_RawOutput],
+    ) -> None:
+        if self.kernel == KERNEL_VECTOR:
+            pairs = sum(len(m.entries) for m in own) * max(1, len(partners))
+            if pairs >= _VECTOR_SCAN_CUTOVER:
+                self._scan_side_vector(own, partners, work, raw)
+                return
+        self._scan_side_scalar(own, partners, work, raw)
+
+    def _scan_side_scalar(
         self,
         own: Sequence[Message],
         partners: Sequence[Message],
@@ -123,6 +175,7 @@ class ProcessingElement:
                             + latencies.forward_path,
                             hops=message.hops + 1,
                             was_reduce=False,
+                            source_header=message.header,
                         )
                     )
                     continue
@@ -166,8 +219,176 @@ class ProcessingElement:
                             + latencies.forward_path,
                             hops=message.hops + 1,
                             was_reduce=False,
+                            source_header=message.header,
                         )
                     )
+
+    def _scan_side_vector(
+        self,
+        own: Sequence[Message],
+        partners: Sequence[Message],
+        work: PEWork,
+        raw: List[_RawOutput],
+    ) -> None:
+        """Intersection-counting kernel equivalent of :meth:`_scan_side_scalar`.
+
+        One row per (message, entry) pair, in scalar scan order.  The subset
+        tests ``partner ⊆ entry`` are evaluated by accumulating, index by
+        index, how many of each partner's members every distinct entry
+        contains; a partner is contained exactly when its count reaches its
+        size.  All matched values are combined in one batched
+        ``operator.combine`` call; the surviving Python loop only
+        materialises the raw-output records.
+        """
+        latencies = self.config.latencies
+        msg_of: List[int] = []
+        entries: List[FrozenSet[int]] = []
+        for position, message in enumerate(own):
+            for entry in message.entries:
+                msg_of.append(position)
+                entries.append(entry)
+        rows = len(entries)
+        if rows == 0:
+            return
+
+        num_partners = len(partners)
+        best_of = np.full(rows, -1, dtype=np.int64)
+        # Identical entries choose identical partners, so the kernel only
+        # ever sees each distinct non-empty entry once.
+        slot_of: Dict[FrozenSet[int], int] = {}
+        row_slot = np.full(rows, -1, dtype=np.int64)
+        for row, entry in enumerate(entries):
+            if entry:
+                slot = slot_of.setdefault(entry, len(slot_of))
+                row_slot[row] = slot
+        if slot_of and num_partners:
+            partner_indices = [p.indices for p in partners]
+            partner_sizes = np.fromiter(
+                (len(s) for s in partner_indices), np.int16, num_partners
+            )
+            # Sparse intersection counting.  Almost every (entry, partner)
+            # pair shares no index at all, so instead of testing each pair
+            # directly the kernel accumulates, index by index, how many of
+            # partner j's members entry i contains; containment is then
+            # ``count == |partner|``.  Work is Σ_u |entries∋u|·|partners∋u|
+            # — proportional to the actual index overlap, not to
+            # rows × partners × width.
+            max_entry = max(len(entry) for entry in slot_of)
+            cols_by_u: Dict[int, List[int]] = {}
+            for j, index_set in enumerate(partner_indices):
+                # A partner wider than the widest entry can never be
+                # contained in one — keep it out of the accumulation (near
+                # the root this drops partners whose folded index sets hold
+                # thousands of members).
+                if len(index_set) <= max_entry:
+                    for u in index_set:
+                        cols_by_u.setdefault(u, []).append(j)
+            rows_by_u: Dict[int, List[int]] = {}
+            for slot, entry in enumerate(slot_of):
+                for u in entry:
+                    if u in cols_by_u:
+                        rows_by_u.setdefault(u, []).append(slot)
+            count_type = np.uint8 if max_entry < 255 else np.int32
+            count = np.zeros((len(slot_of), num_partners), dtype=count_type)
+            for u, slots in rows_by_u.items():
+                count[np.ix_(slots, cols_by_u[u])] += 1
+            # Ineligible partners keep count 0 but have size > max_entry, so
+            # clipping their compare target to max_entry + 1 (which a count
+            # can never reach) keeps them uncontained without a mask.
+            targets = np.minimum(partner_sizes, max_entry + 1).astype(
+                count_type
+            )
+            contained = count == targets[None, :]
+            # Maximal match, first-partner tie-break: every header names at
+            # least one index, so sizes are ≥ 1 and ``contained * sizes`` is
+            # positive exactly for contained partners; argmax then
+            # reproduces the scalar loop's "strictly greater wins, earlier
+            # partner kept on ties" and an all-zero row means no match.
+            score = contained * partner_sizes[None, :]
+            choice = score.argmax(axis=1)
+            matched = score[np.arange(len(slot_of)), choice] > 0
+            slot_best = np.where(matched, choice, -1)
+            live = row_slot >= 0
+            best_of[live] = slot_best[row_slot[live]]
+
+        # The scalar loop charges one compare per partner for every
+        # non-empty entry, match or not.
+        work.compares += num_partners * int((row_slot >= 0).sum())
+
+        msg_index = np.asarray(msg_of, dtype=np.int64)
+        reduce_rows = np.nonzero(best_of >= 0)[0]
+        if reduce_rows.size:
+            own_ready = np.fromiter(
+                (m.ready_cycle for m in own), np.int64, len(own)
+            )
+            own_hops = np.fromiter((m.hops for m in own), np.int64, len(own))
+            partner_ready = np.fromiter(
+                (p.ready_cycle for p in partners), np.int64, num_partners
+            )
+            partner_hops = np.fromiter(
+                (p.hops for p in partners), np.int64, num_partners
+            )
+            chosen = best_of[reduce_rows]
+            own_values = np.stack([m.value for m in own])
+            partner_values = np.stack([p.value for p in partners])
+            combined = self.operator.combine(
+                own_values[msg_index[reduce_rows]], partner_values[chosen]
+            )
+            reduce_ready = (
+                np.maximum(own_ready[msg_index[reduce_rows]], partner_ready[chosen])
+                + latencies.reduce_path
+            ).tolist()
+            reduce_hops = (
+                np.maximum(own_hops[msg_index[reduce_rows]], partner_hops[chosen]) + 1
+            ).tolist()
+
+        best_list = best_of.tolist()
+        own_indices = [m.indices for m in own]
+        partner_list = list(partners)
+        forward_path = latencies.forward_path
+        # Rows of one message matched to one partner share the same union;
+        # caching it also reuses the frozenset object, so the merge unit's
+        # group dict hashes each (large, near-root) union once.
+        union_cache: Dict[Tuple[int, int], FrozenSet[int]] = {}
+        slot = 0
+        for row in range(rows):
+            message = own[msg_of[row]]
+            entry = entries[row]
+            best_index = best_list[row]
+            if best_index >= 0:
+                # reduce_rows is ascending, so a running slot counter walks
+                # the batched-combine results in row order.
+                partner = partner_list[best_index]
+                pair = (msg_of[row], best_index)
+                union = union_cache.get(pair)
+                if union is None:
+                    union = own_indices[msg_of[row]] | partner.indices
+                    union_cache[pair] = union
+                work.reduces += 1
+                raw.append(
+                    _RawOutput(
+                        indices=union,
+                        entry=entry - partner.indices,
+                        value=combined[slot],
+                        ready_cycle=reduce_ready[slot],
+                        hops=reduce_hops[slot],
+                        was_reduce=True,
+                    )
+                )
+                slot += 1
+            else:
+                work.forwards += 1
+                raw.append(
+                    _RawOutput(
+                        indices=own_indices[msg_of[row]],
+                        entry=entry,
+                        value=message.value,
+                        ready_cycle=message.ready_cycle + forward_path,
+                        hops=message.hops + 1,
+                        was_reduce=False,
+                        source_header=message.header,
+                    )
+                )
 
     # ------------------------------------------------------------------
     # Merge unit
@@ -180,6 +401,27 @@ class ProcessingElement:
 
         merged: List[Message] = []
         for indices, members in groups.items():
+            # Fast path: one input message forwarded intact (every one of
+            # its entries, nothing else in the group).  The merged header
+            # would be rebuilt from exactly the source header's canonical
+            # entries, so reuse it; ready/hops are uniform across members.
+            source = members[0].source_header
+            if (
+                source is not None
+                and len(members) == len(source.entries)
+                and all(m.source_header is source for m in members)
+            ):
+                if len(members) > 1:
+                    work.merges += 1
+                merged.append(
+                    Message(
+                        header=source,
+                        value=members[0].value,
+                        ready_cycle=members[0].ready_cycle,
+                        hops=members[0].hops,
+                    )
+                )
+                continue
             seen_entries = set()
             entries: List[FrozenSet[int]] = []
             ready = 0
@@ -203,9 +445,16 @@ class ProcessingElement:
                             f"outputs with indices {sorted(indices)} carry "
                             "different values"
                         )
+            # ``entries`` is already deduplicated above; sorting it
+            # canonically here is exactly Header.make minus the redundant
+            # second dedup pass (a single entry needs no sort at all).
+            if len(entries) == 1:
+                canonical = (entries[0],)
+            else:
+                canonical = tuple(sorted(entries, key=entry_sort_key))
             merged.append(
                 Message(
-                    header=Header.make(indices, entries),
+                    header=Header(indices=indices, entries=canonical),
                     value=members[0].value,
                     ready_cycle=ready,
                     hops=hops,
@@ -216,7 +465,23 @@ class ProcessingElement:
     def _apply_issue_limit(self, outputs: List[Message]) -> List[Message]:
         """Finite compute units: at most ``compute_units`` outputs per cycle."""
         units = self.config.compute_units
-        outputs.sort(key=lambda m: (m.ready_cycle, sorted(m.indices)))
+        # Order by (ready_cycle, sorted indices).  Sorting by the cheap int
+        # key first and breaking ties per run avoids materialising the
+        # sorted-indices key for messages whose ready cycle is unique —
+        # near the root those index sets hold thousands of members.
+        outputs.sort(key=operator.attrgetter("ready_cycle"))
+        start = 0
+        total = len(outputs)
+        while start < total:
+            stop = start + 1
+            ready = outputs[start].ready_cycle
+            while stop < total and outputs[stop].ready_cycle == ready:
+                stop += 1
+            if stop - start > 1:
+                outputs[start:stop] = sorted(
+                    outputs[start:stop], key=lambda m: sorted_tuple(m.indices)
+                )
+            start = stop
         for position, message in enumerate(outputs):
             message.ready_cycle += position // units
         return outputs
@@ -271,6 +536,13 @@ class ProcessingElement:
         completion invariant: after the fold, the buffer holds one message
         covering exactly each query's indices homed on this FIFO.
         """
+        if self.kernel == KERNEL_VECTOR and len(stream) >= _VECTOR_FOLD_CUTOVER:
+            return self._fold_stream_vector(stream, work)
+        return self._fold_stream_scalar(stream, work)
+
+    def _fold_stream_scalar(
+        self, stream: Sequence[Message], work: PEWork
+    ) -> List[Message]:
         latencies = self.config.latencies
         buffer: List[Message] = []
 
@@ -308,6 +580,114 @@ class ProcessingElement:
                     other.indices == combined.indices
                     and set(combined.entries) <= set(other.entries)
                     for other in buffer
+                )
+                if already:
+                    work.duplicates_removed += 1
+                else:
+                    insert(combined)
+
+        for message in sorted(stream, key=lambda m: m.ready_cycle):
+            insert(message)
+        return self._coalesce(buffer, work)
+
+    def _fold_stream_vector(
+        self, stream: Sequence[Message], work: PEWork
+    ) -> List[Message]:
+        """Membership-gather kernel equivalent of :meth:`_fold_stream_scalar`.
+
+        The buffer's ``indices`` sets are mirrored in an incrementally grown
+        position matrix (one padded row of universe positions per buffered
+        message), so each arriving entry tests containment against the
+        *whole* buffer in one gather-and-reduce instead of a Python scan —
+        cost proportional to the widest buffered set, not to the index
+        universe.  Insertion order, greedy-match choices, and all ``PEWork``
+        counters are identical to the scalar fold.
+        """
+        latencies = self.config.latencies
+        universe = IndexUniverse(
+            [m.indices for m in stream]
+            + [entry for m in stream for entry in m.entries]
+        )
+        position_of = universe.position_map()
+        sentinel = universe.size
+        buffer: List[Message] = []
+        rows_by_indices: Dict[FrozenSet[int], List[int]] = {}
+        capacity = max(4, 2 * len(stream))
+        width = max((len(m.indices) for m in stream), default=1)
+        buffer_pos = np.full((capacity, width), sentinel, dtype=np.int64)
+        buffer_sizes = np.zeros(capacity, dtype=np.int64)
+
+        def append_row(message: Message) -> None:
+            nonlocal capacity, width, buffer_pos, buffer_sizes
+            if len(buffer) > capacity:
+                raise AssertionError("buffer bookkeeping out of sync")
+            if len(buffer) == capacity:
+                capacity *= 2
+                buffer_pos = np.vstack(
+                    [buffer_pos, np.full_like(buffer_pos, sentinel)]
+                )
+                buffer_sizes = np.concatenate(
+                    [buffer_sizes, np.zeros_like(buffer_sizes)]
+                )
+            positions = [position_of[i] for i in message.indices]
+            if len(positions) > width:
+                grown = np.full(
+                    (capacity, len(positions)), sentinel, dtype=np.int64
+                )
+                grown[:, :width] = buffer_pos
+                buffer_pos = grown
+                width = len(positions)
+            row = len(buffer)
+            buffer_pos[row, : len(positions)] = positions
+            buffer_pos[row, len(positions):] = sentinel
+            buffer_sizes[row] = len(positions)
+            rows_by_indices.setdefault(message.indices, []).append(row)
+            buffer.append(message)
+
+        def insert(message: Message) -> None:
+            produced: List[Message] = []
+            count = len(buffer)
+            live = [entry for entry in message.entries if entry]
+            if live:
+                work.compares += count * len(live)
+            if live and count:
+                membership = np.zeros(sentinel + 1, dtype=bool)
+                membership[sentinel] = True
+                for entry in live:
+                    positions = [position_of[i] for i in entry]
+                    membership[positions] = True
+                    contained = membership[buffer_pos[:count]].all(axis=1)
+                    membership[positions] = False
+                    # Sizes are ≥ 1 (headers name at least one index), so
+                    # ``contained * sizes`` is positive exactly for
+                    # contained buffer rows; argmax keeps the earliest
+                    # maximal match, like the scalar scan.
+                    score = contained * buffer_sizes[:count]
+                    choice = int(score.argmax())
+                    if score[choice] <= 0:
+                        continue
+                    best = buffer[choice]
+                    work.reduces += 1
+                    produced.append(
+                        Message(
+                            header=message.header.reduced_with(
+                                best.indices, entry
+                            ),
+                            value=self.operator.combine(
+                                message.value, best.value
+                            ),
+                            ready_cycle=max(
+                                message.ready_cycle, best.ready_cycle
+                            )
+                            + latencies.reduce_path,
+                            hops=max(message.hops, best.hops),
+                        )
+                    )
+            append_row(message)
+            for combined in produced:
+                already = any(
+                    set(combined.entries) <= set(buffer[row].entries)
+                    for row in rows_by_indices.get(combined.indices, ())
                 )
                 if already:
                     work.duplicates_removed += 1

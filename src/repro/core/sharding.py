@@ -1,0 +1,157 @@
+"""Fan independent batch streams across worker processes.
+
+One FAFNIR instance pipelines batches through one tree; a production
+deployment replicates the whole memory-plus-tree stack and routes
+independent batch streams at the replicas (the scale-out step every
+later serving PR builds on).  :class:`ShardedRunner` models that: each
+*shard* is a sequence of hardware batches executed by a per-worker
+:class:`~repro.core.engine.FafnirEngine` in its own process, so the
+Python-side simulation itself runs in parallel on multi-core hosts.
+
+Because shards are independent replicas, the modelled wall-clock of the
+fleet is the **maximum** of the shards' pipelined makespans
+(:func:`fleet_makespan_pe_cycles`), while functional outputs concatenate
+shard by shard.
+
+Workers are created with the ``fork`` start method where available (the
+engine, config, and operator objects transfer by inheritance or pickling);
+``source`` must be picklable — a module-level function, ``functools.partial``
+of one, or a bound method of a picklable object.  If process creation is
+unavailable (restricted sandboxes, missing semaphores), the runner falls
+back to in-process execution with identical results.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from concurrent.futures import ProcessPoolExecutor
+from typing import List, Optional, Sequence
+
+from repro.core.config import FafnirConfig
+from repro.core.engine import FafnirEngine, MultiBatchResult, VectorSource
+from repro.core.operators import ReductionOperator, SUM
+from repro.core.pe import KERNEL_VECTOR
+from repro.memory.config import MemoryConfig
+
+Batch = Sequence[Sequence[int]]
+Shard = Sequence[Batch]
+
+
+def shard_batches(batches: Sequence[Batch], shards: int) -> List[List[Batch]]:
+    """Round-robin split of a batch stream into ``shards`` substreams."""
+    if shards <= 0:
+        raise ValueError("shards must be positive")
+    buckets: List[List[Batch]] = [[] for _ in range(min(shards, len(batches)))]
+    for position, batch in enumerate(batches):
+        buckets[position % len(buckets)].append(batch)
+    return buckets
+
+
+def _run_shard(
+    config: Optional[FafnirConfig],
+    operator: ReductionOperator,
+    memory_config: Optional[MemoryConfig],
+    kernel: str,
+    batches: Shard,
+    source: VectorSource,
+    deduplicate: bool,
+    pipeline: bool,
+) -> MultiBatchResult:
+    """Worker entry point: one engine, one shard (module-level: picklable)."""
+    engine = FafnirEngine(
+        config=config,
+        operator=operator,
+        memory_config=memory_config,
+        kernel=kernel,
+    )
+    return engine.run_batches(
+        batches, source, deduplicate=deduplicate, pipeline=pipeline
+    )
+
+
+class ShardedRunner:
+    """Executes independent batch shards on per-process FAFNIR replicas."""
+
+    def __init__(
+        self,
+        config: Optional[FafnirConfig] = None,
+        operator: ReductionOperator = SUM,
+        memory_config: Optional[MemoryConfig] = None,
+        kernel: str = KERNEL_VECTOR,
+        max_workers: Optional[int] = None,
+    ) -> None:
+        self.config = config
+        self.operator = operator
+        self.memory_config = memory_config
+        self.kernel = kernel
+        self.max_workers = max_workers
+
+    def run(
+        self,
+        shards: Sequence[Shard],
+        source: VectorSource,
+        deduplicate: bool = True,
+        pipeline: bool = True,
+    ) -> List[MultiBatchResult]:
+        """Run every shard; results are ordered like ``shards``."""
+        if not shards:
+            raise ValueError("need at least one shard")
+        workers = self.max_workers or multiprocessing.cpu_count()
+        workers = min(workers, len(shards))
+        if workers <= 1 or len(shards) == 1:
+            return self._run_serial(shards, source, deduplicate, pipeline)
+        try:
+            context = multiprocessing.get_context("fork")
+        except ValueError:  # platform without fork
+            context = multiprocessing.get_context()
+        try:
+            with ProcessPoolExecutor(
+                max_workers=workers, mp_context=context
+            ) as pool:
+                futures = [
+                    pool.submit(
+                        _run_shard,
+                        self.config,
+                        self.operator,
+                        self.memory_config,
+                        self.kernel,
+                        shard,
+                        source,
+                        deduplicate,
+                        pipeline,
+                    )
+                    for shard in shards
+                ]
+                return [future.result() for future in futures]
+        except (OSError, PermissionError):
+            # Restricted environments (no process spawning / semaphores):
+            # same results, one process.
+            return self._run_serial(shards, source, deduplicate, pipeline)
+
+    def _run_serial(
+        self,
+        shards: Sequence[Shard],
+        source: VectorSource,
+        deduplicate: bool,
+        pipeline: bool,
+    ) -> List[MultiBatchResult]:
+        return [
+            _run_shard(
+                self.config,
+                self.operator,
+                self.memory_config,
+                self.kernel,
+                shard,
+                source,
+                deduplicate,
+                pipeline,
+            )
+            for shard in shards
+        ]
+
+
+def fleet_makespan_pe_cycles(results: Sequence[MultiBatchResult]) -> int:
+    """Wall-clock of the replica fleet: slowest shard's pipelined makespan."""
+    if not results:
+        raise ValueError("need at least one shard result")
+    return max(r.pipeline.pipelined_latency_pe_cycles for r in results)

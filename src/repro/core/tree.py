@@ -11,7 +11,7 @@ FPGA implementations.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.core.config import FafnirConfig
 from repro.memory.config import MemoryGeometry
@@ -41,10 +41,30 @@ class TreePE:
 class FafnirTree:
     """The static PE interconnect for a given configuration."""
 
-    def __init__(self, config: FafnirConfig) -> None:
+    def __init__(
+        self, config: FafnirConfig, rank_order: Optional[Sequence[int]] = None
+    ) -> None:
+        """Build the tree; ``rank_order`` optionally rewires ranks to leaves.
+
+        ``rank_order`` is a permutation of ``range(total_ranks)``: leaf PE
+        *i* is fed by ``rank_order[i*per_leaf : (i+1)*per_leaf]``.  The
+        default is the identity wiring (rank 2i and 2i+1 on leaf i, paper
+        Fig. 4a); a permuted order models boards whose physical rank wiring
+        does not follow the logical numbering.
+        """
         self.config = config
+        if rank_order is None:
+            rank_order = range(config.total_ranks)
+        order = [int(rank) for rank in rank_order]
+        if sorted(order) != list(range(config.total_ranks)):
+            raise ValueError(
+                "rank_order must be a permutation of "
+                f"range({config.total_ranks})"
+            )
+        self._rank_order = order
         self._pes: Dict[int, TreePE] = {}
         self._levels: List[List[int]] = []
+        self._leaf_of_rank: Dict[int, int] = {}
         self._build()
 
     def _build(self) -> None:
@@ -52,10 +72,14 @@ class FafnirTree:
         next_id = 0
         current: List[int] = []
         for leaf in range(self.config.num_leaf_pes):
-            ranks = tuple(range(leaf * per_leaf, (leaf + 1) * per_leaf))
+            ranks = tuple(
+                self._rank_order[leaf * per_leaf : (leaf + 1) * per_leaf]
+            )
             self._pes[next_id] = TreePE(
                 pe_id=next_id, level=0, children=None, leaf_ranks=ranks
             )
+            for rank in ranks:
+                self._leaf_of_rank[rank] = next_id
             current.append(next_id)
             next_id += 1
         self._levels.append(list(current))
@@ -106,7 +130,7 @@ class FafnirTree:
         """The leaf PE whose FIFO a given rank feeds."""
         if not 0 <= rank < self.config.total_ranks:
             raise ValueError(f"rank {rank} out of range")
-        return self._pes[rank // self.config.ranks_per_leaf_pe]
+        return self._pes[self._leaf_of_rank[rank]]
 
     def covered_ranks(self, pe_id: int) -> Tuple[int, ...]:
         """All memory ranks in the subtree rooted at ``pe_id``."""

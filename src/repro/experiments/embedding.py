@@ -147,8 +147,21 @@ def fig12_end_to_end(queries: int = 1024) -> ExperimentResult:
     )
     base_total = model.breakdown(baseline_ms).total_ms
 
-    table = Table(["ranks", "recnmp_speedup", "fafnir_speedup", "ideal_speedup"])
-    series: Dict[str, List[float]] = {"recnmp": [], "fafnir": [], "ideal": []}
+    table = Table(
+        [
+            "ranks",
+            "recnmp_speedup",
+            "fafnir_serial_speedup",
+            "fafnir_speedup",
+            "ideal_speedup",
+        ]
+    )
+    series: Dict[str, List[float]] = {
+        "recnmp": [],
+        "fafnir_serial": [],
+        "fafnir": [],
+        "ideal": [],
+    }
     for ranks in rank_sweep:
         memory_config = MemoryConfig.rank_sweep(ranks)
         recnmp_ms = (
@@ -157,15 +170,34 @@ def fig12_end_to_end(queries: int = 1024) -> ExperimentResult:
             .total_ns
             / 1e6
         )
+        # The 1024-query request spans many hardware batches: the pipelined
+        # adapter overlaps chunk k's memory phase with chunk k−1's tree
+        # traversal (paper §IV); the serial variant is the batch-at-a-time
+        # host it replaces.
+        fafnir_serial_ms = (
+            FafnirGatherEngine(
+                config=FafnirConfig().with_ranks(ranks),
+                memory_config=memory_config,
+                pipeline=False,
+            )
+            .lookup(batch, tables.vector)
+            .total_ns
+            / 1e6
+        )
         fafnir_ms = (
             FafnirGatherEngine(
-                config=FafnirConfig().with_ranks(ranks), memory_config=memory_config
+                config=FafnirConfig().with_ranks(ranks),
+                memory_config=memory_config,
+                pipeline=True,
             )
             .lookup(batch, tables.vector)
             .total_ns
             / 1e6
         )
         series["recnmp"].append(base_total / model.breakdown(recnmp_ms).total_ms)
+        series["fafnir_serial"].append(
+            base_total / model.breakdown(fafnir_serial_ms).total_ms
+        )
         series["fafnir"].append(base_total / model.breakdown(fafnir_ms).total_ms)
         series["ideal"].append(
             base_total / model.ideal_breakdown(baseline_ms, ranks).total_ms
@@ -174,6 +206,7 @@ def fig12_end_to_end(queries: int = 1024) -> ExperimentResult:
             [
                 ranks,
                 f"{series['recnmp'][-1]:.2f}",
+                f"{series['fafnir_serial'][-1]:.2f}",
                 f"{series['fafnir'][-1]:.2f}",
                 f"{series['ideal'][-1]:.2f}",
             ]

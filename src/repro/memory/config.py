@@ -13,6 +13,7 @@ what drives every comparison in the paper.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from functools import cached_property
 
 
 @dataclass(frozen=True)
@@ -76,15 +77,19 @@ class MemoryGeometry:
     row_bytes: int = 8192
     burst_bytes: int = 64
 
-    @property
+    # cached_property (not property): these are read once per memory request
+    # on the simulator's hot path.  Writing the cache into ``__dict__``
+    # bypasses the frozen-dataclass ``__setattr__``, and field-based
+    # equality/hashing is unaffected.
+    @cached_property
     def ranks_per_channel(self) -> int:
         return self.dimms_per_channel * self.ranks_per_dimm
 
-    @property
+    @cached_property
     def total_ranks(self) -> int:
         return self.channels * self.ranks_per_channel
 
-    @property
+    @cached_property
     def total_banks(self) -> int:
         return self.total_ranks * self.banks_per_rank
 

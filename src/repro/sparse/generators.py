@@ -15,6 +15,8 @@ have, so these generators produce structurally equivalent stand-ins:
 
 from __future__ import annotations
 
+from typing import Optional
+
 import numpy as np
 
 from repro.sparse.coo import CooMatrix
@@ -43,7 +45,7 @@ def random_sparse(
     )
 
 
-def laplacian_2d(nx: int, ny: int = None) -> LilMatrix:
+def laplacian_2d(nx: int, ny: Optional[int] = None) -> LilMatrix:
     """5-point-stencil Laplacian on an nx × ny grid (SPD, ~5 nnz/row)."""
     if ny is None:
         ny = nx

@@ -1,0 +1,233 @@
+"""Tests for the streaming multi-batch runner, sharding, and the two fixes
+this PR carries: position-based leaf FIFO routing and per-occurrence
+completion timing for the dedup ablation."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    FafnirConfig,
+    FafnirEngine,
+    FafnirTree,
+    ShardedRunner,
+    fleet_makespan_pe_cycles,
+    shard_batches,
+)
+from repro.core.batch import plan_batch
+from repro.core.tree import TreePE
+from repro.memory import MemoryConfig
+
+RANKS = 8
+ELEMENTS = 16
+
+
+def make_config(batch_size=8, max_query_len=6):
+    return FafnirConfig(
+        batch_size=batch_size,
+        max_query_len=max_query_len,
+        vector_bytes=ELEMENTS * 4,
+        total_ranks=RANKS,
+        ranks_per_leaf_pe=2,
+        num_tables=RANKS,
+    )
+
+
+def make_engine(**kwargs):
+    return FafnirEngine(
+        config=make_config(),
+        memory_config=MemoryConfig().scaled_to_ranks(RANKS),
+        **kwargs,
+    )
+
+
+def vector_source(index):
+    """Module-level (picklable) deterministic vector store."""
+    return np.random.default_rng(80_000 + index).normal(size=ELEMENTS)
+
+
+def oracle(queries):
+    return [
+        sum(vector_source(i) for i in sorted(set(query))) for query in queries
+    ]
+
+
+def make_batches(num_batches=3, seed=0):
+    rng = np.random.default_rng(seed)
+    return [
+        [
+            rng.choice(48, size=int(rng.integers(2, 7)),
+                       replace=False).tolist()
+            for _ in range(int(rng.integers(2, 9)))
+        ]
+        for _ in range(num_batches)
+    ]
+
+
+class TestRunBatches:
+    def test_outputs_match_sequential_run_batch(self):
+        batches = make_batches(3)
+        streamed = make_engine().run_batches(batches, vector_source)
+        reference = make_engine()
+        expected = [
+            vector
+            for batch in batches
+            for vector in reference.run_batch(batch, vector_source).vectors
+        ]
+        assert len(streamed.vectors) == len(expected)
+        for a, b in zip(streamed.vectors, expected):
+            assert a.tobytes() == b.tobytes()
+
+    def test_pipelined_makespan_at_most_serial(self):
+        batches = make_batches(4, seed=5)
+        run = make_engine().run_batches(batches, vector_source)
+        stats = run.pipeline
+        assert stats.batches == 4
+        assert stats.total_queries == sum(len(b) for b in batches)
+        assert (
+            stats.pipelined_latency_pe_cycles
+            <= stats.serial_latency_pe_cycles
+        )
+        assert stats.pipeline_speedup >= 1.0
+        assert len(stats.batch_completion_cycles) == 4
+        assert (
+            max(stats.batch_completion_cycles)
+            == stats.pipelined_latency_pe_cycles
+        )
+
+    def test_serial_mode_sums_batch_latencies(self):
+        batches = make_batches(3, seed=7)
+        run = make_engine().run_batches(batches, vector_source,
+                                        pipeline=False)
+        latencies = [r.stats.latency_pe_cycles for r in run.results]
+        cursor, expected = 0, []
+        for latency in latencies:
+            expected.append(cursor + latency)
+            cursor += latency
+        assert run.pipeline.batch_completion_cycles == expected
+        assert run.pipeline.pipelined_latency_pe_cycles == sum(latencies)
+
+    def test_pipeline_flag_is_timing_only(self):
+        batches = make_batches(2, seed=9)
+        overlapped = make_engine().run_batches(batches, vector_source)
+        serial = make_engine().run_batches(batches, vector_source,
+                                           pipeline=False)
+        for a, b in zip(overlapped.vectors, serial.vectors):
+            assert a.tobytes() == b.tobytes()
+
+    def test_empty_stream_rejected(self):
+        with pytest.raises(ValueError):
+            make_engine().run_batches([], vector_source)
+
+
+class TestShardedRunner:
+    def test_round_robin_sharding(self):
+        batches = [[f"b{i}"] for i in range(5)]
+        buckets = shard_batches(batches, 2)
+        assert buckets == [
+            [["b0"], ["b2"], ["b4"]],
+            [["b1"], ["b3"]],
+        ]
+        with pytest.raises(ValueError):
+            shard_batches(batches, 0)
+
+    def test_shards_match_direct_engines(self):
+        shards = shard_batches(make_batches(4, seed=11), 2)
+        runner = ShardedRunner(
+            config=make_config(),
+            memory_config=MemoryConfig().scaled_to_ranks(RANKS),
+            max_workers=2,
+        )
+        sharded = runner.run(shards, vector_source)
+        assert len(sharded) == 2
+        for shard, result in zip(shards, sharded):
+            direct = make_engine().run_batches(shard, vector_source)
+            assert len(result.vectors) == len(direct.vectors)
+            for a, b in zip(result.vectors, direct.vectors):
+                assert a.tobytes() == b.tobytes()
+            assert (
+                result.pipeline.pipelined_latency_pe_cycles
+                == direct.pipeline.pipelined_latency_pe_cycles
+            )
+
+    def test_fleet_makespan_is_max_over_shards(self):
+        shards = shard_batches(make_batches(3, seed=13), 2)
+        runner = ShardedRunner(
+            config=make_config(),
+            memory_config=MemoryConfig().scaled_to_ranks(RANKS),
+            max_workers=1,  # serial fallback path
+        )
+        results = runner.run(shards, vector_source)
+        assert fleet_makespan_pe_cycles(results) == max(
+            r.pipeline.pipelined_latency_pe_cycles for r in results
+        )
+
+
+class TestLeafRouting:
+    def test_fifo_side_uses_rank_position(self):
+        """Non-contiguous leaf wiring: side comes from the rank's position
+        in ``leaf_ranks``, not from arithmetic on the first rank's id."""
+        leaf = TreePE(pe_id=0, level=0, children=None, leaf_ranks=(6, 1))
+        assert FafnirEngine._fifo_side(leaf, 6) == 0
+        assert FafnirEngine._fifo_side(leaf, 1) == 1
+        with pytest.raises(ValueError):
+            FafnirEngine._fifo_side(leaf, 3)
+
+    def test_fifo_side_splits_wider_leaves_in_half(self):
+        leaf = TreePE(
+            pe_id=0, level=0, children=None, leaf_ranks=(9, 4, 11, 2)
+        )
+        assert [FafnirEngine._fifo_side(leaf, r) for r in (9, 4, 11, 2)] == [
+            0, 0, 1, 1,
+        ]
+
+    def test_permuted_rank_wiring_still_matches_oracle(self):
+        """A board whose physical rank order is scrambled must still gather
+        correctly — the regression the position-based routing fixes."""
+        engine = make_engine(check_values=True)
+        permutation = [5, 2, 7, 0, 3, 6, 1, 4]
+        engine.tree = FafnirTree(engine.config, rank_order=permutation)
+        rng = np.random.default_rng(21)
+        queries = [
+            rng.choice(40, size=int(rng.integers(2, 7)),
+                       replace=False).tolist()
+            for _ in range(6)
+        ]
+        result = engine.run_batch(queries, vector_source)
+        for got, want in zip(result.vectors, oracle(queries)):
+            assert np.allclose(got, want)
+
+
+class TestDedupAblationTiming:
+    def test_fetch_returns_per_occurrence_completions(self):
+        engine = make_engine()
+        queries = [[1, 2, 3], [1, 2, 4], [1, 5, 6]]
+        plan = plan_batch(queries, deduplicate=False)
+        finish = engine._fetch_from_memory(plan)
+        # Index 1 is read three times, index 2 twice, the rest once.
+        assert len(finish[1]) == 3
+        assert len(finish[2]) == 2
+        for index in (3, 4, 5, 6):
+            assert len(finish[index]) == 1
+        # Later occurrences of the same index never finish earlier.
+        assert finish[1] == sorted(finish[1])
+
+    def test_ablation_latency_not_below_dedup(self):
+        queries = [[1, 2, 3], [1, 2, 4], [1, 5, 6], [2, 3, 7]]
+        dedup = make_engine().run_batch(queries, vector_source)
+        ablation = make_engine().run_batch(
+            queries, vector_source, deduplicate=False
+        )
+        assert (
+            ablation.stats.latency_pe_cycles
+            >= dedup.stats.latency_pe_cycles
+        )
+        assert ablation.stats.memory.bytes_read > dedup.stats.memory.bytes_read
+
+    def test_ablation_vectors_identical_to_dedup(self):
+        queries = make_batches(1, seed=23)[0]
+        dedup = make_engine().run_batch(queries, vector_source)
+        ablation = make_engine().run_batch(
+            queries, vector_source, deduplicate=False
+        )
+        for a, b in zip(dedup.vectors, ablation.vectors):
+            assert a.tobytes() == b.tobytes()
