@@ -37,3 +37,33 @@ def calibrated_batch(tables: EmbeddingTableSet, batch_size: int, seed: int = 2):
 def run_once(benchmark, fn):
     """Run an experiment exactly once under pytest-benchmark."""
     return benchmark.pedantic(fn, rounds=1, iterations=1)
+
+
+def traced_run_batch(config, batch, source, deduplicate=True, kernel="vector"):
+    """Run one batch with an in-memory tracer; returns (engine, result, events)."""
+    from repro.core import FafnirEngine
+    from repro.obs import InMemorySink, Tracer
+
+    sink = InMemorySink()
+    engine = FafnirEngine(config=config, kernel=kernel, tracer=Tracer([sink]))
+    result = engine.run_batch(batch, source, deduplicate=deduplicate)
+    return engine, result, sink.events
+
+
+def assert_trace_matches_stats(engine, result, events):
+    """Event stream and ``LookupStats`` must agree — they are independent
+    observers of the same run (per-level reduce counts, DRAM completions,
+    query completions), so any drift means one of them is lying."""
+    from repro.core.stats import tree_utilization
+    from repro.obs import MEM_READ_COMPLETE, QUERY_COMPLETE, per_level_counts
+
+    utilization = tree_utilization(
+        engine.tree, result.stats, engine.memory.config.geometry
+    )
+    event_levels = per_level_counts(events)
+    for level in utilization.levels:
+        assert event_levels.get(level.level, 0) == level.work.reduces, level.level
+    mem_completions = sum(1 for e in events if e.kind == MEM_READ_COMPLETE)
+    assert mem_completions == result.stats.memory.reads
+    completed = sum(1 for e in events if e.kind == QUERY_COMPLETE)
+    assert completed == len(result.plan.queries)

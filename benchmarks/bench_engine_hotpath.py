@@ -23,6 +23,7 @@ from _common import run_once, write_report
 from repro.analysis import Table
 from repro.core import FafnirConfig, FafnirEngine
 from repro.memory import MemoryConfig
+from repro.obs import InMemorySink, Tracer
 
 QUERIES = 256
 RANKS = 64
@@ -62,8 +63,10 @@ def _workload():
     return config, memory, queries, vectors
 
 
-def _run(kernel, config, memory, queries, vectors):
-    engine = FafnirEngine(config=config, memory_config=memory, kernel=kernel)
+def _run(kernel, config, memory, queries, vectors, tracer=None):
+    engine = FafnirEngine(
+        config=config, memory_config=memory, kernel=kernel, tracer=tracer
+    )
     start = time.perf_counter()
     result = engine.run_batch(queries, vectors.__getitem__)
     return time.perf_counter() - start, result
@@ -98,4 +101,69 @@ def test_engine_hotpath_speedup(benchmark):
     assert speedup >= REQUIRED_SPEEDUP, (
         f"vector kernel only {speedup:.2f}× faster than scalar "
         f"({scalar_s:.3f}s vs {vector_s:.3f}s); required {REQUIRED_SPEEDUP}×"
+    )
+
+
+def test_tracing_disabled_no_overhead(benchmark):
+    """The speedup floor above is measured with tracing disabled — this
+    guard checks that state really is free.
+
+    Every emit site is behind an ``if tracer.enabled`` test, so an engine
+    with a *disabled* tracer must (a) record nothing and (b) run at the
+    same speed as the default ``NULL_TRACER`` engine, min-of-N against
+    min-of-N so a scheduler hiccup cannot fail the comparison.  The
+    enabled-tracer pass is reported for information only: the events a
+    run emits are allowed to cost something.
+    """
+    config, memory, queries, vectors = _workload()
+    repeats = 3
+
+    def best_of(tracer_factory):
+        best = None
+        result = None
+        for _ in range(repeats):
+            seconds, result = _run(
+                "vector", config, memory, queries, vectors, tracer_factory()
+            )
+            best = seconds if best is None else min(best, seconds)
+        return best, result
+
+    baseline_s, baseline = run_once(
+        benchmark, lambda: best_of(lambda: None)
+    )
+
+    def disabled_tracer():
+        tracer = Tracer([])
+        assert not tracer.enabled
+        return tracer
+
+    disabled_s, disabled = best_of(disabled_tracer)
+
+    sink = InMemorySink()
+    traced_s, traced = _run(
+        "vector", config, memory, queries, vectors, Tracer([sink])
+    )
+
+    table = Table(["tracer", "wall_s", "vs_baseline"])
+    table.add_row(["null (default)", f"{baseline_s:.3f}", "1.00×"])
+    table.add_row(
+        ["disabled", f"{disabled_s:.3f}", f"{disabled_s / baseline_s:.2f}×"]
+    )
+    table.add_row(
+        ["in-memory sink", f"{traced_s:.3f}", f"{traced_s / baseline_s:.2f}×"]
+    )
+    write_report("engine_tracing_overhead", table.render())
+
+    # Identical physics regardless of tracer state.
+    for a, b in zip(baseline.vectors, disabled.vectors):
+        assert a.tobytes() == b.tobytes()
+    for a, b in zip(baseline.vectors, traced.vectors):
+        assert a.tobytes() == b.tobytes()
+    assert baseline.stats.latency_pe_cycles == traced.stats.latency_pe_cycles
+    # Disabled tracing costs nothing measurable (generous bound: timing
+    # noise on shared runners, not a perf target).
+    assert sink.events, "enabled tracer recorded no events"
+    assert disabled_s <= 1.25 * baseline_s, (
+        f"disabled tracer run took {disabled_s:.3f}s vs {baseline_s:.3f}s "
+        "baseline — the no-op path is no longer free"
     )

@@ -8,7 +8,15 @@ Paper claims for one query of 16 × 512 B vectors over 32 ranks:
 * RecNMP forwards part of the reduction to the CPU, FAFNIR none.
 """
 
-from _common import run_once, write_report
+from _common import (
+    assert_trace_matches_stats,
+    calibrated_batch,
+    reference_tables,
+    run_once,
+    traced_run_batch,
+    write_report,
+)
+from repro.core import FafnirConfig
 from repro.experiments import get_experiment
 
 
@@ -32,3 +40,15 @@ def test_fig11_single_query_breakdown(benchmark):
     # RecNMP pays a core component; FAFNIR does not.
     assert results["recnmp"].timing.core_compute_ns > 0
     assert results["fafnir"].timing.core_compute_ns == 0
+
+
+def test_fig11_trace_matches_stats():
+    """The figure's single-query configuration, traced: event stream and
+    ``LookupStats`` aggregation must describe the same run."""
+    tables = reference_tables()
+    batch = calibrated_batch(tables, 1)
+    engine, result, events = traced_run_batch(
+        FafnirConfig(batch_size=1), batch, tables.vector
+    )
+    assert events
+    assert_trace_matches_stats(engine, result, events)

@@ -13,7 +13,15 @@ RecNMP's reductions (and raw vectors) to the cores, while FAFNIR's channel
 node keeps the entire reduction at NDP.
 """
 
-from _common import run_once, write_report
+from _common import (
+    assert_trace_matches_stats,
+    calibrated_batch,
+    reference_tables,
+    run_once,
+    traced_run_batch,
+    write_report,
+)
+from repro.core import FafnirConfig
 from repro.experiments import get_experiment
 
 
@@ -46,3 +54,16 @@ def test_fig12_end_to_end_speedup(benchmark):
     assert recnmp[ranks.index(32)] <= recnmp[ranks.index(8)] * 1.05
     # FAFNIR's speedup is monotone in ranks.
     assert all(b >= a - 0.02 for a, b in zip(fafnir, fafnir[1:]))
+
+
+def test_fig12_trace_matches_stats():
+    """A point of the rank sweep, traced: event stream and ``LookupStats``
+    must agree on reduce counts per level and DRAM completions."""
+    tables = reference_tables()
+    batch = calibrated_batch(tables, 16)
+    for ranks in (8, 32):
+        engine, result, events = traced_run_batch(
+            FafnirConfig(batch_size=16).with_ranks(ranks), batch, tables.vector
+        )
+        assert events
+        assert_trace_matches_stats(engine, result, events)

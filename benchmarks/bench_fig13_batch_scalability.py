@@ -13,7 +13,15 @@ absolute factors are compressed relative to the paper's
 throughput-flavoured measurement (see EXPERIMENTS.md).
 """
 
-from _common import run_once, write_report
+from _common import (
+    assert_trace_matches_stats,
+    calibrated_batch,
+    reference_tables,
+    run_once,
+    traced_run_batch,
+    write_report,
+)
+from repro.core import FafnirConfig
 from repro.experiments import get_experiment
 
 
@@ -41,3 +49,18 @@ def test_fig13_batch_scalability(benchmark):
     # RecNMP beats TensorDIMM everywhere.
     for batch_size in batch_sizes:
         assert raw[batch_size]["tensordimm"] > raw[batch_size]["recnmp"]
+
+
+def test_fig13_trace_matches_stats():
+    """The figure's batched configuration, traced with and without
+    deduplication: the cross-check must hold on the ablation too (each
+    redundant read emits its own DRAM completion and leaf inject)."""
+    tables = reference_tables()
+    batch = calibrated_batch(tables, 8)
+    for deduplicate in (True, False):
+        engine, result, events = traced_run_batch(
+            FafnirConfig(batch_size=8), batch, tables.vector,
+            deduplicate=deduplicate,
+        )
+        assert events
+        assert_trace_matches_stats(engine, result, events)

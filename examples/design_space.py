@@ -6,7 +6,10 @@ capacity, ASIC area/power, connection counts) — the kind of sizing study a
 system architect would run before committing to a configuration.
 
 Run:  python examples/design_space.py
+(Set FAFNIR_SMOKE=1 for a seconds-long reduced sweep, e.g. under CI.)
 """
+
+import os
 
 from repro.analysis import Table
 from repro.core import FafnirConfig, FafnirEngine
@@ -20,13 +23,16 @@ from repro.memory import MemoryConfig
 from repro.workloads import EmbeddingTableSet, QueryGenerator
 
 
+SMOKE = bool(os.environ.get("FAFNIR_SMOKE"))
+
+
 def main() -> None:
     tables = EmbeddingTableSet.random(seed=2)
     print("== scaling the memory system (batch 16, q 16) ==")
     table = Table(
         ["ranks", "PEs", "latency_us", "area_mm2", "power_mW", "tree_links", "all_to_all"]
     )
-    for ranks in (4, 8, 16, 32):
+    for ranks in (4, 8) if SMOKE else (4, 8, 16, 32):
         config = FafnirConfig(batch_size=16).with_ranks(ranks)
         engine = FafnirEngine(
             config, memory_config=MemoryConfig().scaled_to_ranks(ranks)
@@ -49,7 +55,7 @@ def main() -> None:
 
     print("\n== scaling the batch size (32 ranks) ==")
     table = Table(["batch", "latency_us", "us_per_query", "PE_buffer_KB", "node_KB"])
-    for batch_size in (4, 8, 16, 32):
+    for batch_size in (4, 8) if SMOKE else (4, 8, 16, 32):
         config = FafnirConfig(batch_size=batch_size)
         engine = FafnirEngine(config)
         batch = QueryGenerator.paper_calibrated(tables, seed=1).batch(batch_size)

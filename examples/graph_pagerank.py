@@ -6,7 +6,10 @@ power-iteration PageRank and traversed with BFS, comparing FAFNIR's modelled
 hardware time against the Two-Step NDP baseline.
 
 Run:  python examples/graph_pagerank.py
+(Set FAFNIR_SMOKE=1 for a seconds-long reduced graph, e.g. under CI.)
 """
+
+import os
 
 import numpy as np
 
@@ -16,8 +19,11 @@ from repro.sparse import rmat
 from repro.spmv import FafnirSpmvEngine, bfs, pagerank
 
 
+SMOKE = bool(os.environ.get("FAFNIR_SMOKE"))
+
+
 def main() -> None:
-    graph = rmat(scale=12, edge_factor=8, seed=5)
+    graph = rmat(scale=7 if SMOKE else 12, edge_factor=8, seed=5)
     print(
         f"R-MAT graph: {graph.shape[0]} vertices, {graph.nnz} edges, "
         f"density {100 * graph.density:.2f}%\n"

@@ -7,7 +7,10 @@ tree parallelism, best throughput).  This example quantifies the trade, then
 re-runs the lookup on an HBM2 stack with leaf PEs on the 32 pseudo-channels.
 
 Run:  python examples/interactive_latency.py
+(Set FAFNIR_SMOKE=1 for a seconds-long reduced batch, e.g. under CI.)
 """
+
+import os
 
 from repro.analysis import Table
 from repro.core import FafnirConfig, FafnirEngine, InteractiveEngine
@@ -15,10 +18,14 @@ from repro.memory import hbm2_stack
 from repro.workloads import EmbeddingTableSet, QueryGenerator
 
 
+SMOKE = bool(os.environ.get("FAFNIR_SMOKE"))
+
+
 def main() -> None:
+    batch_size = 8 if SMOKE else 32
     tables = EmbeddingTableSet.random(seed=9)
     generator = QueryGenerator.paper_calibrated(tables, seed=10)
-    queries = generator.batch(32)
+    queries = generator.batch(batch_size)
 
     # --- single-query latency: interactive vs batch path ---
     interactive = InteractiveEngine()
@@ -32,27 +39,28 @@ def main() -> None:
     print(f"  batch path:       {b_result.stats.latency_pe_cycles * 5} ns "
           f"({b_result.stats.latency_pe_cycles} PE cycles, full headers)\n")
 
-    # --- throughput: serving 32 queries one-by-one vs as one batch ---
+    # --- throughput: serving the batch one-by-one vs as one batch ---
     serial_cycles = 0
     for query in queries:
         serial_cycles += interactive.lookup_one(query, tables.vector).latency_pe_cycles
-    batch_engine = FafnirEngine(FafnirConfig(batch_size=32))
+    batch_engine = FafnirEngine(FafnirConfig(batch_size=batch_size))
     batched = batch_engine.run_batch(queries, tables.vector)
 
+    serial_reads = batch_size * 16
     table = Table(["mode", "total_us", "per_query_us", "dram_reads"])
     table.add_row(
         [
-            "interactive ×32",
+            f"interactive ×{batch_size}",
             f"{serial_cycles * 5 / 1000:.2f}",
-            f"{serial_cycles * 5 / 1000 / 32:.3f}",
-            32 * 16,
+            f"{serial_cycles * 5 / 1000 / batch_size:.3f}",
+            serial_reads,
         ]
     )
     table.add_row(
         [
-            "one batch of 32",
+            f"one batch of {batch_size}",
             f"{batched.stats.latency_pe_cycles * 5 / 1000:.2f}",
-            f"{batched.stats.latency_pe_cycles * 5 / 1000 / 32:.3f}",
+            f"{batched.stats.latency_pe_cycles * 5 / 1000 / batch_size:.3f}",
             batched.stats.memory.reads,
         ]
     )
@@ -60,13 +68,15 @@ def main() -> None:
     print(
         f"\nbatching wins throughput "
         f"{serial_cycles / batched.stats.latency_pe_cycles:.1f}× and reads "
-        f"{32 * 16 - batched.stats.memory.reads} fewer vectors (dedup); "
+        f"{serial_reads - batched.stats.memory.reads} fewer vectors (dedup); "
         "interactive wins first-result latency.\n"
     )
 
     # --- HBM integration (paper §VIII) ---
-    ddr4 = FafnirEngine(FafnirConfig(batch_size=32))
-    hbm = FafnirEngine(FafnirConfig(batch_size=32), memory_config=hbm2_stack())
+    ddr4 = FafnirEngine(FafnirConfig(batch_size=batch_size))
+    hbm = FafnirEngine(
+        FafnirConfig(batch_size=batch_size), memory_config=hbm2_stack()
+    )
     ddr4_result = ddr4.run_batch(queries, tables.vector)
     hbm_result = hbm.run_batch(queries, tables.vector)
     print("same batch, leaf PEs on HBM2 pseudo-channels instead of DDR4 ranks:")

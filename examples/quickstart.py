@@ -5,7 +5,10 @@ it through the FAFNIR tree, verifies the outputs against NumPy, and prints
 the measurements the accelerator reports.
 
 Run:  python examples/quickstart.py
+(Set FAFNIR_SMOKE=1 for a seconds-long reduced batch, e.g. under CI.)
 """
+
+import os
 
 import numpy as np
 
@@ -24,7 +27,7 @@ def main() -> None:
     # A batch of 32 queries, each gathering 16 vectors, with realistic
     # index sharing (popular rows appear in many queries).
     generator = QueryGenerator.paper_calibrated(tables, seed=1)
-    batch = generator.batch(32)
+    batch = generator.batch(8 if os.environ.get("FAFNIR_SMOKE") else 32)
 
     fafnir = FafnirAccelerator(operator="sum")
     result = fafnir.lookup(tables.vector, batch)

@@ -6,7 +6,10 @@ on each engine, and prints the per-engine latency breakdown plus end-to-end
 speedups, mirroring the paper's headline evaluation.
 
 Run:  python examples/recommendation_inference.py
+(Set FAFNIR_SMOKE=1 for a seconds-long reduced batch, e.g. under CI.)
 """
+
+import os
 
 from repro.analysis import Table
 from repro.baselines import (
@@ -18,10 +21,13 @@ from repro.baselines import (
 from repro.workloads import EmbeddingTableSet, InferenceModel, QueryGenerator
 
 
+SMOKE = bool(os.environ.get("FAFNIR_SMOKE"))
+
+
 def main() -> None:
     tables = EmbeddingTableSet.random(seed=3)
     generator = QueryGenerator.paper_calibrated(tables, seed=4)
-    batch = generator.batch(256)
+    batch = generator.batch(32 if SMOKE else 256)
     inference = InferenceModel(fc_ms=0.5, other_ms=0.1)
 
     engines = {

@@ -11,7 +11,10 @@ This example runs all three on one road-network-style graph and reports the
 modelled hardware time per kernel.
 
 Run:  python examples/semiring_graphs.py
+(Set FAFNIR_SMOKE=1 for a seconds-long reduced mesh, e.g. under CI.)
 """
+
+import os
 
 import numpy as np
 
@@ -20,8 +23,12 @@ from repro.sparse import LilMatrix, road_mesh
 from repro.spmv import FafnirSpmvEngine, bfs, pagerank, sssp
 
 
+SMOKE = bool(os.environ.get("FAFNIR_SMOKE"))
+
+
 def main() -> None:
-    base = road_mesh(40, seed=13)  # 1 600-vertex road-like mesh
+    side = 12 if SMOKE else 40
+    base = road_mesh(side, seed=13)  # road-like mesh of side² vertices
     rng = np.random.default_rng(14)
     # Positive edge weights (travel times) on the same topology.
     weighted = LilMatrix(

@@ -6,7 +6,10 @@ FAFNIR tree — the "matrix inversion / differential-equation solver" family
 of sparse gathering the paper targets beyond embedding lookup.
 
 Run:  python examples/sparse_solver.py
+(Set FAFNIR_SMOKE=1 for a seconds-long reduced system, e.g. under CI.)
 """
+
+import os
 
 import numpy as np
 
@@ -28,7 +31,7 @@ def regularised_poisson(side: int) -> LilMatrix:
 
 
 def main() -> None:
-    side = 40
+    side = 12 if os.environ.get("FAFNIR_SMOKE") else 40
     system = regularised_poisson(side)
     rng = np.random.default_rng(11)
     rhs = rng.normal(size=system.shape[0])

@@ -6,8 +6,10 @@ format, replays it through FAFNIR and the baselines, and shows how the
 host-side batch scheduler changes FAFNIR's redundant-access savings.
 
 Run:  python examples/trace_replay.py
+(Set FAFNIR_SMOKE=1 for a seconds-long reduced trace, e.g. under CI.)
 """
 
+import os
 import pathlib
 import tempfile
 
@@ -21,11 +23,16 @@ from repro.workloads import (
 )
 
 
+SMOKE = bool(os.environ.get("FAFNIR_SMOKE"))
+
+
 def main() -> None:
     tables = EmbeddingTableSet.random(seed=21)
 
     # --- record ---
-    trace = QueryTrace.synthesize(tables, num_queries=128, seed=22)
+    trace = QueryTrace.synthesize(
+        tables, num_queries=32 if SMOKE else 128, seed=22
+    )
     trace_path = pathlib.Path(tempfile.gettempdir()) / "fafnir_demo_trace.txt"
     trace.save(trace_path)
     print(

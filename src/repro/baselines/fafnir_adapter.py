@@ -27,6 +27,7 @@ from repro.core.engine import FafnirEngine
 from repro.core.operators import ReductionOperator, SUM
 from repro.core.pe import KERNEL_VECTOR
 from repro.memory.config import MemoryConfig
+from repro.obs.tracer import Tracer
 
 
 class FafnirGatherEngine(GatherEngine):
@@ -43,6 +44,7 @@ class FafnirGatherEngine(GatherEngine):
         deduplicate: bool = True,
         pipeline: bool = True,
         kernel: str = KERNEL_VECTOR,
+        tracer: Optional[Tracer] = None,
     ) -> None:
         super().__init__(operator)
         self.engine = FafnirEngine(
@@ -50,6 +52,7 @@ class FafnirGatherEngine(GatherEngine):
             operator=operator,
             memory_config=memory_config,
             kernel=kernel,
+            tracer=tracer,
         )
         self.link = link or HostLink(
             channels=self.engine.memory.config.geometry.channels

@@ -9,7 +9,10 @@ Subcommands mirror the things a user actually does with the library:
 * ``spmv``    — multiply a synthetic sparse matrix on FAFNIR vs Two-Step;
 * ``pagerank`` — rank a synthetic graph end to end;
 * ``hw``      — print the hardware bookkeeping tables (buffers, area,
-  power, FPGA utilization, connections).
+  power, FPGA utilization, connections);
+* ``trace``   — capture a cycle-level event trace of one FAFNIR batch as
+  Chrome ``trace_event`` JSON (open in Perfetto / ``chrome://tracing``)
+  and print the derived metrics.
 
 Run ``python -m repro.cli <subcommand> --help`` for options.
 """
@@ -38,6 +41,16 @@ from repro.hw import (
     reference_system_area,
     size_buffers,
     table5,
+)
+from repro.core.engine import FafnirEngine
+from repro.core.stats import tree_utilization
+from repro.obs import (
+    ChromeTraceSink,
+    InMemorySink,
+    JsonlSink,
+    Tracer,
+    metrics_from_events,
+    per_level_counts,
 )
 from repro.sparse import laplacian_2d, rmat
 from repro.experiments import get_experiment, list_experiments
@@ -181,6 +194,56 @@ def _cmd_experiments(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_trace(args: argparse.Namespace) -> int:
+    config = FafnirConfig(batch_size=args.batch_size)
+    tables, batch = _make_batch(args.batch_size, args.query_len, args.seed)
+    memory_sink = InMemorySink()
+    tracer = Tracer([memory_sink, ChromeTraceSink(args.out)])
+    if args.jsonl:
+        tracer.add_sink(JsonlSink(args.jsonl))
+    engine = FafnirEngine(config=config, kernel=args.kernel, tracer=tracer)
+    result = engine.run_batch(batch, tables.vector, deduplicate=args.dedup)
+    tracer.close()
+
+    events = memory_sink.events
+    print(f"traced {len(batch)} queries × {args.query_len} lookups")
+    print(f"chrome trace: {args.out} ({len(events)} events)")
+    if args.jsonl:
+        print(f"jsonl trace:  {args.jsonl}")
+
+    # Cross-check: reduce events per level must equal the LookupStats
+    # level aggregation — the two observability paths agree or the run
+    # is untrustworthy.
+    utilization = tree_utilization(
+        engine.tree, result.stats, engine.memory.config.geometry
+    )
+    event_levels = per_level_counts(events)
+    table = Table(["level", "pes", "reduces(stats)", "reduces(events)"])
+    mismatch = False
+    for level in utilization.levels:
+        traced = event_levels.get(level.level, 0)
+        mismatch = mismatch or traced != level.work.reduces
+        table.add_row([level.level, level.pes, level.work.reduces, traced])
+    print(table.render())
+    if mismatch:
+        print("MISMATCH between event stream and LookupStats aggregation")
+        return 1
+
+    snapshot = metrics_from_events(events).snapshot()
+    print("\nevent counts:")
+    for name, value in snapshot["counters"].items():
+        if name.startswith("events."):
+            print(f"  {name[len('events.'):]:18s} {value}")
+    latency = snapshot["histograms"].get("query.latency_pe_cycles")
+    if latency:
+        print(
+            "query latency (PE cycles): "
+            f"p50 {latency['p50']:.0f} | p95 {latency['p95']:.0f} | "
+            f"p99 {latency['p99']:.0f} | max {latency['max']:.0f}"
+        )
+    return 0
+
+
 def _cmd_validate(args: argparse.Namespace) -> int:
     checks = validate_anchors()
     failures = 0
@@ -227,6 +290,29 @@ def build_parser() -> argparse.ArgumentParser:
     hw = subparsers.add_parser("hw", help="hardware bookkeeping tables")
     hw.add_argument("--batch-size", type=int, default=32)
     hw.set_defaults(func=_cmd_hw)
+
+    trace = subparsers.add_parser(
+        "trace", help="capture a cycle-level event trace of one batch"
+    )
+    trace.add_argument("--batch-size", type=int, default=32)
+    trace.add_argument("--query-len", type=int, default=16)
+    trace.add_argument("--seed", type=int, default=0)
+    trace.add_argument(
+        "--kernel", choices=("scalar", "vector"), default="vector"
+    )
+    trace.add_argument(
+        "--out", default="fafnir_trace.json", help="Chrome trace JSON path"
+    )
+    trace.add_argument(
+        "--jsonl", default=None, help="also write a compact JSONL event log"
+    )
+    trace.add_argument(
+        "--no-dedup",
+        dest="dedup",
+        action="store_false",
+        help="trace the no-deduplication ablation instead",
+    )
+    trace.set_defaults(func=_cmd_trace)
 
     validate = subparsers.add_parser(
         "validate", help="check the paper's numeric anchors"

@@ -36,13 +36,36 @@ from repro.memory.mapping import RowMajorPlacement
 from repro.memory.request import ReadRequest
 from repro.memory.system import MemorySystem
 from repro.memory.trace import AccessStats
+from repro.obs.events import (
+    BATCH_COMPLETE,
+    BATCH_START,
+    FIFO_ENQUEUE,
+    FIFO_STALL,
+    LEAF_INJECT,
+    PIPELINE_BATCH,
+    QUERY_COMPLETE,
+    TraceEvent,
+)
+from repro.obs.tracer import NULL_TRACER, Tracer
 
 VectorSource = Callable[[int], np.ndarray]
 
 
 @dataclass
 class LookupStats:
-    """Measurements from one batch lookup."""
+    """Measurements from one batch lookup.
+
+    ``per_pe_work`` maps ``pe_id`` → the :class:`~repro.core.pe.PEWork`
+    accumulated across every invocation of that PE during the batch; feed
+    it (via this object) to :func:`repro.core.stats.tree_utilization` for
+    the per-level / per-chip rollup.  The same quantities are observable
+    event-by-event through ``repro.obs`` when the engine is constructed
+    with a tracer: ``memory.reads`` counts ``mem_read_complete`` events,
+    each query contributes one ``query_complete`` event at its
+    ``ready_cycle``, and per-level reduce counts match
+    ``repro.obs.per_level_counts``.  The counters here are always
+    collected; the event stream is opt-in and purely observational.
+    """
 
     memory: AccessStats
     per_pe_work: Dict[int, PEWork] = field(default_factory=dict)
@@ -133,6 +156,7 @@ class MultiBatchResult:
 
     results: List[LookupResult]
     pipeline: PipelineStats
+    events: Optional[List[TraceEvent]] = None
 
     @property
     def vectors(self) -> List[np.ndarray]:
@@ -161,7 +185,24 @@ class FafnirEngine:
         memory_config: Optional[MemoryConfig] = None,
         check_values: bool = False,
         kernel: str = KERNEL_VECTOR,
+        tracer: Optional[Tracer] = None,
+        rank_order: Optional[Sequence[int]] = None,
     ) -> None:
+        """Build one FAFNIR instance.
+
+        Args:
+            config: accelerator shape and timing (paper defaults if None).
+            operator: reduction operator (name or instance).
+            memory_config: DDR4/HBM substrate; must match ``total_ranks``.
+            check_values: enable the merge-unit value-consistency assertion.
+            kernel: PE compute-unit implementation (``"scalar"``/``"vector"``).
+            tracer: event tracer threaded through the memory system, every
+                PE, and the engine's own host-side hooks; ``None`` installs
+                the zero-overhead :data:`~repro.obs.tracer.NULL_TRACER`.
+            rank_order: optional permutation of ``range(total_ranks)``
+                rewiring ranks to leaf PEs (boards whose physical wiring
+                does not follow the logical numbering).
+        """
         if kernel not in KERNELS:
             raise ValueError(f"unknown PE kernel {kernel!r}; choose from {KERNELS}")
         self.config = config or FafnirConfig()
@@ -176,11 +217,12 @@ class FafnirEngine:
                 f"({memory_config.geometry.total_ranks}) does not match the "
                 f"FAFNIR configuration ({self.config.total_ranks})"
             )
-        self.memory = MemorySystem(memory_config)
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.memory = MemorySystem(memory_config, tracer=self.tracer)
         self.placement = RowMajorPlacement(
             memory_config.geometry, self.config.vector_bytes
         )
-        self.tree = FafnirTree(self.config)
+        self.tree = FafnirTree(self.config, rank_order=rank_order)
         self._check_values = check_values
         self._kernel = kernel
         self._last_memory_stats = AccessStats()
@@ -281,6 +323,8 @@ class FafnirEngine:
                         header=plan.headers[index], value=value, ready_cycle=ready
                     )
                 )
+                if self.tracer.enabled:
+                    self._emit_inject(leaf, side, rank, index, ready, len(fifo))
             else:
                 # plan.reads lists occurrences query-major, so occurrence j
                 # of this index belongs to the j-th query containing it.
@@ -295,7 +339,58 @@ class FafnirEngine:
                             ready_cycle=ready,
                         )
                     )
+                    if self.tracer.enabled:
+                        self._emit_inject(
+                            leaf, side, rank, index, ready, len(fifo)
+                        )
         return per_leaf
+
+    def _emit_inject(
+        self,
+        leaf: TreePE,
+        side: int,
+        rank: int,
+        index: int,
+        ready: int,
+        depth: int,
+    ) -> None:
+        """Record one vector's arrival at a leaf FIFO (tracing enabled only).
+
+        Emits a ``leaf_inject`` for the message itself and a
+        ``fifo_enqueue`` carrying the FIFO's occupancy after the append;
+        occupancy beyond ``config.buffer_entries`` additionally raises a
+        ``fifo_stall`` — the backpressure signal a sized hardware FIFO
+        would assert (the functional model itself is unbounded).
+        """
+        self.tracer.emit(
+            TraceEvent(
+                LEAF_INJECT,
+                cycle=ready,
+                pe=leaf.pe_id,
+                level=leaf.level,
+                rank=rank,
+                args={"index": index},
+            )
+        )
+        self.tracer.emit(
+            TraceEvent(
+                FIFO_ENQUEUE,
+                cycle=ready,
+                pe=leaf.pe_id,
+                level=leaf.level,
+                args={"fifo": side, "depth": depth},
+            )
+        )
+        if depth > self.config.buffer_entries:
+            self.tracer.emit(
+                TraceEvent(
+                    FIFO_STALL,
+                    cycle=ready,
+                    pe=leaf.pe_id,
+                    level=leaf.level,
+                    args={"fifo": side, "depth": depth},
+                )
+            )
 
     def _run_tree(
         self, leaf_inputs: Dict[int, List[List[Message]]]
@@ -311,6 +406,9 @@ class FafnirEngine:
                 name=f"PE{pe_id}",
                 check_values=self._check_values,
                 kernel=self._kernel,
+                tracer=self.tracer,
+                pe_id=pe_id,
+                level=node.level,
             )
             if node.is_leaf:
                 # Items from one rank stream through one FIFO and may
@@ -351,6 +449,14 @@ class FafnirEngine:
                 )
             vectors.append(self.operator.finalize(message.value.copy(), len(query)))
             ready_cycles.append(message.ready_cycle)
+            if self.tracer.enabled:
+                self.tracer.emit(
+                    TraceEvent(
+                        QUERY_COMPLETE,
+                        cycle=message.ready_cycle,
+                        args={"query": position, "terms": len(query)},
+                    )
+                )
         return vectors, ready_cycles
 
     # ------------------------------------------------------------------
@@ -377,6 +483,14 @@ class FafnirEngine:
             )
         if reset_memory:
             self.memory.reset()
+        if self.tracer.enabled:
+            self.tracer.emit(
+                TraceEvent(
+                    BATCH_START,
+                    cycle=0,
+                    args={"queries": len(queries), "dedup": deduplicate},
+                )
+            )
 
         plan = plan_batch(
             queries, max_query_len=self.config.max_query_len, deduplicate=deduplicate
@@ -401,6 +515,17 @@ class FafnirEngine:
             output_bytes=len(plan.queries) * self.config.vector_bytes,
             naive_movement_bytes=plan.total_lookups * self.config.vector_bytes,
         )
+        if self.tracer.enabled:
+            self.tracer.emit(
+                TraceEvent(
+                    BATCH_COMPLETE,
+                    cycle=stats.latency_pe_cycles,
+                    args={
+                        "queries": len(plan.queries),
+                        "unique_reads": len(plan.unique_indices),
+                    },
+                )
+            )
         return LookupResult(vectors=vectors, stats=stats, plan=plan)
 
     # ------------------------------------------------------------------
@@ -429,7 +554,7 @@ class FafnirEngine:
         completions: List[int] = []
         memory_cursor = 0
         serial_cursor = 0
-        for batch in batches:
+        for position, batch in enumerate(batches):
             result = self.run_batch(
                 batch, source, deduplicate=deduplicate, reset_memory=True
             )
@@ -439,6 +564,19 @@ class FafnirEngine:
             else:
                 completions.append(serial_cursor + stats.latency_pe_cycles)
                 serial_cursor += stats.latency_pe_cycles
+            if self.tracer.enabled:
+                self.tracer.emit(
+                    TraceEvent(
+                        PIPELINE_BATCH,
+                        cycle=completions[-1],
+                        args={
+                            "batch": position,
+                            "queries": len(result.plan.queries),
+                            "memory_start": memory_cursor,
+                            "pipelined": pipeline,
+                        },
+                    )
+                )
             memory_cursor += stats.memory_latency_pe_cycles
             results.append(result)
 

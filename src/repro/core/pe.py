@@ -50,6 +50,8 @@ from repro.core.bitset import IndexUniverse
 from repro.core.config import FafnirConfig
 from repro.core.header import Header, Message, entry_sort_key, sorted_tuple
 from repro.core.operators import ReductionOperator
+from repro.obs.events import PE_FORWARD, PE_MERGE, PE_REDUCE, TraceEvent
+from repro.obs.tracer import NULL_TRACER, Tracer
 
 KERNEL_SCALAR = "scalar"
 KERNEL_VECTOR = "vector"
@@ -64,7 +66,18 @@ _VECTOR_FOLD_CUTOVER = 8
 
 @dataclass
 class PEWork:
-    """Operation counts for one PE invocation (drives timing/power stats)."""
+    """Operation counts for one PE invocation (drives timing/power stats).
+
+    These counters are the ground truth the event stream must agree with:
+    when a :class:`~repro.obs.Tracer` is attached, every ``reduces`` /
+    ``forwards`` / ``merges`` increment also emits one ``pe_reduce`` /
+    ``pe_forward`` / ``pe_merge`` :class:`~repro.obs.TraceEvent`, so
+    ``repro.obs.per_level_counts(events)`` equals the per-level sums
+    produced by :func:`repro.core.stats.tree_utilization` over
+    ``LookupStats.per_pe_work``.  The scalar and vector kernels increment
+    (and therefore emit) at the same semantic points, which is what makes
+    their event streams comparable with ``==``.
+    """
 
     compares: int = 0
     reduces: int = 0
@@ -127,6 +140,9 @@ class ProcessingElement:
         name: str = "PE",
         check_values: bool = False,
         kernel: str = KERNEL_VECTOR,
+        tracer: Tracer = NULL_TRACER,
+        pe_id: Optional[int] = None,
+        level: Optional[int] = None,
     ) -> None:
         if kernel not in KERNELS:
             raise ValueError(f"unknown PE kernel {kernel!r}; choose from {KERNELS}")
@@ -135,6 +151,41 @@ class ProcessingElement:
         self.name = name
         self.check_values = check_values
         self.kernel = kernel
+        # Tracing: events are emitted exactly where the PEWork counters
+        # increment, in both kernels, so scalar and vector runs produce
+        # ==-equal event streams (asserted by the differential tests).
+        # Every emission is guarded by ``tracer.enabled`` — one attribute
+        # read when tracing is off.
+        self.tracer = tracer
+        self.pe_id = pe_id
+        self.level = level
+
+    # ------------------------------------------------------------------
+    # Tracing
+    # ------------------------------------------------------------------
+    def _emit_op(self, kind: str, cycle: int, dur_cycles: int) -> None:
+        """Emit one PE-operation event (callers guard on ``tracer.enabled``)."""
+        self.tracer.emit(
+            TraceEvent(
+                kind,
+                cycle=cycle,
+                pe=self.pe_id,
+                level=self.level,
+                args={"dur_cycles": dur_cycles},
+            )
+        )
+
+    def _emit_merge(self, cycle: int, members: int) -> None:
+        """Emit one merge-unit event (callers guard on ``tracer.enabled``)."""
+        self.tracer.emit(
+            TraceEvent(
+                PE_MERGE,
+                cycle=cycle,
+                pe=self.pe_id,
+                level=self.level,
+                args={"members": members},
+            )
+        )
 
     # ------------------------------------------------------------------
     # Compute units — kernel dispatch
@@ -161,18 +212,21 @@ class ProcessingElement:
         raw: List[_RawOutput],
     ) -> None:
         latencies = self.config.latencies
+        tracer = self.tracer
         for message in own:
             for entry in message.entries:
                 if not entry:
                     # Finished answer: travels up untouched.
                     work.forwards += 1
+                    ready = message.ready_cycle + latencies.forward_path
+                    if tracer.enabled:
+                        self._emit_op(PE_FORWARD, ready, latencies.forward_path)
                     raw.append(
                         _RawOutput(
                             indices=message.indices,
                             entry=entry,
                             value=message.value,
-                            ready_cycle=message.ready_cycle
-                            + latencies.forward_path,
+                            ready_cycle=ready,
                             hops=message.hops + 1,
                             was_reduce=False,
                             source_header=message.header,
@@ -193,6 +247,12 @@ class ProcessingElement:
                             best = partner
                 if best is not None:
                     work.reduces += 1
+                    ready = (
+                        max(message.ready_cycle, best.ready_cycle)
+                        + latencies.reduce_path
+                    )
+                    if tracer.enabled:
+                        self._emit_op(PE_REDUCE, ready, latencies.reduce_path)
                     raw.append(
                         _RawOutput(
                             indices=message.indices | best.indices,
@@ -200,23 +260,22 @@ class ProcessingElement:
                             value=self.operator.combine(
                                 message.value, best.value
                             ),
-                            ready_cycle=max(
-                                message.ready_cycle, best.ready_cycle
-                            )
-                            + latencies.reduce_path,
+                            ready_cycle=ready,
                             hops=max(message.hops, best.hops) + 1,
                             was_reduce=True,
                         )
                     )
                 else:
                     work.forwards += 1
+                    ready = message.ready_cycle + latencies.forward_path
+                    if tracer.enabled:
+                        self._emit_op(PE_FORWARD, ready, latencies.forward_path)
                     raw.append(
                         _RawOutput(
                             indices=message.indices,
                             entry=entry,
                             value=message.value,
-                            ready_cycle=message.ready_cycle
-                            + latencies.forward_path,
+                            ready_cycle=ready,
                             hops=message.hops + 1,
                             was_reduce=False,
                             source_header=message.header,
@@ -346,6 +405,7 @@ class ProcessingElement:
         own_indices = [m.indices for m in own]
         partner_list = list(partners)
         forward_path = latencies.forward_path
+        tracer = self.tracer
         # Rows of one message matched to one partner share the same union;
         # caching it also reuses the frozenset object, so the merge unit's
         # group dict hashes each (large, near-root) union once.
@@ -365,6 +425,10 @@ class ProcessingElement:
                     union = own_indices[msg_of[row]] | partner.indices
                     union_cache[pair] = union
                 work.reduces += 1
+                if tracer.enabled:
+                    self._emit_op(
+                        PE_REDUCE, reduce_ready[slot], latencies.reduce_path
+                    )
                 raw.append(
                     _RawOutput(
                         indices=union,
@@ -378,6 +442,12 @@ class ProcessingElement:
                 slot += 1
             else:
                 work.forwards += 1
+                if tracer.enabled:
+                    self._emit_op(
+                        PE_FORWARD,
+                        message.ready_cycle + forward_path,
+                        forward_path,
+                    )
                 raw.append(
                     _RawOutput(
                         indices=own_indices[msg_of[row]],
@@ -413,6 +483,8 @@ class ProcessingElement:
             ):
                 if len(members) > 1:
                     work.merges += 1
+                    if self.tracer.enabled:
+                        self._emit_merge(members[0].ready_cycle, len(members))
                 merged.append(
                     Message(
                         header=source,
@@ -436,6 +508,8 @@ class ProcessingElement:
                 hops = max(hops, member.hops)
             if len(members) > 1:
                 work.merges += 1
+                if self.tracer.enabled:
+                    self._emit_merge(ready, len(members))
             if self.check_values:
                 reference = members[0].value
                 for member in members[1:]:
@@ -559,6 +633,12 @@ class ProcessingElement:
                             best = other
                 if best is not None:
                     work.reduces += 1
+                    ready = (
+                        max(message.ready_cycle, best.ready_cycle)
+                        + latencies.reduce_path
+                    )
+                    if self.tracer.enabled:
+                        self._emit_op(PE_REDUCE, ready, latencies.reduce_path)
                     produced.append(
                         Message(
                             header=message.header.reduced_with(
@@ -567,10 +647,7 @@ class ProcessingElement:
                             value=self.operator.combine(
                                 message.value, best.value
                             ),
-                            ready_cycle=max(
-                                message.ready_cycle, best.ready_cycle
-                            )
-                            + latencies.reduce_path,
+                            ready_cycle=ready,
                             hops=max(message.hops, best.hops),
                         )
                     )
@@ -668,6 +745,12 @@ class ProcessingElement:
                         continue
                     best = buffer[choice]
                     work.reduces += 1
+                    ready = (
+                        max(message.ready_cycle, best.ready_cycle)
+                        + latencies.reduce_path
+                    )
+                    if self.tracer.enabled:
+                        self._emit_op(PE_REDUCE, ready, latencies.reduce_path)
                     produced.append(
                         Message(
                             header=message.header.reduced_with(
@@ -676,10 +759,7 @@ class ProcessingElement:
                             value=self.operator.combine(
                                 message.value, best.value
                             ),
-                            ready_cycle=max(
-                                message.ready_cycle, best.ready_cycle
-                            )
-                            + latencies.reduce_path,
+                            ready_cycle=ready,
                             hops=max(message.hops, best.hops),
                         )
                     )
@@ -717,6 +797,8 @@ class ProcessingElement:
                 ready = max(ready, member.ready_cycle)
                 hops = max(hops, member.hops)
             work.merges += 1
+            if self.tracer.enabled:
+                self._emit_merge(ready, len(members))
             coalesced.append(
                 Message(
                     header=header, value=base.value, ready_cycle=ready, hops=hops

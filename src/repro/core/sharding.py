@@ -32,6 +32,8 @@ from repro.core.engine import FafnirEngine, MultiBatchResult, VectorSource
 from repro.core.operators import ReductionOperator, SUM
 from repro.core.pe import KERNEL_VECTOR
 from repro.memory.config import MemoryConfig
+from repro.obs.sinks import InMemorySink
+from repro.obs.tracer import Tracer
 
 Batch = Sequence[Sequence[int]]
 Shard = Sequence[Batch]
@@ -56,17 +58,29 @@ def _run_shard(
     source: VectorSource,
     deduplicate: bool,
     pipeline: bool,
+    trace: bool = False,
 ) -> MultiBatchResult:
-    """Worker entry point: one engine, one shard (module-level: picklable)."""
+    """Worker entry point: one engine, one shard (module-level: picklable).
+
+    With ``trace=True`` the worker records its replica's events into an
+    in-process sink and ships them back on ``MultiBatchResult.events`` —
+    :class:`~repro.obs.events.TraceEvent` is plain picklable data, so the
+    stream crosses the process boundary with the rest of the result.
+    """
+    sink = InMemorySink() if trace else None
     engine = FafnirEngine(
         config=config,
         operator=operator,
         memory_config=memory_config,
         kernel=kernel,
+        tracer=Tracer([sink]) if sink is not None else None,
     )
-    return engine.run_batches(
+    result = engine.run_batches(
         batches, source, deduplicate=deduplicate, pipeline=pipeline
     )
+    if sink is not None:
+        result.events = list(sink.events)
+    return result
 
 
 class ShardedRunner:
@@ -79,12 +93,14 @@ class ShardedRunner:
         memory_config: Optional[MemoryConfig] = None,
         kernel: str = KERNEL_VECTOR,
         max_workers: Optional[int] = None,
+        trace: bool = False,
     ) -> None:
         self.config = config
         self.operator = operator
         self.memory_config = memory_config
         self.kernel = kernel
         self.max_workers = max_workers
+        self.trace = trace
 
     def run(
         self,
@@ -119,6 +135,7 @@ class ShardedRunner:
                         source,
                         deduplicate,
                         pipeline,
+                        self.trace,
                     )
                     for shard in shards
                 ]
@@ -145,6 +162,7 @@ class ShardedRunner:
                 source,
                 deduplicate,
                 pipeline,
+                self.trace,
             )
             for shard in shards
         ]

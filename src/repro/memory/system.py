@@ -8,6 +8,13 @@ from repro.memory.config import MemoryConfig
 from repro.memory.controller import ChannelController
 from repro.memory.request import Completion, ReadRequest
 from repro.memory.trace import AccessStats, AccessTrace
+from repro.obs.events import (
+    CLOCK_DRAM,
+    MEM_READ_COMPLETE,
+    MEM_READ_ISSUE,
+    TraceEvent,
+)
+from repro.obs.tracer import NULL_TRACER, Tracer
 
 
 class MemorySystem:
@@ -17,11 +24,23 @@ class MemorySystem:
     but overlaps bank/rank command phases.  Engines submit batches of
     :class:`ReadRequest` and receive per-request :class:`Completion` records
     plus aggregate :class:`AccessStats`.
+
+    With a tracer attached, every serviced request emits a
+    ``mem_read_issue`` / ``mem_read_complete`` event pair in the DRAM clock
+    domain, carrying the channel controller's scheduling outcome (start
+    cycle, burst count, row-hit flag) — the per-request lifecycle behind
+    the :class:`AccessStats` aggregates.
     """
 
-    def __init__(self, config: MemoryConfig, policy: str = "fcfs") -> None:
+    def __init__(
+        self,
+        config: MemoryConfig,
+        policy: str = "fcfs",
+        tracer: Tracer = NULL_TRACER,
+    ) -> None:
         self.config = config
         self.policy = policy
+        self.tracer = tracer
         self._controllers: Dict[int, ChannelController] = {
             channel: ChannelController(channel, config, policy=policy)
             for channel in range(config.geometry.channels)
@@ -52,6 +71,33 @@ class MemorySystem:
 
         done = [c for c in completions if c is not None]
         self.trace.extend(done)
+        if self.tracer.enabled:
+            for completion in done:
+                request = completion.request
+                self.tracer.emit(
+                    TraceEvent(
+                        MEM_READ_ISSUE,
+                        cycle=request.issue_cycle,
+                        clock=CLOCK_DRAM,
+                        rank=request.rank,
+                        args={"bank": request.bank, "bytes": request.bytes_},
+                    )
+                )
+                self.tracer.emit(
+                    TraceEvent(
+                        MEM_READ_COMPLETE,
+                        cycle=completion.finish_cycle,
+                        clock=CLOCK_DRAM,
+                        rank=request.rank,
+                        args={
+                            "bank": request.bank,
+                            "bytes": request.bytes_,
+                            "start_cycle": completion.start_cycle,
+                            "row_hit": completion.row_hit,
+                            "bursts": completion.bursts,
+                        },
+                    )
+                )
         return done, AccessStats.from_completions(done)
 
     def execute_one(self, request: ReadRequest) -> Completion:

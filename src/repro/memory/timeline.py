@@ -91,3 +91,45 @@ def utilization_summary(completions: Sequence[Completion]) -> Dict[int, float]:
             busy += current_stop - current_start
         summary[rank] = busy / horizon if horizon else 0.0
     return summary
+
+def render_trace_timeline(
+    events: Sequence["TraceEvent"], options: TimelineOptions = None
+) -> str:
+    """Render per-rank occupancy strips from recorded trace events.
+
+    Accepts the ``mem_read_complete`` events a traced run emits (other
+    kinds are ignored), so a captured event stream can be visualised
+    without keeping the original :class:`Completion` records around —
+    the observability layer's view of the same substrate activity.
+    """
+    from repro.obs.events import MEM_READ_COMPLETE
+
+    spans = [
+        (event.rank, event.args.get("start_cycle", event.cycle), event.cycle)
+        for event in events
+        if event.kind == MEM_READ_COMPLETE and event.rank is not None
+    ]
+    if not spans:
+        raise ValueError("no mem_read_complete events to render")
+    options = options or TimelineOptions()
+    horizon = max(stop for _, _, stop in spans)
+    if horizon == 0:
+        raise ValueError("degenerate timeline (zero-length horizon)")
+
+    per_rank: Dict[int, List[tuple]] = {}
+    for rank, start, stop in spans:
+        per_rank.setdefault(rank, []).append((start, stop))
+
+    scale = options.width / horizon
+    lines: List[str] = [
+        f"cycles 0..{horizon} ({horizon / options.width:.1f} per column)"
+    ]
+    for rank in sorted(per_rank):
+        row = [options.idle_char] * options.width
+        for start, stop in per_rank[rank]:
+            first = int(start * scale)
+            last = max(first + 1, int(stop * scale))
+            for column in range(first, min(last, options.width)):
+                row[column] = options.busy_char
+        lines.append(f"rank {rank:3d} |{''.join(row)}|")
+    return "\n".join(lines)

@@ -1,0 +1,134 @@
+"""Typed trace events: the observability vocabulary of the simulation.
+
+Every event is a :class:`TraceEvent` — a frozen record of *what* happened
+(``kind``), *when* (``cycle``, in the clock domain named by ``clock``), and
+*where* (``pe``/``level`` for tree events, ``rank`` for memory events),
+plus a small free-form ``args`` mapping for kind-specific detail.
+
+The taxonomy follows the message lifecycle through one batch:
+
+========================  =====================================================
+kind                      meaning
+========================  =====================================================
+``batch_start``           host submits a batch (cycle 0 of the batch)
+``mem_read_issue``        a DRAM read request enters the channel controller
+``mem_read_complete``     its last data beat arrived (args carry start/bytes/
+                          row_hit/bursts)
+``leaf_inject``           a fetched vector's message enters a leaf PE FIFO
+``fifo_enqueue``          FIFO occupancy after an inject (args carry depth)
+``fifo_stall``            an inject pushed occupancy past the configured
+                          buffer capacity (backpressure in real hardware)
+``pe_reduce``             a compute unit folded a partner into an entry
+``pe_forward``            a compute unit passed an entry along unmatched
+``pe_merge``              the merge unit coalesced same-``indices`` outputs
+``query_complete``        a finished answer was matched at the root
+``batch_complete``        the batch's last query completed
+``pipeline_batch``        multi-batch streaming: one batch's pipelined vs
+                          serial completion (emitted by ``run_batches``)
+========================  =====================================================
+
+Memory events carry DRAM-clock cycles (``clock == CLOCK_DRAM``); everything
+else is in PE cycles.  Events are plain picklable data so sharded workers
+can return recorded streams across process boundaries, and two runs that
+behave identically produce ``==``-equal event lists (the property the
+scalar-vs-vector differential tests assert).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional
+
+# --- event kinds -----------------------------------------------------------
+BATCH_START = "batch_start"
+MEM_READ_ISSUE = "mem_read_issue"
+MEM_READ_COMPLETE = "mem_read_complete"
+LEAF_INJECT = "leaf_inject"
+FIFO_ENQUEUE = "fifo_enqueue"
+FIFO_STALL = "fifo_stall"
+PE_REDUCE = "pe_reduce"
+PE_FORWARD = "pe_forward"
+PE_MERGE = "pe_merge"
+QUERY_COMPLETE = "query_complete"
+BATCH_COMPLETE = "batch_complete"
+PIPELINE_BATCH = "pipeline_batch"
+
+EVENT_KINDS = (
+    BATCH_START,
+    MEM_READ_ISSUE,
+    MEM_READ_COMPLETE,
+    LEAF_INJECT,
+    FIFO_ENQUEUE,
+    FIFO_STALL,
+    PE_REDUCE,
+    PE_FORWARD,
+    PE_MERGE,
+    QUERY_COMPLETE,
+    BATCH_COMPLETE,
+    PIPELINE_BATCH,
+)
+
+# --- clock domains ---------------------------------------------------------
+CLOCK_PE = "pe"
+CLOCK_DRAM = "dram"
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One observed occurrence inside a simulation run.
+
+    Attributes:
+        kind: one of :data:`EVENT_KINDS`.
+        cycle: timestamp in the domain named by ``clock``.  For operations
+            with duration (memory reads, PE ops) this is the *completion*
+            cycle; ``args`` carries the start where known.
+        clock: ``"pe"`` or ``"dram"``.
+        pe: tree PE id, for tree-side events.
+        level: tree level of that PE (0 = leaves).
+        rank: global memory rank, for memory-side and leaf-inject events.
+        args: kind-specific detail (plain JSON-compatible values only).
+    """
+
+    kind: str
+    cycle: int
+    clock: str = CLOCK_PE
+    pe: Optional[int] = None
+    level: Optional[int] = None
+    rank: Optional[int] = None
+    args: Dict[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.kind not in EVENT_KINDS:
+            raise ValueError(f"unknown event kind {self.kind!r}")
+        if self.clock not in (CLOCK_PE, CLOCK_DRAM):
+            raise ValueError(f"unknown clock domain {self.clock!r}")
+        if self.cycle < 0:
+            raise ValueError("cycle must be non-negative")
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Compact dict form (omits unset location fields) for JSONL."""
+        record: Dict[str, Any] = {"kind": self.kind, "cycle": self.cycle}
+        if self.clock != CLOCK_PE:
+            record["clock"] = self.clock
+        if self.pe is not None:
+            record["pe"] = self.pe
+        if self.level is not None:
+            record["level"] = self.level
+        if self.rank is not None:
+            record["rank"] = self.rank
+        if self.args:
+            record["args"] = self.args
+        return record
+
+    @staticmethod
+    def from_dict(record: Dict[str, Any]) -> "TraceEvent":
+        """Inverse of :meth:`to_dict` (used by JSONL replay)."""
+        return TraceEvent(
+            kind=record["kind"],
+            cycle=record["cycle"],
+            clock=record.get("clock", CLOCK_PE),
+            pe=record.get("pe"),
+            level=record.get("level"),
+            rank=record.get("rank"),
+            args=record.get("args", {}),
+        )

@@ -1,0 +1,220 @@
+"""Event sinks: in-memory for tests, JSONL streams, Chrome trace JSON.
+
+All sinks implement the two-method :class:`Sink` protocol (``record`` one
+event, ``close`` to flush).  The Chrome exporter follows the ``trace_event``
+format (the JSON Object Format with a ``traceEvents`` array), which both
+``chrome://tracing`` and Perfetto (https://ui.perfetto.dev) load directly:
+
+* the tree is one "process" (pid 1) with one "thread" per PE, so PE
+  reduce/forward work renders as per-PE duration slices by level;
+* the memory system is a second process (pid 2) with one thread per rank,
+  so DRAM reads render as per-rank bus occupancy;
+* instant events (leaf injects, query completions, stalls) appear as
+  markers on the owning track.
+
+Timestamps are microseconds: each event's cycle count is converted through
+the clock of its domain, so PE-cycle and DRAM-cycle events line up on one
+real-time axis.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import IO, Any, Dict, List, Optional, Union
+
+from repro.clocks import Clock, DRAM_CLOCK, PE_CLOCK
+from repro.obs.events import (
+    CLOCK_DRAM,
+    FIFO_ENQUEUE,
+    MEM_READ_COMPLETE,
+    MEM_READ_ISSUE,
+    PE_FORWARD,
+    PE_MERGE,
+    PE_REDUCE,
+    TraceEvent,
+)
+
+
+class Sink:
+    """Interface every sink implements; base methods are no-ops."""
+
+    def record(self, event: TraceEvent) -> None:
+        raise NotImplementedError
+
+    def close(self) -> None:
+        pass
+
+
+class InMemorySink(Sink):
+    """Stores events in a list — the sink tests and metrics build on."""
+
+    def __init__(self) -> None:
+        self.events: List[TraceEvent] = []
+
+    def record(self, event: TraceEvent) -> None:
+        self.events.append(event)
+
+    def clear(self) -> None:
+        self.events.clear()
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+
+class JsonlSink(Sink):
+    """Streams one compact JSON object per event, newline-delimited."""
+
+    def __init__(self, destination: Union[str, IO[str]]) -> None:
+        if isinstance(destination, str):
+            self._file: IO[str] = open(destination, "w")
+            self._owns_file = True
+        else:
+            self._file = destination
+            self._owns_file = False
+
+    def record(self, event: TraceEvent) -> None:
+        self._file.write(json.dumps(event.to_dict(), separators=(",", ":")))
+        self._file.write("\n")
+
+    def close(self) -> None:
+        self._file.flush()
+        if self._owns_file:
+            self._file.close()
+
+    @staticmethod
+    def load(path: str) -> List[TraceEvent]:
+        """Read a JSONL stream back into events (replay / analysis)."""
+        events: List[TraceEvent] = []
+        with open(path) as stream:
+            for line in stream:
+                line = line.strip()
+                if line:
+                    events.append(TraceEvent.from_dict(json.loads(line)))
+        return events
+
+
+# --- Chrome trace_event conversion ----------------------------------------
+
+_TREE_PID = 1
+_MEMORY_PID = 2
+_HOST_PID = 3
+
+
+def _ts_us(event: TraceEvent, pe_clock: Clock, dram_clock: Clock) -> float:
+    clock = dram_clock if event.clock == CLOCK_DRAM else pe_clock
+    return clock.cycles_to_ns(event.cycle) / 1000.0
+
+
+def chrome_trace_json(
+    events: List[TraceEvent],
+    pe_clock: Clock = PE_CLOCK,
+    dram_clock: Clock = DRAM_CLOCK,
+) -> Dict[str, Any]:
+    """Convert an event stream to a Chrome ``trace_event`` JSON object.
+
+    Duration-bearing kinds (memory reads via their ``start``/``issue``
+    args, PE ops via ``dur_cycles``) become complete ("X") slices; the
+    rest become instant ("i") markers.  Every event's source fields ride
+    along in ``args`` so nothing recorded is lost in export.
+    """
+    trace_events: List[Dict[str, Any]] = []
+    seen_pe_threads: Dict[int, Optional[int]] = {}
+    seen_rank_threads: set = set()
+
+    for event in events:
+        ts = _ts_us(event, pe_clock, dram_clock)
+        clock = dram_clock if event.clock == CLOCK_DRAM else pe_clock
+        args = dict(event.args)
+        if event.level is not None:
+            args["level"] = event.level
+        if event.rank is not None:
+            args["rank"] = event.rank
+
+        if event.kind in (MEM_READ_ISSUE, MEM_READ_COMPLETE):
+            pid = _MEMORY_PID
+            tid = (event.rank or 0) + 1
+            seen_rank_threads.add(event.rank or 0)
+        elif event.pe is not None:
+            pid = _TREE_PID
+            tid = event.pe + 1
+            seen_pe_threads.setdefault(event.pe, event.level)
+        else:
+            pid = _HOST_PID
+            tid = 1
+
+        record: Dict[str, Any] = {
+            "name": event.kind,
+            "pid": pid,
+            "tid": tid,
+            "args": args,
+        }
+        if event.kind == MEM_READ_COMPLETE and "start_cycle" in event.args:
+            start_us = clock.cycles_to_ns(event.args["start_cycle"]) / 1000.0
+            record.update(ph="X", ts=start_us, dur=max(0.0, ts - start_us))
+        elif event.kind in (PE_REDUCE, PE_FORWARD, PE_MERGE) and args.get(
+            "dur_cycles"
+        ):
+            dur_us = clock.cycles_to_ns(args["dur_cycles"]) / 1000.0
+            record.update(ph="X", ts=max(0.0, ts - dur_us), dur=dur_us)
+        elif event.kind == FIFO_ENQUEUE and "depth" in event.args:
+            # Counter events chart FIFO occupancy over time in the viewer.
+            record.update(ph="C", ts=ts)
+            record["args"] = {"depth": event.args["depth"]}
+            record["name"] = f"fifo_depth_pe{event.pe}_side{args.get('fifo', 0)}"
+        else:
+            record.update(ph="i", ts=ts, s="t")
+        trace_events.append(record)
+
+    metadata: List[Dict[str, Any]] = [
+        {"name": "process_name", "ph": "M", "pid": _TREE_PID,
+         "args": {"name": "fafnir tree"}},
+        {"name": "process_name", "ph": "M", "pid": _MEMORY_PID,
+         "args": {"name": "memory system"}},
+        {"name": "process_name", "ph": "M", "pid": _HOST_PID,
+         "args": {"name": "host"}},
+    ]
+    for pe, level in sorted(seen_pe_threads.items()):
+        label = f"PE{pe}" if level is None else f"PE{pe} (level {level})"
+        metadata.append(
+            {"name": "thread_name", "ph": "M", "pid": _TREE_PID,
+             "tid": pe + 1, "args": {"name": label}}
+        )
+    for rank in sorted(seen_rank_threads):
+        metadata.append(
+            {"name": "thread_name", "ph": "M", "pid": _MEMORY_PID,
+             "tid": rank + 1, "args": {"name": f"rank {rank}"}}
+        )
+
+    return {
+        "traceEvents": metadata + trace_events,
+        "displayTimeUnit": "ns",
+        "otherData": {
+            "pe_clock_mhz": pe_clock.freq_mhz,
+            "dram_clock_mhz": dram_clock.freq_mhz,
+        },
+    }
+
+
+class ChromeTraceSink(Sink):
+    """Buffers events and writes Chrome ``trace_event`` JSON on close."""
+
+    def __init__(
+        self,
+        path: str,
+        pe_clock: Clock = PE_CLOCK,
+        dram_clock: Clock = DRAM_CLOCK,
+    ) -> None:
+        self.path = path
+        self.pe_clock = pe_clock
+        self.dram_clock = dram_clock
+        self._events: List[TraceEvent] = []
+
+    def record(self, event: TraceEvent) -> None:
+        self._events.append(event)
+
+    def close(self) -> None:
+        with open(self.path, "w") as stream:
+            json.dump(
+                chrome_trace_json(self._events, self.pe_clock, self.dram_clock),
+                stream,
+            )

@@ -1,0 +1,66 @@
+"""The event dispatcher and its zero-overhead disabled default.
+
+Instrumented code holds a :class:`Tracer` and guards every emission with
+its ``enabled`` flag::
+
+    if tracer.enabled:
+        tracer.emit(TraceEvent(PE_REDUCE, cycle=ready, pe=3, level=1))
+
+With the default :data:`NULL_TRACER` the guard is a single attribute read
+and no event object is ever constructed — the hot kernels pay nothing
+(``benchmarks/bench_engine_hotpath.py`` holds the speedup floor with the
+no-op tracer in place).  A :class:`Tracer` with one or more sinks flips
+``enabled`` on and fans every event out to each sink.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List
+
+from repro.obs.events import TraceEvent
+from repro.obs.sinks import Sink
+
+
+class Tracer:
+    """Dispatches :class:`TraceEvent` records to the attached sinks."""
+
+    __slots__ = ("sinks", "enabled")
+
+    def __init__(self, sinks: Iterable[Sink] = ()) -> None:
+        self.sinks: List[Sink] = list(sinks)
+        self.enabled = bool(self.sinks)
+
+    def add_sink(self, sink: Sink) -> None:
+        self.sinks.append(sink)
+        self.enabled = True
+
+    def emit(self, event: TraceEvent) -> None:
+        for sink in self.sinks:
+            sink.record(event)
+
+    def close(self) -> None:
+        """Flush and close every sink (file-backed sinks write here)."""
+        for sink in self.sinks:
+            sink.close()
+
+    def __enter__(self) -> "Tracer":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+
+class _NullTracer(Tracer):
+    """The shared disabled tracer; refuses sinks so it stays inert."""
+
+    def add_sink(self, sink: Sink) -> None:
+        raise RuntimeError(
+            "NULL_TRACER is the shared disabled tracer; construct a "
+            "Tracer([...]) instead of attaching sinks to it"
+        )
+
+    def emit(self, event: TraceEvent) -> None:  # pragma: no cover - guarded
+        pass
+
+
+NULL_TRACER = _NullTracer()

@@ -1,0 +1,141 @@
+"""Property-based tests (hypothesis) for the packed-bitset kernels.
+
+``repro.core.bitset`` re-expresses frozenset subset algebra as packed
+``uint64`` array operations; Python's ``set`` is the oracle.  Every
+kernel must agree with it on arbitrary families of sets — these are the
+primitives whose exactness makes the scalar and vector PE paths
+byte-identical.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.bitset import (
+    IndexUniverse,
+    WORD_BITS,
+    subset_mask,
+    subset_matrix,
+)
+
+# Sparse global ids force multi-word rows and exercise dense renumbering.
+index_strategy = st.integers(min_value=0, max_value=500)
+set_strategy = st.frozensets(index_strategy, max_size=24)
+sets_strategy = st.lists(set_strategy, min_size=1, max_size=12)
+
+
+@settings(max_examples=80, deadline=None)
+@given(sets=sets_strategy)
+def test_encode_decode_round_trip(sets):
+    universe = IndexUniverse(sets)
+    for index_set in sets:
+        assert universe.decode(universe.encode_one(index_set)) == index_set
+
+
+@settings(max_examples=80, deadline=None)
+@given(sets=sets_strategy)
+def test_encode_matrix_rows_equal_encode_one(sets):
+    universe = IndexUniverse(sets)
+    matrix = universe.encode(sets)
+    assert matrix.shape == (len(sets), universe.words)
+    for row, index_set in zip(matrix, sets):
+        assert (row == universe.encode_one(index_set)).all()
+
+
+@settings(max_examples=80, deadline=None)
+@given(supersets=sets_strategy, candidates=sets_strategy)
+def test_subset_matrix_matches_set_containment(supersets, candidates):
+    universe = IndexUniverse(supersets + candidates)
+    result = subset_matrix(
+        universe.encode(supersets), universe.encode(candidates)
+    )
+    for i, superset in enumerate(supersets):
+        for j, candidate in enumerate(candidates):
+            assert result[i, j] == (candidate <= superset), (i, j)
+
+
+@settings(max_examples=80, deadline=None)
+@given(superset=set_strategy, candidates=sets_strategy)
+def test_subset_mask_matches_set_containment(superset, candidates):
+    universe = IndexUniverse([superset] + candidates)
+    mask = subset_mask(
+        universe.encode_one(superset), universe.encode(candidates)
+    )
+    for j, candidate in enumerate(candidates):
+        assert mask[j] == (candidate <= superset), j
+
+
+@settings(max_examples=80, deadline=None)
+@given(sets=sets_strategy)
+def test_universe_numbering_is_dense_and_stable(sets):
+    universe = IndexUniverse(sets)
+    position = universe.position_map()
+    members = set().union(*sets) if sets else set()
+    assert set(position) == members
+    assert sorted(position.values()) == list(range(len(members)))
+    assert universe.size == len(members)
+    assert universe.words == max(
+        1, -(-len(members) // WORD_BITS)
+    )
+    # Rebuilding from the same iteration order numbers identically.
+    again = IndexUniverse(sets)
+    assert again.position_map() == position
+
+
+@settings(max_examples=60, deadline=None)
+@given(sets=sets_strategy)
+def test_encode_bool_ext_matches_membership(sets):
+    universe = IndexUniverse(sets)
+    matrix = universe.encode_bool_ext(sets)
+    position = universe.position_map()
+    assert matrix.shape == (len(sets), universe.size + 1)
+    # The sentinel column is always true.
+    assert matrix[:, universe.size].all()
+    for row, index_set in zip(matrix, sets):
+        member_positions = {position[i] for i in index_set}
+        for column in range(universe.size):
+            assert row[column] == (column in member_positions)
+
+
+@settings(max_examples=60, deadline=None)
+@given(known=sets_strategy, extra=sets_strategy)
+def test_encode_bool_ext_partial_skips_foreign_indices(known, extra):
+    universe = IndexUniverse(known)
+    position = universe.position_map()
+    mixed = [k | e for k, e in zip(known, extra)]
+    matrix = universe.encode_bool_ext(mixed, partial=True)
+    for row, index_set in zip(matrix, mixed):
+        inside = {position[i] for i in index_set if i in position}
+        for column in range(universe.size):
+            assert row[column] == (column in inside)
+
+
+@settings(max_examples=60, deadline=None)
+@given(sets=sets_strategy)
+def test_positions_padded_pairs_with_sentinel_column(sets):
+    universe = IndexUniverse(sets)
+    bool_ext = universe.encode_bool_ext(sets)
+    padded = universe.positions_padded(sets)
+    width = max((len(s) for s in sets), default=0) or 1
+    assert padded.shape == (len(sets), width)
+    for row, index_set in zip(padded, sets):
+        real = [p for p in row if p != universe.size]
+        assert sorted(real) == sorted(
+            universe.position_map()[i] for i in index_set
+        )
+        # Padding uses the sentinel slot, which every bool_ext row accepts
+        # as contained — padded tails can never veto a containment test.
+        for slot in row[len(index_set):]:
+            assert slot == universe.size
+            assert bool_ext[:, slot].all()
+
+
+@settings(max_examples=40, deadline=None)
+@given(supersets=sets_strategy)
+def test_subset_matrix_diagonal_and_empty_set(supersets):
+    """Reflexivity: every set contains itself; ∅ is contained in all."""
+    universe = IndexUniverse(supersets)
+    encoded = universe.encode(supersets)
+    result = subset_matrix(encoded, encoded)
+    for i in range(len(supersets)):
+        assert result[i, i]
+    empty = universe.encode([frozenset()])
+    assert subset_matrix(encoded, empty).all()

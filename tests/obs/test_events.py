@@ -1,0 +1,82 @@
+"""Unit tests for the trace-event vocabulary."""
+
+import pickle
+
+import pytest
+
+from repro.obs import (
+    CLOCK_DRAM,
+    CLOCK_PE,
+    EVENT_KINDS,
+    MEM_READ_COMPLETE,
+    PE_REDUCE,
+    TraceEvent,
+)
+
+
+class TestTraceEvent:
+    def test_minimal_event(self):
+        event = TraceEvent(PE_REDUCE, cycle=7)
+        assert event.kind == PE_REDUCE
+        assert event.cycle == 7
+        assert event.clock == CLOCK_PE
+        assert event.pe is None and event.level is None and event.rank is None
+        assert event.args == {}
+
+    def test_rejects_unknown_kind(self):
+        with pytest.raises(ValueError, match="unknown event kind"):
+            TraceEvent("made_up_kind", cycle=0)
+
+    def test_rejects_unknown_clock(self):
+        with pytest.raises(ValueError, match="unknown clock"):
+            TraceEvent(PE_REDUCE, cycle=0, clock="gpu")
+
+    def test_rejects_negative_cycle(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            TraceEvent(PE_REDUCE, cycle=-1)
+
+    def test_every_kind_constructs(self):
+        for kind in EVENT_KINDS:
+            assert TraceEvent(kind, cycle=0).kind == kind
+
+    def test_equality_is_structural(self):
+        a = TraceEvent(PE_REDUCE, cycle=3, pe=1, level=0, args={"d": 2})
+        b = TraceEvent(PE_REDUCE, cycle=3, pe=1, level=0, args={"d": 2})
+        assert a == b
+        assert a != TraceEvent(PE_REDUCE, cycle=4, pe=1, level=0, args={"d": 2})
+
+    def test_frozen(self):
+        event = TraceEvent(PE_REDUCE, cycle=0)
+        with pytest.raises(AttributeError):
+            event.cycle = 5
+
+    def test_picklable(self):
+        event = TraceEvent(
+            MEM_READ_COMPLETE,
+            cycle=90,
+            clock=CLOCK_DRAM,
+            rank=3,
+            args={"bytes": 64, "start_cycle": 10},
+        )
+        assert pickle.loads(pickle.dumps(event)) == event
+
+
+class TestDictRoundTrip:
+    def test_to_dict_is_compact(self):
+        event = TraceEvent(PE_REDUCE, cycle=5)
+        assert event.to_dict() == {"kind": PE_REDUCE, "cycle": 5}
+
+    def test_to_dict_keeps_set_fields(self):
+        event = TraceEvent(
+            MEM_READ_COMPLETE, cycle=8, clock=CLOCK_DRAM, rank=2, args={"b": 1}
+        )
+        record = event.to_dict()
+        assert record["clock"] == CLOCK_DRAM
+        assert record["rank"] == 2
+        assert record["args"] == {"b": 1}
+        assert "pe" not in record and "level" not in record
+
+    def test_round_trip_every_kind(self):
+        for kind in EVENT_KINDS:
+            event = TraceEvent(kind, cycle=11, pe=4, level=2, args={"x": 1})
+            assert TraceEvent.from_dict(event.to_dict()) == event

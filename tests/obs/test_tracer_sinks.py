@@ -1,0 +1,183 @@
+"""Unit tests for the tracer and the three sinks."""
+
+import io
+import json
+
+import pytest
+
+from repro.clocks import DRAM_CLOCK, PE_CLOCK
+from repro.obs import (
+    CLOCK_DRAM,
+    ChromeTraceSink,
+    FIFO_ENQUEUE,
+    InMemorySink,
+    JsonlSink,
+    LEAF_INJECT,
+    MEM_READ_COMPLETE,
+    NULL_TRACER,
+    PE_REDUCE,
+    QUERY_COMPLETE,
+    TraceEvent,
+    Tracer,
+    chrome_trace_json,
+)
+
+
+def _sample_events():
+    return [
+        TraceEvent(
+            MEM_READ_COMPLETE,
+            cycle=120,
+            clock=CLOCK_DRAM,
+            rank=1,
+            args={"bytes": 64, "start_cycle": 100, "row_hit": True, "bursts": 8},
+        ),
+        TraceEvent(LEAF_INJECT, cycle=30, pe=0, level=0, rank=1, args={"index": 7}),
+        TraceEvent(
+            FIFO_ENQUEUE, cycle=30, pe=0, level=0, args={"fifo": 1, "depth": 3}
+        ),
+        TraceEvent(PE_REDUCE, cycle=40, pe=0, level=0, args={"dur_cycles": 4}),
+        TraceEvent(QUERY_COMPLETE, cycle=55, args={"query": 0, "terms": 2}),
+    ]
+
+
+class TestTracer:
+    def test_disabled_without_sinks(self):
+        assert not Tracer().enabled
+        assert not Tracer([]).enabled
+
+    def test_enabled_with_sink(self):
+        assert Tracer([InMemorySink()]).enabled
+
+    def test_add_sink_enables(self):
+        tracer = Tracer()
+        tracer.add_sink(InMemorySink())
+        assert tracer.enabled
+
+    def test_fans_out_to_all_sinks(self):
+        a, b = InMemorySink(), InMemorySink()
+        tracer = Tracer([a, b])
+        event = TraceEvent(PE_REDUCE, cycle=1)
+        tracer.emit(event)
+        assert a.events == [event]
+        assert b.events == [event]
+
+    def test_context_manager_closes(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        with Tracer([JsonlSink(str(path))]) as tracer:
+            tracer.emit(TraceEvent(PE_REDUCE, cycle=1))
+        assert path.read_text().strip()
+
+    def test_null_tracer_is_disabled_and_inert(self):
+        assert not NULL_TRACER.enabled
+        NULL_TRACER.emit(TraceEvent(PE_REDUCE, cycle=1))  # no-op, no error
+
+    def test_null_tracer_refuses_sinks(self):
+        with pytest.raises(RuntimeError, match="shared disabled tracer"):
+            NULL_TRACER.add_sink(InMemorySink())
+
+
+class TestInMemorySink:
+    def test_records_in_order(self):
+        sink = InMemorySink()
+        events = _sample_events()
+        for event in events:
+            sink.record(event)
+        assert sink.events == events
+        assert len(sink) == len(events)
+        sink.clear()
+        assert not sink.events
+
+
+class TestJsonlSink:
+    def test_round_trip_via_file(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        sink = JsonlSink(str(path))
+        events = _sample_events()
+        for event in events:
+            sink.record(event)
+        sink.close()
+        assert JsonlSink.load(str(path)) == events
+
+    def test_writes_one_json_object_per_line(self):
+        buffer = io.StringIO()
+        sink = JsonlSink(buffer)
+        for event in _sample_events():
+            sink.record(event)
+        lines = buffer.getvalue().strip().splitlines()
+        assert len(lines) == len(_sample_events())
+        for line in lines:
+            assert isinstance(json.loads(line), dict)
+
+
+class TestChromeTraceJson:
+    def test_structure(self):
+        document = chrome_trace_json(_sample_events())
+        assert set(document) == {"traceEvents", "displayTimeUnit", "otherData"}
+        assert document["otherData"]["pe_clock_mhz"] == PE_CLOCK.freq_mhz
+        assert document["otherData"]["dram_clock_mhz"] == DRAM_CLOCK.freq_mhz
+        for record in document["traceEvents"]:
+            assert record["ph"] in ("M", "X", "i", "C")
+            if record["ph"] != "M":
+                assert record["ts"] >= 0
+
+    def test_memory_read_becomes_duration_slice(self):
+        document = chrome_trace_json(_sample_events())
+        slices = [
+            r
+            for r in document["traceEvents"]
+            if r.get("name") == MEM_READ_COMPLETE and r["ph"] == "X"
+        ]
+        assert len(slices) == 1
+        record = slices[0]
+        start_us = DRAM_CLOCK.cycles_to_ns(100) / 1000.0
+        end_us = DRAM_CLOCK.cycles_to_ns(120) / 1000.0
+        assert record["ts"] == pytest.approx(start_us)
+        assert record["dur"] == pytest.approx(end_us - start_us)
+        assert record["pid"] == 2  # memory process
+
+    def test_pe_op_becomes_duration_slice_on_pe_thread(self):
+        document = chrome_trace_json(_sample_events())
+        slices = [
+            r
+            for r in document["traceEvents"]
+            if r.get("name") == PE_REDUCE and r["ph"] == "X"
+        ]
+        assert len(slices) == 1
+        assert slices[0]["pid"] == 1  # tree process
+        assert slices[0]["tid"] == 1  # PE 0 → tid 1
+        assert slices[0]["dur"] == pytest.approx(
+            PE_CLOCK.cycles_to_ns(4) / 1000.0
+        )
+
+    def test_fifo_enqueue_becomes_counter(self):
+        document = chrome_trace_json(_sample_events())
+        counters = [r for r in document["traceEvents"] if r["ph"] == "C"]
+        assert len(counters) == 1
+        assert counters[0]["name"] == "fifo_depth_pe0_side1"
+        assert counters[0]["args"] == {"depth": 3}
+
+    def test_metadata_names_processes_and_threads(self):
+        document = chrome_trace_json(_sample_events())
+        metadata = [r for r in document["traceEvents"] if r["ph"] == "M"]
+        names = {
+            (r["name"], r.get("args", {}).get("name")) for r in metadata
+        }
+        assert ("process_name", "fafnir tree") in names
+        assert ("process_name", "memory system") in names
+        assert ("thread_name", "PE0 (level 0)") in names
+        assert ("thread_name", "rank 1") in names
+
+    def test_json_serialisable(self):
+        json.dumps(chrome_trace_json(_sample_events()))
+
+
+class TestChromeTraceSink:
+    def test_writes_valid_json_on_close(self, tmp_path):
+        path = tmp_path / "trace.json"
+        sink = ChromeTraceSink(str(path))
+        for event in _sample_events():
+            sink.record(event)
+        sink.close()
+        document = json.loads(path.read_text())
+        assert document["traceEvents"]

@@ -21,6 +21,7 @@ class TestParser:
             "hw",
             "validate",
             "experiments",
+            "trace",
         }
 
     def test_requires_subcommand(self):
@@ -70,3 +71,32 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "system area" in out
         assert "FPGA utilization" in out
+
+    def test_trace(self, capsys, tmp_path):
+        import json
+
+        out_path = tmp_path / "trace.json"
+        jsonl_path = tmp_path / "trace.jsonl"
+        assert (
+            main(
+                [
+                    "trace",
+                    "--batch-size",
+                    "4",
+                    "--query-len",
+                    "4",
+                    "--out",
+                    str(out_path),
+                    "--jsonl",
+                    str(jsonl_path),
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "reduces(events)" in out
+        assert "MISMATCH" not in out
+        document = json.loads(out_path.read_text())
+        assert document["traceEvents"]
+        assert {"ph", "ts", "pid", "name"} <= set(document["traceEvents"][-1])
+        assert jsonl_path.read_text().strip()

@@ -1,0 +1,49 @@
+"""Smoke tests: every script in examples/ must run clean under FAFNIR_SMOKE.
+
+Each example honours the FAFNIR_SMOKE environment variable by shrinking its
+workload to a few seconds of wall clock, so the whole directory can be
+exercised in CI.  The scripts are run as real subprocesses (fresh
+interpreter, ``python examples/<name>.py``) so import-time breakage and
+``__main__`` plumbing are covered too.
+"""
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+EXAMPLES_DIR = REPO_ROOT / "examples"
+EXAMPLE_SCRIPTS = sorted(EXAMPLES_DIR.glob("*.py"))
+
+
+def test_examples_discovered():
+    # Guard against the glob silently matching nothing after a reorganisation.
+    assert len(EXAMPLE_SCRIPTS) >= 8
+
+
+@pytest.mark.parametrize(
+    "script", EXAMPLE_SCRIPTS, ids=[path.stem for path in EXAMPLE_SCRIPTS]
+)
+def test_example_runs_clean(script):
+    env = dict(os.environ)
+    env["FAFNIR_SMOKE"] = "1"
+    env["PYTHONPATH"] = str(REPO_ROOT / "src") + os.pathsep + env.get(
+        "PYTHONPATH", ""
+    )
+    completed = subprocess.run(
+        [sys.executable, str(script)],
+        cwd=REPO_ROOT,
+        env=env,
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert completed.returncode == 0, (
+        f"{script.name} exited with {completed.returncode}\n"
+        f"--- stdout ---\n{completed.stdout}\n"
+        f"--- stderr ---\n{completed.stderr}"
+    )
+    assert completed.stdout.strip(), f"{script.name} printed nothing"
