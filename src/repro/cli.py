@@ -12,7 +12,12 @@ Subcommands mirror the things a user actually does with the library:
   power, FPGA utilization, connections);
 * ``trace``   — capture a cycle-level event trace of one FAFNIR batch as
   Chrome ``trace_event`` JSON (open in Perfetto / ``chrome://tracing``)
-  and print the derived metrics.
+  and print the derived metrics;
+* ``chaos``   — run a seeded fault-injection sweep (degraded ranks, flaky
+  reads, vector corruption, a crashing shard worker) through the sharded
+  runner under the graceful-degradation policy and print the recovery
+  report: injected vs detected vs recovered, per-query statuses, and the
+  p99 latency inflation against a clean baseline.
 
 Run ``python -m repro.cli <subcommand> --help`` for options.
 """
@@ -43,7 +48,9 @@ from repro.hw import (
     table5,
 )
 from repro.core.engine import FafnirEngine
+from repro.core.sharding import ShardedRunner, fleet_makespan_pe_cycles, shard_batches
 from repro.core.stats import tree_utilization
+from repro.faults import FaultPlan, FaultPolicy, STATUSES, recovery_report
 from repro.obs import (
     ChromeTraceSink,
     InMemorySink,
@@ -244,6 +251,92 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    """Seeded chaos sweep through the fault-tolerant sharded runner."""
+    import json
+
+    from repro.obs.sinks import chrome_trace_json
+
+    if args.quick:
+        batches, shards, batch_size, query_len = 2, 2, 8, 8
+    else:
+        batches, shards, batch_size, query_len = 8, 4, 32, 16
+    tables = EmbeddingTableSet.random(seed=args.seed)
+    generator = QueryGenerator.paper_calibrated(
+        tables, seed=args.seed, query_len=query_len
+    )
+    stream = [generator.batch(batch_size) for _ in range(batches)]
+    shard_streams = shard_batches(stream, shards)
+    total_queries = sum(len(batch) for batch in stream)
+
+    clean_runner = ShardedRunner(trace=True)
+    clean = clean_runner.run(shard_streams, tables.vector)
+
+    plan = FaultPlan(
+        seed=args.seed,
+        rank_latency_multipliers={0: 4.0, 1: 4.0},
+        rank_timeout_probability={2: 0.2},
+        vector_corruption_probability=0.01,
+        crash_shards=frozenset({0}),
+        crash_attempts=1,
+    )
+    policy = FaultPolicy.graceful(shard_timeout_s=args.shard_timeout)
+    runner = ShardedRunner(trace=True, faults=plan, fault_policy=policy)
+    results = runner.run(shard_streams, tables.vector)
+
+    events = [
+        event
+        for result in results
+        for event in (result.events or [])
+    ]
+    statuses = [status for result in results for status in result.statuses]
+    print(
+        f"chaos run: seed {args.seed}, {total_queries} queries in "
+        f"{batches} batches across {len(shard_streams)} shards"
+    )
+    print(
+        "faults: ranks 0,1 degraded 4.0×, rank 2 flaky (p=0.2), "
+        "1% vector corruption, shard 0 worker crash"
+    )
+    print()
+    print(recovery_report(events).render())
+
+    counts = {status: statuses.count(status) for status in STATUSES}
+    accounted = sum(counts.values())
+    print(
+        f"  query statuses: "
+        + ", ".join(f"{counts[s]} {s}" for s in STATUSES)
+        + f" ({accounted}/{total_queries} accounted)"
+    )
+
+    clean_p99 = (
+        metrics_from_events(
+            [e for r in clean for e in (r.events or [])]
+        )
+        .histogram("query.latency_pe_cycles")
+        .percentile(99)
+    )
+    chaos_p99 = (
+        metrics_from_events(events)
+        .histogram("query.latency_pe_cycles")
+        .percentile(99)
+    )
+    inflation = chaos_p99 / clean_p99 if clean_p99 else 0.0
+    print(
+        f"  p99 query latency: {clean_p99:.0f} → {chaos_p99:.0f} PE cycles "
+        f"({inflation:.2f}× inflation)"
+    )
+    print(
+        f"  fleet makespan: {fleet_makespan_pe_cycles(clean)} → "
+        f"{fleet_makespan_pe_cycles(results)} PE cycles"
+    )
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            json.dump(chrome_trace_json(events), handle)
+        print(f"  chrome trace: {args.out} ({len(events)} events)")
+    return 0 if accounted == total_queries else 1
+
+
 def _cmd_validate(args: argparse.Namespace) -> int:
     checks = validate_anchors()
     failures = 0
@@ -313,6 +406,26 @@ def build_parser() -> argparse.ArgumentParser:
         help="trace the no-deduplication ablation instead",
     )
     trace.set_defaults(func=_cmd_trace)
+
+    chaos = subparsers.add_parser(
+        "chaos", help="seeded fault-injection sweep with recovery report"
+    )
+    chaos.add_argument("--seed", type=int, default=0)
+    chaos.add_argument(
+        "--quick",
+        action="store_true",
+        help="small configuration for CI smoke runs",
+    )
+    chaos.add_argument(
+        "--shard-timeout",
+        type=float,
+        default=60.0,
+        help="wall-clock seconds before a shard worker is declared hung",
+    )
+    chaos.add_argument(
+        "--out", default=None, help="optional Chrome trace JSON of the chaos run"
+    )
+    chaos.set_defaults(func=_cmd_chaos)
 
     validate = subparsers.add_parser(
         "validate", help="check the paper's numeric anchors"

@@ -19,8 +19,9 @@ behaviour, per-level PE work, data movement).
 
 from __future__ import annotations
 
+from collections import Counter as _Counter
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence
+from typing import Callable, Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
 
 import numpy as np
 
@@ -31,6 +32,19 @@ from repro.core.header import Header, Message
 from repro.core.operators import ReductionOperator, SUM, get_operator
 from repro.core.pe import KERNEL_VECTOR, KERNELS, PEWork, ProcessingElement
 from repro.core.tree import FafnirTree, TreePE
+from repro.faults.plan import (
+    FAULT_SOURCE_ERROR,
+    FAULT_VECTOR_CORRUPTION,
+    FaultPlan,
+    SourceFaultError,
+    VectorCorruptionError,
+)
+from repro.faults.policy import (
+    STATUS_DEGRADED,
+    STATUS_FAILED,
+    STATUS_OK,
+    FaultPolicy,
+)
 from repro.memory.config import MemoryConfig
 from repro.memory.mapping import RowMajorPlacement
 from repro.memory.request import ReadRequest
@@ -39,11 +53,15 @@ from repro.memory.trace import AccessStats
 from repro.obs.events import (
     BATCH_COMPLETE,
     BATCH_START,
+    FAULT_DETECTED,
+    FAULT_INJECTED,
     FIFO_ENQUEUE,
     FIFO_STALL,
     LEAF_INJECT,
     PIPELINE_BATCH,
     QUERY_COMPLETE,
+    QUERY_DEGRADED,
+    RETRY_ISSUED,
     TraceEvent,
 )
 from repro.obs.tracer import NULL_TRACER, Tracer
@@ -110,11 +128,28 @@ class LookupStats:
 
 @dataclass
 class LookupResult:
-    """Per-query reduced vectors (submission order) and run statistics."""
+    """Per-query reduced vectors (submission order) and run statistics.
+
+    ``statuses`` is populated by fault-injected runs under a ``degrade``
+    policy: per query, :data:`~repro.faults.policy.STATUS_OK` (all indices
+    folded), :data:`~repro.faults.policy.STATUS_DEGRADED` (reduced over
+    the surviving subset — the vector matches a CPU oracle on exactly
+    those indices), or :data:`~repro.faults.policy.STATUS_FAILED` (no
+    index survived; the vector is all-NaN poison, never silent zeros).
+    ``None`` means the run saw no fault machinery — every query is ``ok``.
+    """
 
     vectors: List[np.ndarray]
     stats: LookupStats
     plan: BatchPlan
+    statuses: Optional[List[str]] = None
+    dropped_indices: FrozenSet[int] = frozenset()
+
+    @property
+    def query_statuses(self) -> List[str]:
+        if self.statuses is not None:
+            return list(self.statuses)
+        return [STATUS_OK] * len(self.vectors)
 
 
 @dataclass
@@ -164,6 +199,13 @@ class MultiBatchResult:
         return [vector for result in self.results for vector in result.vectors]
 
     @property
+    def statuses(self) -> List[str]:
+        """Per-query ``ok``/``degraded``/``failed``, aligned with ``vectors``."""
+        return [
+            status for result in self.results for status in result.query_statuses
+        ]
+
+    @property
     def memory_stats(self) -> AccessStats:
         merged: Optional[AccessStats] = None
         for result in self.results:
@@ -187,6 +229,8 @@ class FafnirEngine:
         kernel: str = KERNEL_VECTOR,
         tracer: Optional[Tracer] = None,
         rank_order: Optional[Sequence[int]] = None,
+        faults: Optional[FaultPlan] = None,
+        fault_policy: Optional[FaultPolicy] = None,
     ) -> None:
         """Build one FAFNIR instance.
 
@@ -202,6 +246,10 @@ class FafnirEngine:
             rank_order: optional permutation of ``range(total_ranks)``
                 rewiring ranks to leaf PEs (boards whose physical wiring
                 does not follow the logical numbering).
+            faults: seeded chaos script; ``None`` (the default) keeps every
+                code path byte-identical to a fault-free build.
+            fault_policy: recovery budgets and the ``fail_fast``/``degrade``
+                exhaustion mode (defaults to ``fail_fast``).
         """
         if kernel not in KERNELS:
             raise ValueError(f"unknown PE kernel {kernel!r}; choose from {KERNELS}")
@@ -218,7 +266,14 @@ class FafnirEngine:
                 f"FAFNIR configuration ({self.config.total_ranks})"
             )
         self.tracer = tracer if tracer is not None else NULL_TRACER
-        self.memory = MemorySystem(memory_config, tracer=self.tracer)
+        self.faults = faults
+        self.fault_policy = fault_policy if fault_policy is not None else FaultPolicy()
+        self.memory = MemorySystem(
+            memory_config,
+            tracer=self.tracer,
+            faults=faults,
+            fault_policy=self.fault_policy,
+        )
         self.placement = RowMajorPlacement(
             memory_config.geometry, self.config.vector_bytes
         )
@@ -226,6 +281,7 @@ class FafnirEngine:
         self._check_values = check_values
         self._kernel = kernel
         self._last_memory_stats = AccessStats()
+        self._lost_read_indices: Set[int] = set()
 
     # ------------------------------------------------------------------
     def _fetch_from_memory(self, plan: BatchPlan) -> Dict[int, List[int]]:
@@ -248,11 +304,18 @@ class FafnirEngine:
         self._last_memory_stats = stats
 
         finish: Dict[int, List[int]] = {}
+        lost_positions = self.memory.failed_positions
+        self._lost_read_indices = set()
         for index, start, stop in occurrences:
             cycle = max(
                 completion.finish_cycle for completion in completions[start:stop]
             )
             finish.setdefault(index, []).append(cycle)
+            if lost_positions and not lost_positions.isdisjoint(range(start, stop)):
+                # Any lost split request loses the whole vector; a vector
+                # with any lost occurrence is dropped entirely (the engine
+                # degrades per index, not per occurrence).
+                self._lost_read_indices.add(index)
         return finish
 
     @staticmethod
@@ -429,9 +492,17 @@ class FafnirEngine:
         return outputs[self.tree.root_id], per_pe_work
 
     def _collect_results(
-        self, plan: BatchPlan, root_outputs: Sequence[Message]
+        self,
+        plan: BatchPlan,
+        root_outputs: Sequence[Message],
+        query_positions: Optional[Sequence[int]] = None,
     ) -> tuple:
-        """Match root messages to queries; returns (vectors, completion cycles)."""
+        """Match root messages to queries; returns (vectors, completion cycles).
+
+        ``query_positions`` relabels the emitted ``query_complete`` events
+        when ``plan`` is a degraded re-plan whose queries map back to
+        different submission positions in the original batch.
+        """
         by_indices: Dict[frozenset, Message] = {}
         for message in root_outputs:
             if message.header.complete_entries:
@@ -450,11 +521,16 @@ class FafnirEngine:
             vectors.append(self.operator.finalize(message.value.copy(), len(query)))
             ready_cycles.append(message.ready_cycle)
             if self.tracer.enabled:
+                label = (
+                    query_positions[position]
+                    if query_positions is not None
+                    else position
+                )
                 self.tracer.emit(
                     TraceEvent(
                         QUERY_COMPLETE,
                         cycle=message.ready_cycle,
-                        args={"query": position, "terms": len(query)},
+                        args={"query": label, "terms": len(query)},
                     )
                 )
         return vectors, ready_cycles
@@ -481,6 +557,8 @@ class FafnirEngine:
                 f"batch of {len(queries)} exceeds configured batch size "
                 f"{self.config.batch_size}"
             )
+        if self.faults is not None:
+            return self._run_batch_faulty(queries, source, deduplicate, reset_memory)
         if reset_memory:
             self.memory.reset()
         if self.tracer.enabled:
@@ -527,6 +605,271 @@ class FafnirEngine:
                 )
             )
         return LookupResult(vectors=vectors, stats=stats, plan=plan)
+
+    # --- fault-injected execution -------------------------------------
+    def _run_batch_faulty(
+        self,
+        queries: Sequence[Sequence[int]],
+        source: VectorSource,
+        deduplicate: bool,
+        reset_memory: bool,
+    ) -> LookupResult:
+        """One batch under an installed :class:`FaultPlan`.
+
+        Memory reads are issued exactly once; rank faults surface as lost
+        indices via :attr:`MemorySystem.failed_positions`, leaf-boundary
+        faults (transient source errors, vector corruption) surface during
+        prefetch.  Under ``fail_fast`` any unrecovered fault has already
+        raised by the time the drop set is known; under ``degrade`` the
+        batch is re-planned without the dropped indices so the tree's
+        completion guarantee holds for what remains, and every query gets
+        an explicit ``ok``/``degraded``/``failed`` status.
+        """
+        if reset_memory:
+            self.memory.reset()
+        if self.tracer.enabled:
+            self.tracer.emit(
+                TraceEvent(
+                    BATCH_START,
+                    cycle=0,
+                    args={
+                        "queries": len(queries),
+                        "dedup": deduplicate,
+                        "faults": True,
+                    },
+                )
+            )
+
+        plan = plan_batch(
+            queries, max_query_len=self.config.max_query_len, deduplicate=deduplicate
+        )
+        finish_cycles = self._fetch_from_memory(plan)
+        dropped: Set[int] = set(self._lost_read_indices)
+        values: Dict[int, np.ndarray] = {}
+        for index in plan.unique_indices:
+            if index in dropped:
+                continue
+            value = self._fetch_one_vector(source, index)
+            if value is None:
+                dropped.add(index)
+            else:
+                values[index] = value
+
+        statuses: Optional[List[str]] = None
+        if not dropped:
+            leaf_inputs = self._leaf_inputs(plan, finish_cycles, values.__getitem__)
+            root_outputs, per_pe_work = self._run_tree(leaf_inputs)
+            vectors, ready_cycles = self._collect_results(plan, root_outputs)
+            statuses = [STATUS_OK] * len(vectors)
+        else:
+            vectors, ready_cycles, statuses, per_pe_work = self._run_degraded(
+                plan, finish_cycles, values, dropped, deduplicate
+            )
+
+        memory_stats = self._last_memory_stats
+        memory_pe_cycles = convert_cycles(
+            memory_stats.finish_cycle, self.config.dram_clock, self.config.pe_clock
+        )
+        stats = LookupStats(
+            memory=memory_stats,
+            per_pe_work=per_pe_work,
+            latency_pe_cycles=max(ready_cycles) if ready_cycles else 0,
+            memory_latency_pe_cycles=memory_pe_cycles,
+            total_lookups=plan.total_lookups,
+            unique_reads=len(plan.unique_indices),
+            dram_bytes_read=memory_stats.bytes_read,
+            output_bytes=len(plan.queries) * self.config.vector_bytes,
+            naive_movement_bytes=plan.total_lookups * self.config.vector_bytes,
+        )
+        if self.tracer.enabled:
+            self.tracer.emit(
+                TraceEvent(
+                    BATCH_COMPLETE,
+                    cycle=stats.latency_pe_cycles,
+                    args={
+                        "queries": len(plan.queries),
+                        "unique_reads": len(plan.unique_indices),
+                        "dropped_indices": len(dropped),
+                    },
+                )
+            )
+        return LookupResult(
+            vectors=vectors,
+            stats=stats,
+            plan=plan,
+            statuses=statuses,
+            dropped_indices=frozenset(dropped),
+        )
+
+    def _fetch_one_vector(
+        self, source: VectorSource, index: int
+    ) -> Optional[np.ndarray]:
+        """Fetch one vector through the source- and corruption-fault gauntlet.
+
+        Models two leaf-boundary hazards: a flaky source (the fetch
+        attempt raises; retried up to ``max_source_retries``) and in-flight
+        corruption (the vector arrives bit-flipped or NaN-poisoned; the
+        leaf's modelled end-to-end integrity check catches it and the
+        vector is re-read up to ``max_corruption_retries``).  Returns the
+        clean vector, ``None`` when the budget is exhausted under
+        ``degrade``, or raises under ``fail_fast``.
+        """
+        assert self.faults is not None
+        plan = self.faults
+        policy = self.fault_policy
+        rank = self.placement.home_rank(index)
+
+        attempt = 0
+        while plan.source_raises(index, attempt):
+            exhausted = attempt >= policy.max_source_retries
+            self._emit_leaf_fault(
+                FAULT_SOURCE_ERROR, rank, index, attempt, exhausted
+            )
+            if exhausted:
+                if policy.fail_fast:
+                    raise SourceFaultError(
+                        f"vector source for index {index} kept raising; "
+                        f"retry budget ({policy.max_source_retries}) exhausted"
+                    )
+                return None
+            attempt += 1
+
+        value = np.asarray(source(index), dtype=np.float64)
+
+        attempt = 0
+        while True:
+            corrupted = plan.corrupt_vector(index, attempt, value)
+            if corrupted is None:
+                return value
+            exhausted = attempt >= policy.max_corruption_retries
+            self._emit_leaf_fault(
+                FAULT_VECTOR_CORRUPTION, rank, index, attempt, exhausted
+            )
+            if exhausted:
+                if policy.fail_fast:
+                    raise VectorCorruptionError(
+                        f"vector {index} failed its leaf-boundary integrity "
+                        f"check on every fetch; retry budget "
+                        f"({policy.max_corruption_retries}) exhausted"
+                    )
+                return None
+            attempt += 1
+
+    def _emit_leaf_fault(
+        self,
+        fault: str,
+        rank: Optional[int],
+        index: int,
+        attempt: int,
+        exhausted: bool,
+    ) -> None:
+        """One inject→detect(→retry) step of a leaf-boundary fault."""
+        if not self.tracer.enabled:
+            return
+        base = {"fault": fault, "index": index, "attempt": attempt}
+        self.tracer.emit(
+            TraceEvent(FAULT_INJECTED, cycle=0, rank=rank, args=dict(base))
+        )
+        detected = dict(base)
+        if exhausted:
+            detected["fatal"] = True
+        self.tracer.emit(
+            TraceEvent(FAULT_DETECTED, cycle=0, rank=rank, args=detected)
+        )
+        if not exhausted:
+            retry = dict(base)
+            retry["attempt"] = attempt + 1
+            self.tracer.emit(
+                TraceEvent(RETRY_ISSUED, cycle=0, rank=rank, args=retry)
+            )
+
+    def _run_degraded(
+        self,
+        plan: BatchPlan,
+        finish_cycles: Dict[int, List[int]],
+        values: Dict[int, np.ndarray],
+        dropped: Set[int],
+        deduplicate: bool,
+    ) -> Tuple[List[np.ndarray], List[int], List[str], Dict[int, PEWork]]:
+        """Complete a batch that lost vectors: re-plan, run, degrade.
+
+        The surviving indices are re-planned so every header's query sets
+        reference only vectors that will actually arrive — the tree's
+        completion guarantee then holds for the reduced batch.  Each
+        original query maps to ``ok`` (untouched), ``degraded`` (reduced
+        over its surviving subset; the output matches a CPU oracle on
+        exactly those indices), or ``failed`` (nothing survived; all-NaN).
+        Memory reads were already issued once — the re-plan reuses the
+        recorded completion cycles, so no DRAM traffic is double-counted.
+        """
+        vector_elements = self.config.vector_elements
+        statuses: List[str] = []
+        effective: List[List[int]] = []
+        for query in plan.queries:
+            remaining = sorted(query - dropped)
+            effective.append(remaining)
+            if len(remaining) == len(query):
+                statuses.append(STATUS_OK)
+            elif remaining:
+                statuses.append(STATUS_DEGRADED)
+            else:
+                statuses.append(STATUS_FAILED)
+
+        surviving = [
+            (position, indices)
+            for position, indices in enumerate(effective)
+            if indices
+        ]
+        per_pe_work: Dict[int, PEWork] = {}
+        sub_vectors: List[np.ndarray] = []
+        sub_ready: List[int] = []
+        if surviving:
+            sub_plan = plan_batch(
+                [indices for _, indices in surviving],
+                max_query_len=self.config.max_query_len,
+                deduplicate=deduplicate,
+            )
+            needed = _Counter(sub_plan.reads)
+            sub_finish = {
+                index: (finish_cycles[index] + [finish_cycles[index][-1]] * count)[
+                    :count
+                ]
+                for index, count in needed.items()
+            }
+            leaf_inputs = self._leaf_inputs(
+                sub_plan, sub_finish, values.__getitem__
+            )
+            root_outputs, per_pe_work = self._run_tree(leaf_inputs)
+            sub_vectors, sub_ready = self._collect_results(
+                sub_plan,
+                root_outputs,
+                query_positions=[position for position, _ in surviving],
+            )
+
+        vectors: List[np.ndarray] = []
+        ready_cycles: List[int] = []
+        cursor = 0
+        for position, query in enumerate(plan.queries):
+            if statuses[position] == STATUS_FAILED:
+                vectors.append(np.full(vector_elements, np.nan))
+                ready_cycles.append(0)
+            else:
+                vectors.append(sub_vectors[cursor])
+                ready_cycles.append(sub_ready[cursor])
+                cursor += 1
+            if statuses[position] != STATUS_OK and self.tracer.enabled:
+                self.tracer.emit(
+                    TraceEvent(
+                        QUERY_DEGRADED,
+                        cycle=ready_cycles[-1],
+                        args={
+                            "query": position,
+                            "status": statuses[position],
+                            "dropped": sorted(query & dropped),
+                        },
+                    )
+                )
+        return vectors, ready_cycles, statuses, per_pe_work
 
     # ------------------------------------------------------------------
     def run_batches(

@@ -1,4 +1,4 @@
-"""Fan independent batch streams across worker processes.
+"""Fan independent batch streams across worker processes, fault-tolerantly.
 
 One FAFNIR instance pipelines batches through one tree; a production
 deployment replicates the whole memory-plus-tree stack and routes
@@ -16,22 +16,61 @@ shard by shard.
 Workers are created with the ``fork`` start method where available (the
 engine, config, and operator objects transfer by inheritance or pickling);
 ``source`` must be picklable — a module-level function, ``functools.partial``
-of one, or a bound method of a picklable object.  If process creation is
-unavailable (restricted sandboxes, missing semaphores), the runner falls
-back to in-process execution with identical results.
+of one, or a bound method of a picklable object.
+
+Failure handling distinguishes two regimes:
+
+* **cannot spawn processes at all** (restricted sandboxes, missing
+  semaphores) — detected at pool creation / first submission, before any
+  shard has produced a result: the runner falls back to in-process
+  execution with identical results and (with ``trace=True``) identical
+  event streams;
+* **a worker died or hung mid-run** (``BrokenProcessPool``, a shard
+  exceeding the policy's wall-clock timeout, or an injected
+  :class:`~repro.faults.plan.SimulatedWorkerCrash`) — completed shards
+  are **kept**, and only the failed shards are re-dispatched onto a fresh
+  pool of healthy workers, up to ``FaultPolicy.max_shard_retries`` times;
+  a shard that exhausts its budget is run in-process as the last healthy
+  "worker" (``degrade``) or raises :class:`ShardFailedError`
+  (``fail_fast``).  Each re-dispatch is recorded as a
+  ``shard_redispatched`` trace event on the recovered shard's stream.
+
+A :class:`~repro.faults.plan.FaultPlan` passed to the runner ships to
+every worker (it is plain picklable data), so rank degradation and
+leaf-boundary corruption fire inside the replicas while crash/hang faults
+fire at the worker boundary the runner itself guards.
 """
 
 from __future__ import annotations
 
 import multiprocessing
+import os
+import time
 from concurrent.futures import ProcessPoolExecutor
-from typing import List, Optional, Sequence
+from concurrent.futures import TimeoutError as FuturesTimeoutError
+from concurrent.futures.process import BrokenProcessPool
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.core.config import FafnirConfig
 from repro.core.engine import FafnirEngine, MultiBatchResult, VectorSource
 from repro.core.operators import ReductionOperator, SUM
 from repro.core.pe import KERNEL_VECTOR
+from repro.faults.plan import (
+    FAULT_WORKER_CRASH,
+    FAULT_WORKER_HANG,
+    FaultError,
+    FaultPlan,
+    ShardFailedError,
+    SimulatedWorkerCrash,
+)
+from repro.faults.policy import FaultPolicy
 from repro.memory.config import MemoryConfig
+from repro.obs.events import (
+    FAULT_DETECTED,
+    FAULT_INJECTED,
+    SHARD_REDISPATCHED,
+    TraceEvent,
+)
 from repro.obs.sinks import InMemorySink
 from repro.obs.tracer import Tracer
 
@@ -40,9 +79,16 @@ Shard = Sequence[Batch]
 
 
 def shard_batches(batches: Sequence[Batch], shards: int) -> List[List[Batch]]:
-    """Round-robin split of a batch stream into ``shards`` substreams."""
+    """Round-robin split of a batch stream into ``shards`` substreams.
+
+    An empty stream yields an empty shard list (which
+    :meth:`ShardedRunner.run` maps to an empty result list) rather than
+    tripping an unrelated "need at least one shard" error downstream.
+    """
     if shards <= 0:
         raise ValueError("shards must be positive")
+    if not batches:
+        return []
     buckets: List[List[Batch]] = [[] for _ in range(min(shards, len(batches)))]
     for position, batch in enumerate(batches):
         buckets[position % len(buckets)].append(batch)
@@ -59,6 +105,11 @@ def _run_shard(
     deduplicate: bool,
     pipeline: bool,
     trace: bool = False,
+    faults: Optional[FaultPlan] = None,
+    fault_policy: Optional[FaultPolicy] = None,
+    shard_index: int = 0,
+    attempt: int = 0,
+    in_process: bool = False,
 ) -> MultiBatchResult:
     """Worker entry point: one engine, one shard (module-level: picklable).
 
@@ -66,7 +117,23 @@ def _run_shard(
     in-process sink and ships them back on ``MultiBatchResult.events`` —
     :class:`~repro.obs.events.TraceEvent` is plain picklable data, so the
     stream crosses the process boundary with the rest of the result.
+
+    Crash/hang faults fire here, at the worker boundary: a crash kills
+    the process outright (surfacing as ``BrokenProcessPool`` in the
+    parent) unless the shard runs in-process, where it raises
+    :class:`SimulatedWorkerCrash` instead of taking the caller down; a
+    hang sleeps past the parent's watchdog (skipped in-process — there is
+    no watchdog to trip and no second process to stall).
     """
+    if faults is not None:
+        if faults.shard_crashes(shard_index, attempt):
+            if in_process:
+                raise SimulatedWorkerCrash(
+                    f"shard {shard_index} worker crashed (attempt {attempt})"
+                )
+            os._exit(1)
+        if faults.shard_hangs(shard_index, attempt) and not in_process:
+            time.sleep(faults.hang_seconds)
     sink = InMemorySink() if trace else None
     engine = FafnirEngine(
         config=config,
@@ -74,6 +141,8 @@ def _run_shard(
         memory_config=memory_config,
         kernel=kernel,
         tracer=Tracer([sink]) if sink is not None else None,
+        faults=faults,
+        fault_policy=fault_policy,
     )
     result = engine.run_batches(
         batches, source, deduplicate=deduplicate, pipeline=pipeline
@@ -94,6 +163,8 @@ class ShardedRunner:
         kernel: str = KERNEL_VECTOR,
         max_workers: Optional[int] = None,
         trace: bool = False,
+        faults: Optional[FaultPlan] = None,
+        fault_policy: Optional[FaultPolicy] = None,
     ) -> None:
         self.config = config
         self.operator = operator
@@ -101,6 +172,8 @@ class ShardedRunner:
         self.kernel = kernel
         self.max_workers = max_workers
         self.trace = trace
+        self.faults = faults
+        self.fault_policy = fault_policy if fault_policy is not None else FaultPolicy()
 
     def run(
         self,
@@ -109,9 +182,14 @@ class ShardedRunner:
         deduplicate: bool = True,
         pipeline: bool = True,
     ) -> List[MultiBatchResult]:
-        """Run every shard; results are ordered like ``shards``."""
+        """Run every shard; results are ordered like ``shards``.
+
+        An empty shard list (an empty batch stream) returns an empty
+        result list.  Worker failures are recovered per the runner's
+        :class:`FaultPolicy` — see the module docstring for the regimes.
+        """
         if not shards:
-            raise ValueError("need at least one shard")
+            return []
         workers = self.max_workers or multiprocessing.cpu_count()
         workers = min(workers, len(shards))
         if workers <= 1 or len(shards) == 1:
@@ -120,30 +198,214 @@ class ShardedRunner:
             context = multiprocessing.get_context("fork")
         except ValueError:  # platform without fork
             context = multiprocessing.get_context()
-        try:
-            with ProcessPoolExecutor(
-                max_workers=workers, mp_context=context
-            ) as pool:
-                futures = [
-                    pool.submit(
+
+        policy = self.fault_policy
+        results: List[Optional[MultiBatchResult]] = [None] * len(shards)
+        attempts = [0] * len(shards)
+        redispatch_events: Dict[int, List[TraceEvent]] = {}
+        pending = list(range(len(shards)))
+        while pending:
+            try:
+                pool = ProcessPoolExecutor(
+                    max_workers=min(workers, len(pending)), mp_context=context
+                )
+            except (OSError, PermissionError):
+                return self._recover_without_processes(
+                    shards, source, deduplicate, pipeline, results, pending
+                )
+            submitted: Dict[int, object] = {}
+            spawn_failed = False
+            broken_on_submit: List[int] = []
+            try:
+                for index in pending:
+                    submitted[index] = pool.submit(
                         _run_shard,
                         self.config,
                         self.operator,
                         self.memory_config,
                         self.kernel,
-                        shard,
+                        shards[index],
                         source,
                         deduplicate,
                         pipeline,
                         self.trace,
+                        self.faults,
+                        policy,
+                        index,
+                        attempts[index],
+                        False,
                     )
-                    for shard in shards
-                ]
-                return [future.result() for future in futures]
-        except (OSError, PermissionError):
-            # Restricted environments (no process spawning / semaphores):
-            # same results, one process.
-            return self._run_serial(shards, source, deduplicate, pipeline)
+            except (OSError, PermissionError):
+                # Process spawning is unavailable (restricted sandbox) —
+                # not a worker death; recover in-process without re-running
+                # any shard that already completed.
+                spawn_failed = True
+            except BrokenProcessPool:
+                # A worker died fast enough to break the pool mid-submission;
+                # the unsubmitted shards are worker deaths, not spawn failures.
+                broken_on_submit = [i for i in pending if i not in submitted]
+            failed: List[Tuple[int, str]] = []
+            failed.extend((i, FAULT_WORKER_CRASH) for i in broken_on_submit)
+            if not spawn_failed:
+                for index, future in submitted.items():
+                    try:
+                        results[index] = future.result(  # type: ignore[attr-defined]
+                            timeout=policy.shard_timeout_s
+                        )
+                    except FuturesTimeoutError:
+                        failed.append((index, FAULT_WORKER_HANG))
+                    except (BrokenProcessPool, SimulatedWorkerCrash):
+                        failed.append((index, FAULT_WORKER_CRASH))
+            pool.shutdown(wait=False, cancel_futures=True)
+            if spawn_failed:
+                return self._recover_without_processes(
+                    shards, source, deduplicate, pipeline, results, pending
+                )
+
+            pending = []
+            for index, reason in failed:
+                redispatch_events.setdefault(index, []).extend(
+                    self._shard_fault_events(index, attempts[index], reason)
+                )
+                if attempts[index] >= policy.max_shard_retries:
+                    if policy.fail_fast:
+                        raise ShardFailedError(
+                            f"shard {index} failed ({reason}) and exhausted "
+                            f"its re-dispatch budget "
+                            f"({policy.max_shard_retries} retries)"
+                        )
+                    # Last resort: the parent process is the one worker
+                    # guaranteed healthy.
+                    results[index] = self._run_one_in_process(
+                        shards[index],
+                        index,
+                        attempts[index] + 1,
+                        source,
+                        deduplicate,
+                        pipeline,
+                    )
+                else:
+                    attempts[index] += 1
+                    pending.append(index)
+
+        final: List[MultiBatchResult] = []
+        for index, result in enumerate(results):
+            assert result is not None
+            extra = redispatch_events.get(index)
+            if extra and self.trace and result.events is not None:
+                result.events = extra + result.events
+            final.append(result)
+        return final
+
+    # ------------------------------------------------------------------
+    def _shard_fault_events(
+        self, index: int, attempt: int, reason: str
+    ) -> List[TraceEvent]:
+        """The detect→re-dispatch events of one shard failure.
+
+        Workers die before they can record anything, so the surviving side
+        (the parent, or the in-process retry loop) is the only place this
+        part of the lifecycle can be observed from.  The injection event is
+        synthesized only when the installed plan really scheduled the
+        fault — a genuine (non-injected) worker death still gets its
+        detection and re-dispatch on the record.
+        """
+        if not self.trace:
+            return []
+        events: List[TraceEvent] = []
+        if self.faults is not None and (
+            (reason == FAULT_WORKER_CRASH and self.faults.shard_crashes(index, attempt))
+            or (reason == FAULT_WORKER_HANG and self.faults.shard_hangs(index, attempt))
+        ):
+            events.append(
+                TraceEvent(
+                    FAULT_INJECTED,
+                    cycle=0,
+                    args={"fault": reason, "shard": index, "attempt": attempt},
+                )
+            )
+        events.append(
+            TraceEvent(
+                FAULT_DETECTED,
+                cycle=0,
+                args={"fault": reason, "shard": index, "attempt": attempt},
+            )
+        )
+        events.append(
+            TraceEvent(
+                SHARD_REDISPATCHED,
+                cycle=0,
+                args={"fault": reason, "shard": index, "attempt": attempt + 1},
+            )
+        )
+        return events
+
+    def _recover_without_processes(
+        self,
+        shards: Sequence[Shard],
+        source: VectorSource,
+        deduplicate: bool,
+        pipeline: bool,
+        results: List[Optional[MultiBatchResult]],
+        pending: Sequence[int],
+    ) -> List[MultiBatchResult]:
+        """Finish ``pending`` shards in-process, keeping completed results."""
+        for index in pending:
+            results[index] = self._run_one_in_process(
+                shards[index], index, 0, source, deduplicate, pipeline
+            )
+        return [result for result in results if result is not None]
+
+    def _run_one_in_process(
+        self,
+        shard: Shard,
+        index: int,
+        attempt: int,
+        source: VectorSource,
+        deduplicate: bool,
+        pipeline: bool,
+    ) -> MultiBatchResult:
+        """Run one shard in-process with the same bounded-retry loop.
+
+        Injected crashes raise :class:`SimulatedWorkerCrash` here instead
+        of killing the caller; each recovery records the same
+        detect→re-dispatch events the process-pool path synthesizes, so a
+        traced serial run and a traced parallel run tell the same story.
+        """
+        policy = self.fault_policy
+        fault_events: List[TraceEvent] = []
+        while True:
+            try:
+                result = _run_shard(
+                    self.config,
+                    self.operator,
+                    self.memory_config,
+                    self.kernel,
+                    shard,
+                    source,
+                    deduplicate,
+                    pipeline,
+                    self.trace,
+                    self.faults,
+                    policy,
+                    index,
+                    attempt,
+                    True,
+                )
+                if fault_events and result.events is not None:
+                    result.events = fault_events + result.events
+                return result
+            except SimulatedWorkerCrash:
+                fault_events.extend(
+                    self._shard_fault_events(index, attempt, FAULT_WORKER_CRASH)
+                )
+                if attempt >= policy.max_shard_retries:
+                    raise ShardFailedError(
+                        f"shard {index} crashed in-process and exhausted its "
+                        f"re-dispatch budget ({policy.max_shard_retries} "
+                        "retries)"
+                    )
+                attempt += 1
 
     def _run_serial(
         self,
@@ -153,18 +415,10 @@ class ShardedRunner:
         pipeline: bool,
     ) -> List[MultiBatchResult]:
         return [
-            _run_shard(
-                self.config,
-                self.operator,
-                self.memory_config,
-                self.kernel,
-                shard,
-                source,
-                deduplicate,
-                pipeline,
-                self.trace,
+            self._run_one_in_process(
+                shard, index, 0, source, deduplicate, pipeline
             )
-            for shard in shards
+            for index, shard in enumerate(shards)
         ]
 
 

@@ -1,0 +1,231 @@
+"""Deterministic, seed-driven fault injection.
+
+A :class:`FaultPlan` is the chaos script of one run: given the same seed
+and the same workload, the same faults fire at the same sites on every
+execution, in any process (decisions hash the seed with stable site keys,
+so they do not depend on call order or interpreter state).  The plan is
+plain picklable data — :class:`~repro.core.sharding.ShardedRunner` ships
+it to worker processes alongside the engine configuration.
+
+Injection sites (each guarded by the owning component):
+
+=========================  ================================================
+site                       effect
+=========================  ================================================
+rank latency degradation   reads on a listed rank take ``multiplier``×
+                           their modelled service time (``MemorySystem``)
+rank read timeout          a read on a flaky rank is lost and must be
+                           re-issued after backoff (``MemorySystem``)
+vector corruption          a fetched vector is bit-flipped or NaN-poisoned
+                           at the leaf boundary (``FafnirEngine``)
+transient source error     the vector source raises on a fetch attempt
+                           (``FafnirEngine``)
+worker crash / hang        a shard worker dies or stalls on its first
+                           attempt(s) (``ShardedRunner``)
+=========================  ================================================
+
+The plan only *decides*; the components inject, emit the ``fault_*``
+trace events, and run the :class:`~repro.faults.policy.FaultPolicy`
+recovery machinery.
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, Optional
+
+import numpy as np
+
+# --- fault type labels (the ``fault`` arg of fault_* events) ---------------
+FAULT_RANK_DEGRADED = "rank_degraded"
+FAULT_RANK_TIMEOUT = "rank_timeout"
+FAULT_VECTOR_CORRUPTION = "vector_corruption"
+FAULT_SOURCE_ERROR = "source_error"
+FAULT_WORKER_CRASH = "worker_crash"
+FAULT_WORKER_HANG = "worker_hang"
+
+FAULT_KINDS = (
+    FAULT_RANK_DEGRADED,
+    FAULT_RANK_TIMEOUT,
+    FAULT_VECTOR_CORRUPTION,
+    FAULT_SOURCE_ERROR,
+    FAULT_WORKER_CRASH,
+    FAULT_WORKER_HANG,
+)
+
+# --- corruption modes ------------------------------------------------------
+CORRUPT_NAN = "nan"
+CORRUPT_BITFLIP = "bitflip"
+CORRUPT_MODES = (CORRUPT_NAN, CORRUPT_BITFLIP)
+
+
+class FaultError(RuntimeError):
+    """Base class of every error the fault subsystem raises."""
+
+
+class RankTimeoutError(FaultError):
+    """A DRAM read kept timing out after the full retry budget."""
+
+
+class VectorCorruptionError(FaultError):
+    """A fetched vector failed its integrity check on every retry."""
+
+
+class TransientSourceError(FaultError):
+    """The injected source exception (recoverable by retrying)."""
+
+
+class SourceFaultError(FaultError):
+    """The vector source kept raising after the full retry budget."""
+
+
+class SimulatedWorkerCrash(FaultError):
+    """In-process stand-in for a worker death (serial execution only)."""
+
+
+class ShardFailedError(FaultError):
+    """A shard could not be completed within the re-dispatch budget."""
+
+
+def _decision_rng(seed: int, site: str, *keys: int) -> np.random.Generator:
+    """A generator keyed by (seed, site, keys) — order-independent."""
+    material = [seed & 0xFFFFFFFF, zlib.crc32(site.encode("ascii"))]
+    material.extend(int(key) & 0xFFFFFFFF for key in keys)
+    return np.random.default_rng(material)
+
+
+@dataclass
+class FaultPlan:
+    """The seeded chaos script for one run (plain picklable data).
+
+    Attributes:
+        seed: root of every probabilistic decision the plan makes.
+        rank_latency_multipliers: rank → service-time multiplier (> 1
+            degrades; reads on other ranks are untouched).
+        rank_timeout_probability: rank → per-(read, attempt) probability
+            that the read is lost and must be retried.
+        vector_corruption_probability: per-(vector, attempt) probability
+            that a fetched vector arrives corrupted at the leaf boundary.
+        corruption_mode: :data:`CORRUPT_NAN` (poison with NaNs) or
+            :data:`CORRUPT_BITFLIP` (flip one mantissa bit per element of
+            a random slice — silent without an integrity check).
+        source_failure_probability: per-(vector, attempt) probability that
+            the vector source raises :class:`TransientSourceError`.
+        crash_shards: shard positions whose worker dies on early attempts.
+        hang_shards: shard positions whose worker stalls on early attempts.
+        crash_attempts: number of leading attempts that crash/hang before
+            the shard behaves (1 models a transient fault the first
+            re-dispatch recovers; a value ≥ the retry budget models a
+            persistent failure).
+        hang_seconds: how long a hung worker sleeps (must exceed the
+            policy's ``shard_timeout_s`` for the watchdog to matter).
+    """
+
+    seed: int = 0
+    rank_latency_multipliers: Dict[int, float] = field(default_factory=dict)
+    rank_timeout_probability: Dict[int, float] = field(default_factory=dict)
+    vector_corruption_probability: float = 0.0
+    corruption_mode: str = CORRUPT_NAN
+    source_failure_probability: float = 0.0
+    crash_shards: FrozenSet[int] = frozenset()
+    hang_shards: FrozenSet[int] = frozenset()
+    crash_attempts: int = 1
+    hang_seconds: float = 5.0
+
+    def __post_init__(self) -> None:
+        if self.corruption_mode not in CORRUPT_MODES:
+            raise ValueError(
+                f"unknown corruption mode {self.corruption_mode!r}; "
+                f"choose from {CORRUPT_MODES}"
+            )
+        for name in (
+            "vector_corruption_probability",
+            "source_failure_probability",
+        ):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(f"{name} must be within [0, 1]")
+        for rank, multiplier in self.rank_latency_multipliers.items():
+            if multiplier < 1.0:
+                raise ValueError(
+                    f"rank {rank} latency multiplier {multiplier} < 1 "
+                    "(degradation can only slow reads down)"
+                )
+        for rank, probability in self.rank_timeout_probability.items():
+            if not 0.0 <= probability <= 1.0:
+                raise ValueError(f"rank {rank} timeout probability not in [0, 1]")
+        if self.crash_attempts < 0:
+            raise ValueError("crash_attempts must be non-negative")
+        if self.hang_seconds < 0:
+            raise ValueError("hang_seconds must be non-negative")
+        self.crash_shards = frozenset(self.crash_shards)
+        self.hang_shards = frozenset(self.hang_shards)
+
+    # --- memory-side decisions --------------------------------------------
+    @property
+    def touches_memory(self) -> bool:
+        return bool(self.rank_latency_multipliers or self.rank_timeout_probability)
+
+    def read_latency_multiplier(self, rank: int) -> float:
+        return self.rank_latency_multipliers.get(rank, 1.0)
+
+    def read_times_out(self, rank: int, position: int, attempt: int) -> bool:
+        """Whether the read at batch ``position`` is lost on ``attempt``."""
+        probability = self.rank_timeout_probability.get(rank, 0.0)
+        if probability <= 0.0:
+            return False
+        rng = _decision_rng(self.seed, "read_timeout", rank, position, attempt)
+        return bool(rng.random() < probability)
+
+    # --- leaf-boundary decisions ------------------------------------------
+    def source_raises(self, index: int, attempt: int) -> bool:
+        if self.source_failure_probability <= 0.0:
+            return False
+        rng = _decision_rng(self.seed, "source_error", index, attempt)
+        return bool(rng.random() < self.source_failure_probability)
+
+    def corrupt_vector(
+        self, index: int, attempt: int, value: np.ndarray
+    ) -> Optional[np.ndarray]:
+        """The corrupted copy of ``value``, or ``None`` when no fault fires."""
+        if self.vector_corruption_probability <= 0.0:
+            return None
+        rng = _decision_rng(self.seed, "corruption", index, attempt)
+        if rng.random() >= self.vector_corruption_probability:
+            return None
+        corrupted = np.array(value, dtype=np.float64, copy=True)
+        span = max(1, corrupted.size // 8)
+        start = int(rng.integers(0, max(1, corrupted.size - span + 1)))
+        if self.corruption_mode == CORRUPT_NAN:
+            corrupted[start : start + span] = np.nan
+        else:
+            bits = corrupted.view(np.uint64)
+            bits[start : start + span] ^= np.uint64(1) << np.uint64(
+                int(rng.integers(0, 52))
+            )
+        return corrupted
+
+    # --- shard-side decisions ---------------------------------------------
+    def shard_crashes(self, shard: int, attempt: int) -> bool:
+        return shard in self.crash_shards and attempt < self.crash_attempts
+
+    def shard_hangs(self, shard: int, attempt: int) -> bool:
+        return shard in self.hang_shards and attempt < self.crash_attempts
+
+    # ----------------------------------------------------------------------
+    def with_seed(self, seed: int) -> "FaultPlan":
+        """A copy of this plan rolled to a different seed."""
+        plan = FaultPlan(
+            seed=seed,
+            rank_latency_multipliers=dict(self.rank_latency_multipliers),
+            rank_timeout_probability=dict(self.rank_timeout_probability),
+            vector_corruption_probability=self.vector_corruption_probability,
+            corruption_mode=self.corruption_mode,
+            source_failure_probability=self.source_failure_probability,
+            crash_shards=self.crash_shards,
+            hang_shards=self.hang_shards,
+            crash_attempts=self.crash_attempts,
+            hang_seconds=self.hang_seconds,
+        )
+        return plan

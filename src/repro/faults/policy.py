@@ -1,0 +1,97 @@
+"""Recovery policy: what the serving stack does when a fault fires.
+
+A :class:`FaultPolicy` is orthogonal to the :class:`~repro.faults.plan.FaultPlan`:
+the plan decides *which* faults occur (seeded, deterministic), the policy
+decides *how hard* the stack fights back (retry budgets, backoff, shard
+timeouts) and *what happens* when recovery is exhausted:
+
+* ``fail_fast`` (the default) raises — exactly today's "fail loudly, never
+  wrongly" behaviour, and with no plan installed the code path is
+  byte-identical to a build without the fault subsystem;
+* ``degrade`` returns per-query statuses (:data:`STATUS_OK` /
+  :data:`STATUS_DEGRADED` / :data:`STATUS_FAILED`) with partial results:
+  a degraded query is reduced over the subset of its indices that
+  survived, a failed query yields an all-NaN vector — visible poison,
+  never silent corruption.
+
+Read-retry backoff is accounted in **simulated DRAM-clock cycles** (it
+inflates the affected completions' finish cycles, which the engine then
+converts to PE cycles like any other memory latency); shard timeouts are
+host **wall-clock seconds** because worker hangs are a property of the
+simulation process, not of the simulated machine.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+# --- recovery modes --------------------------------------------------------
+MODE_FAIL_FAST = "fail_fast"
+MODE_DEGRADE = "degrade"
+MODES = (MODE_FAIL_FAST, MODE_DEGRADE)
+
+# --- per-query outcome statuses --------------------------------------------
+STATUS_OK = "ok"
+STATUS_DEGRADED = "degraded"
+STATUS_FAILED = "failed"
+STATUSES = (STATUS_OK, STATUS_DEGRADED, STATUS_FAILED)
+
+
+@dataclass(frozen=True)
+class FaultPolicy:
+    """Retry budgets, timeouts, and the exhaustion behaviour.
+
+    Attributes:
+        mode: :data:`MODE_FAIL_FAST` (raise on unrecoverable faults) or
+            :data:`MODE_DEGRADE` (per-query statuses with partial results).
+        max_read_retries: re-issues of a timed-out DRAM read before the
+            vector is declared lost.
+        read_timeout_cycles: DRAM cycles after a read's nominal completion
+            at which the loss is detected (the watchdog deadline).
+        read_retry_backoff_cycles: base backoff between read retries, in
+            DRAM cycles; attempt *k* waits ``base · 2^k``.
+        max_source_retries: retries of a vector source that raised a
+            transient exception.
+        max_corruption_retries: re-fetches of a vector whose leaf-boundary
+            integrity check failed.
+        shard_timeout_s: wall-clock seconds a shard worker may run before
+            the runner declares it hung (``None`` disables the watchdog).
+        max_shard_retries: re-dispatches of a crashed / hung / lost shard
+            before it is declared failed.
+    """
+
+    mode: str = MODE_FAIL_FAST
+    max_read_retries: int = 2
+    read_timeout_cycles: int = 2048
+    read_retry_backoff_cycles: int = 256
+    max_source_retries: int = 2
+    max_corruption_retries: int = 2
+    shard_timeout_s: Optional[float] = None
+    max_shard_retries: int = 2
+
+    def __post_init__(self) -> None:
+        if self.mode not in MODES:
+            raise ValueError(f"unknown mode {self.mode!r}; choose from {MODES}")
+        for name in (
+            "max_read_retries",
+            "read_timeout_cycles",
+            "read_retry_backoff_cycles",
+            "max_source_retries",
+            "max_corruption_retries",
+            "max_shard_retries",
+        ):
+            if getattr(self, name) < 0:
+                raise ValueError(f"{name} must be non-negative")
+        if self.shard_timeout_s is not None and self.shard_timeout_s <= 0:
+            raise ValueError("shard_timeout_s must be positive (or None)")
+
+    @property
+    def fail_fast(self) -> bool:
+        return self.mode == MODE_FAIL_FAST
+
+    @classmethod
+    def graceful(cls, **overrides: object) -> "FaultPolicy":
+        """A degrade-mode policy with the default retry budgets."""
+        overrides.setdefault("mode", MODE_DEGRADE)
+        return cls(**overrides)  # type: ignore[arg-type]

@@ -1,0 +1,107 @@
+"""Chaos-run accounting: injected vs. detected vs. recovered, from events.
+
+The recovery pipeline is fully observable — every injection emits a
+``fault_injected`` event, every detection a ``fault_detected`` (with
+``fatal: true`` when the retry budget is exhausted), every re-issue a
+``retry_issued`` / ``shard_redispatched``, and every query that lost data
+a ``query_degraded``.  :func:`recovery_report` folds a recorded stream
+(or the concatenation of per-shard streams a traced
+:class:`~repro.core.sharding.ShardedRunner` ships back) into the summary
+the ``repro.cli chaos`` subcommand prints.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List
+
+from repro.faults.policy import STATUS_DEGRADED, STATUS_FAILED
+from repro.obs.events import (
+    FAULT_DETECTED,
+    FAULT_INJECTED,
+    QUERY_DEGRADED,
+    RETRY_ISSUED,
+    SHARD_REDISPATCHED,
+    TraceEvent,
+)
+
+
+@dataclass
+class RecoveryReport:
+    """Counts of the inject → detect → retry → recover pipeline.
+
+    ``recovered`` counts detections that did not end in giving up: each
+    ``fault_detected`` either precedes a successful retry (recovered) or
+    carries ``fatal: true`` (the site's budget was exhausted and the
+    affected vector/shard was dropped or degraded).
+    """
+
+    injected: Dict[str, int] = field(default_factory=dict)
+    detected: Dict[str, int] = field(default_factory=dict)
+    fatal: Dict[str, int] = field(default_factory=dict)
+    retries: int = 0
+    redispatches: int = 0
+    degraded_queries: int = 0
+    failed_queries: int = 0
+
+    @property
+    def total_injected(self) -> int:
+        return sum(self.injected.values())
+
+    @property
+    def total_detected(self) -> int:
+        return sum(self.detected.values())
+
+    @property
+    def total_fatal(self) -> int:
+        return sum(self.fatal.values())
+
+    @property
+    def recovered(self) -> int:
+        return self.total_detected - self.total_fatal
+
+    def render(self) -> str:
+        lines: List[str] = ["fault recovery report"]
+        kinds = sorted(set(self.injected) | set(self.detected))
+        if not kinds:
+            lines.append("  no faults injected")
+        for kind in kinds:
+            lines.append(
+                f"  {kind:20s} injected {self.injected.get(kind, 0):4d}  "
+                f"detected {self.detected.get(kind, 0):4d}  "
+                f"unrecovered {self.fatal.get(kind, 0):4d}"
+            )
+        lines.append(
+            f"  totals: {self.total_injected} injected, "
+            f"{self.total_detected} detected, {self.recovered} recovered, "
+            f"{self.retries} retries, {self.redispatches} shard re-dispatches"
+        )
+        lines.append(
+            f"  queries degraded: {self.degraded_queries}, "
+            f"failed: {self.failed_queries}"
+        )
+        return "\n".join(lines)
+
+
+def recovery_report(events: Iterable[TraceEvent]) -> RecoveryReport:
+    """Fold a recorded event stream into a :class:`RecoveryReport`."""
+    report = RecoveryReport()
+    for event in events:
+        fault = str(event.args.get("fault", "unknown"))
+        if event.kind == FAULT_INJECTED:
+            report.injected[fault] = report.injected.get(fault, 0) + 1
+        elif event.kind == FAULT_DETECTED:
+            report.detected[fault] = report.detected.get(fault, 0) + 1
+            if event.args.get("fatal"):
+                report.fatal[fault] = report.fatal.get(fault, 0) + 1
+        elif event.kind == RETRY_ISSUED:
+            report.retries += 1
+        elif event.kind == SHARD_REDISPATCHED:
+            report.redispatches += 1
+        elif event.kind == QUERY_DEGRADED:
+            status = event.args.get("status")
+            if status == STATUS_FAILED:
+                report.failed_queries += 1
+            elif status == STATUS_DEGRADED:
+                report.degraded_queries += 1
+    return report

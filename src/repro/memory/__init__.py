@@ -21,6 +21,12 @@ from repro.memory.mapping import (
 )
 from repro.memory.request import Completion, ReadRequest, WriteRequest
 from repro.memory.system import MemorySystem
+from repro.memory.timeline import (
+    TimelineOptions,
+    render_fault_timeline,
+    render_rank_timeline,
+    render_trace_timeline,
+)
 from repro.memory.trace import AccessStats, AccessTrace
 
 __all__ = [
@@ -40,6 +46,10 @@ __all__ = [
     "ReadRequest",
     "RowMajorPlacement",
     "StreamPlacement",
+    "TimelineOptions",
     "VectorPlacement",
     "WriteRequest",
+    "render_fault_timeline",
+    "render_rank_timeline",
+    "render_trace_timeline",
 ]

@@ -2,16 +2,27 @@
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence, Tuple
+from dataclasses import replace
+from typing import Dict, List, Optional, Sequence, Set, Tuple
 
+from repro.faults.plan import (
+    FAULT_RANK_DEGRADED,
+    FAULT_RANK_TIMEOUT,
+    FaultPlan,
+    RankTimeoutError,
+)
+from repro.faults.policy import FaultPolicy
 from repro.memory.config import MemoryConfig
 from repro.memory.controller import ChannelController
 from repro.memory.request import Completion, ReadRequest
 from repro.memory.trace import AccessStats, AccessTrace
 from repro.obs.events import (
     CLOCK_DRAM,
+    FAULT_DETECTED,
+    FAULT_INJECTED,
     MEM_READ_COMPLETE,
     MEM_READ_ISSUE,
+    RETRY_ISSUED,
     TraceEvent,
 )
 from repro.obs.tracer import NULL_TRACER, Tracer
@@ -30,6 +41,22 @@ class MemorySystem:
     domain, carrying the channel controller's scheduling outcome (start
     cycle, burst count, row-hit flag) — the per-request lifecycle behind
     the :class:`AccessStats` aggregates.
+
+    With a :class:`~repro.faults.plan.FaultPlan` installed, two fault
+    classes fire after the base schedule is computed:
+
+    * **rank latency degradation** — reads on a listed rank take
+      ``multiplier×`` their modelled service time (finish cycles stretch;
+      the start cycle and bus schedule are untouched);
+    * **rank read timeout** — a read on a flaky rank is lost; a watchdog
+      notices ``read_timeout_cycles`` after the nominal completion and
+      re-issues it with exponential backoff, every cycle of which is
+      accounted in the DRAM clock domain.  A read that exhausts
+      ``max_read_retries`` either raises :class:`RankTimeoutError`
+      (``fail_fast``) or lands in :attr:`failed_positions` for the engine
+      to degrade around.
+
+    Without a plan the servicing path is unchanged, byte for byte.
     """
 
     def __init__(
@@ -37,21 +64,29 @@ class MemorySystem:
         config: MemoryConfig,
         policy: str = "fcfs",
         tracer: Tracer = NULL_TRACER,
+        faults: Optional[FaultPlan] = None,
+        fault_policy: Optional[FaultPolicy] = None,
     ) -> None:
         self.config = config
         self.policy = policy
         self.tracer = tracer
+        self.faults = faults
+        self.fault_policy = fault_policy if fault_policy is not None else FaultPolicy()
         self._controllers: Dict[int, ChannelController] = {
             channel: ChannelController(channel, config, policy=policy)
             for channel in range(config.geometry.channels)
         }
         self.trace = AccessTrace()
+        #: positions (within the last ``execute`` batch) whose reads were
+        #: lost to rank timeouts after the full retry budget (degrade mode).
+        self.failed_positions: Set[int] = set()
 
     def reset(self) -> None:
         """Clear all bank/bus state and the access trace."""
         for controller in self._controllers.values():
             controller.reset()
         self.trace = AccessTrace()
+        self.failed_positions = set()
 
     def execute(
         self, requests: Sequence[ReadRequest]
@@ -68,6 +103,14 @@ class MemorySystem:
             controller = self._controllers[channel]
             for position, completion in controller.service_batch(entries):
                 completions[position] = completion
+
+        self.failed_positions = set()
+        if self.faults is not None and self.faults.touches_memory:
+            for position, completion in enumerate(completions):
+                if completion is not None:
+                    completions[position] = self._apply_read_faults(
+                        position, completion
+                    )
 
         done = [c for c in completions if c is not None]
         self.trace.extend(done)
@@ -103,3 +146,98 @@ class MemorySystem:
     def execute_one(self, request: ReadRequest) -> Completion:
         completions, _ = self.execute([request])
         return completions[0]
+
+    # --- fault injection ---------------------------------------------------
+    def _apply_read_faults(self, position: int, completion: Completion) -> Completion:
+        """Stretch, retry, or fail one completion per the installed plan.
+
+        Timeout arithmetic runs entirely in DRAM cycles: the watchdog
+        notices a lost read ``read_timeout_cycles`` after its nominal
+        finish, each retry waits ``backoff · 2^attempt`` before re-issuing,
+        and the surviving completion's ``finish_cycle`` carries the full
+        penalty — downstream the engine converts it to PE cycles like any
+        other memory latency, so chaos runs have honest timing.
+        """
+        assert self.faults is not None
+        plan = self.faults
+        policy = self.fault_policy
+        rank = completion.request.rank
+
+        multiplier = plan.read_latency_multiplier(rank)
+        if multiplier != 1.0:
+            service = completion.finish_cycle - completion.start_cycle
+            stretched = completion.start_cycle + int(round(service * multiplier))
+            completion = replace(completion, finish_cycle=stretched)
+            if self.tracer.enabled:
+                self.tracer.emit(
+                    TraceEvent(
+                        FAULT_INJECTED,
+                        cycle=completion.finish_cycle,
+                        clock=CLOCK_DRAM,
+                        rank=rank,
+                        args={
+                            "fault": FAULT_RANK_DEGRADED,
+                            "multiplier": multiplier,
+                        },
+                    )
+                )
+
+        penalty = 0
+        attempt = 0
+        while plan.read_times_out(rank, position, attempt):
+            deadline = completion.finish_cycle + penalty + policy.read_timeout_cycles
+            if self.tracer.enabled:
+                self.tracer.emit(
+                    TraceEvent(
+                        FAULT_INJECTED,
+                        cycle=deadline,
+                        clock=CLOCK_DRAM,
+                        rank=rank,
+                        args={"fault": FAULT_RANK_TIMEOUT, "attempt": attempt},
+                    )
+                )
+            exhausted = attempt >= policy.max_read_retries
+            if self.tracer.enabled:
+                args = {"fault": FAULT_RANK_TIMEOUT, "attempt": attempt}
+                if exhausted:
+                    args["fatal"] = True
+                self.tracer.emit(
+                    TraceEvent(
+                        FAULT_DETECTED,
+                        cycle=deadline,
+                        clock=CLOCK_DRAM,
+                        rank=rank,
+                        args=args,
+                    )
+                )
+            if exhausted:
+                if policy.fail_fast:
+                    raise RankTimeoutError(
+                        f"read on rank {rank} (batch position {position}) "
+                        f"timed out {attempt + 1} times; retry budget "
+                        f"({policy.max_read_retries}) exhausted"
+                    )
+                self.failed_positions.add(position)
+                return replace(completion, finish_cycle=deadline)
+            backoff = policy.read_retry_backoff_cycles * (2**attempt)
+            if self.tracer.enabled:
+                self.tracer.emit(
+                    TraceEvent(
+                        RETRY_ISSUED,
+                        cycle=deadline + backoff,
+                        clock=CLOCK_DRAM,
+                        rank=rank,
+                        args={
+                            "fault": FAULT_RANK_TIMEOUT,
+                            "attempt": attempt + 1,
+                            "backoff_cycles": backoff,
+                        },
+                    )
+                )
+            penalty += policy.read_timeout_cycles + backoff
+            attempt += 1
+        if penalty:
+            completion = replace(
+                completion, finish_cycle=completion.finish_cycle + penalty
+            )
+        return completion

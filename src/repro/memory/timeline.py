@@ -133,3 +133,78 @@ def render_trace_timeline(
                 row[column] = options.busy_char
         lines.append(f"rank {rank:3d} |{''.join(row)}|")
     return "\n".join(lines)
+
+
+def render_fault_timeline(
+    events: Sequence["TraceEvent"], options: TimelineOptions = None
+) -> str:
+    """Per-rank occupancy strips with fault markers overlaid.
+
+    Extends :func:`render_trace_timeline`'s view of ``mem_read_complete``
+    spans with the fault lifecycle a chaos run records on the memory side:
+    columns where a ``fault_injected`` fired are marked ``~``, columns
+    where a ``fault_detected`` / ``retry_issued`` fired are marked ``!``
+    (detection wins if both land in one bucket), so a degraded rank's
+    stretched bursts and its retry storms are visible in the same strip.
+    """
+    from repro.obs.events import (
+        FAULT_DETECTED,
+        FAULT_INJECTED,
+        MEM_READ_COMPLETE,
+        RETRY_ISSUED,
+    )
+
+    spans = []
+    marks: Dict[int, List[tuple]] = {}
+    fault_counts: Dict[str, int] = {}
+    for event in events:
+        if event.rank is None:
+            continue
+        if event.kind == MEM_READ_COMPLETE:
+            spans.append(
+                (event.rank, event.args.get("start_cycle", event.cycle), event.cycle)
+            )
+        elif event.kind == FAULT_INJECTED:
+            marks.setdefault(event.rank, []).append((event.cycle, "~"))
+            fault = str(event.args.get("fault", "unknown"))
+            fault_counts[fault] = fault_counts.get(fault, 0) + 1
+        elif event.kind in (FAULT_DETECTED, RETRY_ISSUED):
+            marks.setdefault(event.rank, []).append((event.cycle, "!"))
+    if not spans and not marks:
+        raise ValueError("no memory or fault events to render")
+    options = options or TimelineOptions()
+    horizon = max(
+        [stop for _, _, stop in spans]
+        + [cycle for per_rank in marks.values() for cycle, _ in per_rank]
+    )
+    if horizon == 0:
+        raise ValueError("degenerate timeline (zero-length horizon)")
+
+    per_rank: Dict[int, List[tuple]] = {}
+    for rank, start, stop in spans:
+        per_rank.setdefault(rank, []).append((start, stop))
+
+    scale = options.width / horizon
+    lines: List[str] = [
+        f"cycles 0..{horizon} ({horizon / options.width:.1f} per column; "
+        "~ fault injected, ! detected/retried"
+    ]
+    for rank in sorted(set(per_rank) | set(marks)):
+        row = [options.idle_char] * options.width
+        for start, stop in per_rank.get(rank, []):
+            first = int(start * scale)
+            last = max(first + 1, int(stop * scale))
+            for column in range(first, min(last, options.width)):
+                row[column] = options.busy_char
+        # Injections first so detections/retries overwrite them on ties.
+        for wanted in ("~", "!"):
+            for cycle, mark in marks.get(rank, []):
+                if mark == wanted:
+                    row[min(int(cycle * scale), options.width - 1)] = mark
+        lines.append(f"rank {rank:3d} |{''.join(row)}|")
+    if fault_counts:
+        summary = ", ".join(
+            f"{kind}×{count}" for kind, count in sorted(fault_counts.items())
+        )
+        lines.append(f"faults: {summary}")
+    return "\n".join(lines)

@@ -30,6 +30,8 @@ from repro.obs.events import (
     CLOCK_DRAM,
     CLOCK_PE,
     EVENT_KINDS,
+    FAULT_DETECTED,
+    FAULT_INJECTED,
     FIFO_ENQUEUE,
     FIFO_STALL,
     LEAF_INJECT,
@@ -40,6 +42,9 @@ from repro.obs.events import (
     PE_REDUCE,
     PIPELINE_BATCH,
     QUERY_COMPLETE,
+    QUERY_DEGRADED,
+    RETRY_ISSUED,
+    SHARD_REDISPATCHED,
     TraceEvent,
 )
 from repro.obs.metrics import (
@@ -67,6 +72,8 @@ __all__ = [
     "ChromeTraceSink",
     "Counter",
     "EVENT_KINDS",
+    "FAULT_DETECTED",
+    "FAULT_INJECTED",
     "FIFO_ENQUEUE",
     "FIFO_STALL",
     "Gauge",
@@ -83,6 +90,9 @@ __all__ = [
     "PE_REDUCE",
     "PIPELINE_BATCH",
     "QUERY_COMPLETE",
+    "QUERY_DEGRADED",
+    "RETRY_ISSUED",
+    "SHARD_REDISPATCHED",
     "Sink",
     "TraceEvent",
     "Tracer",

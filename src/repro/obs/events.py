@@ -25,6 +25,16 @@ kind                      meaning
 ``batch_complete``        the batch's last query completed
 ``pipeline_batch``        multi-batch streaming: one batch's pipelined vs
                           serial completion (emitted by ``run_batches``)
+``fault_injected``        a :class:`~repro.faults.plan.FaultPlan` fired at an
+                          injection site (args carry ``fault``: the type)
+``fault_detected``        the owning component noticed the fault (args carry
+                          ``fatal: true`` when the retry budget is exhausted)
+``retry_issued``          a recovery retry was issued (read re-issue with
+                          backoff, source re-fetch, vector re-read)
+``shard_redispatched``    a crashed/hung shard was re-dispatched onto a
+                          healthy worker by ``ShardedRunner``
+``query_degraded``        a query lost vectors and completed with
+                          ``degraded``/``failed`` status (graceful mode)
 ========================  =====================================================
 
 Memory events carry DRAM-clock cycles (``clock == CLOCK_DRAM``); everything
@@ -52,6 +62,11 @@ PE_MERGE = "pe_merge"
 QUERY_COMPLETE = "query_complete"
 BATCH_COMPLETE = "batch_complete"
 PIPELINE_BATCH = "pipeline_batch"
+FAULT_INJECTED = "fault_injected"
+FAULT_DETECTED = "fault_detected"
+RETRY_ISSUED = "retry_issued"
+SHARD_REDISPATCHED = "shard_redispatched"
+QUERY_DEGRADED = "query_degraded"
 
 EVENT_KINDS = (
     BATCH_START,
@@ -66,6 +81,11 @@ EVENT_KINDS = (
     QUERY_COMPLETE,
     BATCH_COMPLETE,
     PIPELINE_BATCH,
+    FAULT_INJECTED,
+    FAULT_DETECTED,
+    RETRY_ISSUED,
+    SHARD_REDISPATCHED,
+    QUERY_DEGRADED,
 )
 
 # --- clock domains ---------------------------------------------------------

@@ -19,12 +19,17 @@ from __future__ import annotations
 from typing import Any, Dict, Iterable, List, Optional
 
 from repro.obs.events import (
+    FAULT_DETECTED,
+    FAULT_INJECTED,
     FIFO_ENQUEUE,
     MEM_READ_COMPLETE,
     PE_FORWARD,
     PE_MERGE,
     PE_REDUCE,
     QUERY_COMPLETE,
+    QUERY_DEGRADED,
+    RETRY_ISSUED,
+    SHARD_REDISPATCHED,
     TraceEvent,
 )
 
@@ -150,7 +155,11 @@ def metrics_from_events(
     * ``memory.bytes.rank<R>`` / ``memory.reads.rank<R>`` per-rank traffic
       counters and a ``memory.finish_cycle`` gauge (DRAM cycles) for
       bandwidth arithmetic;
-    * a ``query.latency_pe_cycles`` histogram over query completions.
+    * a ``query.latency_pe_cycles`` histogram over query completions;
+    * ``faults.injected.<type>`` / ``faults.detected.<type>`` /
+      ``faults.unrecovered.<type>`` counters, ``faults.retries`` /
+      ``faults.redispatches`` totals, and ``query.status.<status>``
+      counters from graceful-degradation runs.
     """
     metrics = registry if registry is not None else MetricsRegistry()
     for event in events:
@@ -176,6 +185,21 @@ def metrics_from_events(
             metrics.gauge("memory.finish_cycle").set(event.cycle)
         elif event.kind == QUERY_COMPLETE:
             metrics.histogram("query.latency_pe_cycles").record(event.cycle)
+        elif event.kind == FAULT_INJECTED:
+            fault = event.args.get("fault", "unknown")
+            metrics.counter(f"faults.injected.{fault}").inc()
+        elif event.kind == FAULT_DETECTED:
+            fault = event.args.get("fault", "unknown")
+            metrics.counter(f"faults.detected.{fault}").inc()
+            if event.args.get("fatal"):
+                metrics.counter(f"faults.unrecovered.{fault}").inc()
+        elif event.kind == RETRY_ISSUED:
+            metrics.counter("faults.retries").inc()
+        elif event.kind == SHARD_REDISPATCHED:
+            metrics.counter("faults.redispatches").inc()
+        elif event.kind == QUERY_DEGRADED:
+            status = event.args.get("status", "degraded")
+            metrics.counter(f"query.status.{status}").inc()
     return metrics
 
 

@@ -162,6 +162,76 @@ class TestShardedRunner:
         )
 
 
+class TestSerialFallback:
+    """Process spawning being unavailable must be invisible to callers:
+    identical results and (with ``trace=True``) identical event streams."""
+
+    def _runner(self):
+        return ShardedRunner(
+            config=make_config(),
+            memory_config=MemoryConfig().scaled_to_ranks(RANKS),
+            max_workers=2,
+            trace=True,
+        )
+
+    def test_pool_creation_failure_falls_back_in_process(self, monkeypatch):
+        shards = shard_batches(make_batches(3, seed=17), 2)
+        expected = self._runner().run(shards, vector_source)
+
+        def no_processes(*args, **kwargs):
+            raise OSError("process spawning unavailable")
+
+        monkeypatch.setattr(
+            "repro.core.sharding.ProcessPoolExecutor", no_processes
+        )
+        fallback = self._runner().run(shards, vector_source)
+        assert len(fallback) == len(expected)
+        for a, b in zip(expected, fallback):
+            for va, vb in zip(a.vectors, b.vectors):
+                assert va.tobytes() == vb.tobytes()
+            assert a.events == b.events
+
+    def test_submit_failure_falls_back_in_process(self, monkeypatch):
+        """OSError at submission (not pool creation) is still cannot-spawn,
+        not a worker death — same serial fallback, no re-dispatch loop."""
+
+        class BrokenSubmitPool:
+            def __init__(self, *args, **kwargs):
+                pass
+
+            def submit(self, *args, **kwargs):
+                raise OSError("fork failed")
+
+            def shutdown(self, *args, **kwargs):
+                pass
+
+        shards = shard_batches(make_batches(2, seed=19), 2)
+        expected = self._runner().run(shards, vector_source)
+        monkeypatch.setattr(
+            "repro.core.sharding.ProcessPoolExecutor", BrokenSubmitPool
+        )
+        fallback = self._runner().run(shards, vector_source)
+        for a, b in zip(expected, fallback):
+            for va, vb in zip(a.vectors, b.vectors):
+                assert va.tobytes() == vb.tobytes()
+            assert a.events == b.events
+
+    def test_traced_events_ship_across_processes(self):
+        """A traced multi-process run returns the same per-shard event
+        streams an in-process run records."""
+        shards = shard_batches(make_batches(2, seed=29), 2)
+        pooled = self._runner().run(shards, vector_source)
+        serial = ShardedRunner(
+            config=make_config(),
+            memory_config=MemoryConfig().scaled_to_ranks(RANKS),
+            max_workers=1,
+            trace=True,
+        ).run(shards, vector_source)
+        for a, b in zip(pooled, serial):
+            assert a.events is not None
+            assert a.events == b.events
+
+
 class TestLeafRouting:
     def test_fifo_side_uses_rank_position(self):
         """Non-contiguous leaf wiring: side comes from the rank's position

@@ -1,0 +1,151 @@
+"""FaultPlan / FaultPolicy: deterministic decisions, validation, pickling."""
+
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.faults import (
+    CORRUPT_BITFLIP,
+    CORRUPT_NAN,
+    FaultPlan,
+    FaultPolicy,
+    MODE_DEGRADE,
+    MODE_FAIL_FAST,
+)
+
+
+class TestDeterminism:
+    def test_same_seed_same_decisions(self):
+        a = FaultPlan(seed=42, rank_timeout_probability={3: 0.5},
+                      source_failure_probability=0.5)
+        b = FaultPlan(seed=42, rank_timeout_probability={3: 0.5},
+                      source_failure_probability=0.5)
+        for position in range(64):
+            assert a.read_times_out(3, position, 0) == b.read_times_out(3, position, 0)
+            assert a.source_raises(position, 0) == b.source_raises(position, 0)
+
+    def test_decisions_are_order_independent(self):
+        """The same site gives the same answer no matter when it is asked —
+        the property that keeps worker processes in sync with the parent."""
+        plan = FaultPlan(seed=7, rank_timeout_probability={1: 0.5})
+        forward = [plan.read_times_out(1, p, 0) for p in range(32)]
+        backward = [plan.read_times_out(1, p, 0) for p in reversed(range(32))]
+        assert forward == backward[::-1]
+
+    def test_different_seeds_differ(self):
+        a = FaultPlan(seed=0, source_failure_probability=0.5)
+        b = a.with_seed(1)
+        decisions_a = [a.source_raises(i, 0) for i in range(128)]
+        decisions_b = [b.source_raises(i, 0) for i in range(128)]
+        assert decisions_a != decisions_b
+
+    def test_pickle_round_trip_preserves_decisions(self):
+        plan = FaultPlan(
+            seed=9,
+            rank_latency_multipliers={0: 2.0},
+            rank_timeout_probability={1: 0.4},
+            vector_corruption_probability=0.3,
+            source_failure_probability=0.2,
+            crash_shards=frozenset({0, 2}),
+        )
+        copy = pickle.loads(pickle.dumps(plan))
+        assert copy == plan
+        for i in range(32):
+            assert copy.source_raises(i, 0) == plan.source_raises(i, 0)
+            assert copy.read_times_out(1, i, 0) == plan.read_times_out(1, i, 0)
+
+    def test_corruption_is_deterministic(self):
+        plan = FaultPlan(seed=5, vector_corruption_probability=1.0)
+        value = np.arange(16.0)
+        first = plan.corrupt_vector(3, 0, value)
+        second = plan.corrupt_vector(3, 0, value)
+        assert first is not None
+        assert np.array_equal(first, second, equal_nan=True)
+
+
+class TestCorruptionModes:
+    def test_nan_mode_poisons_a_span(self):
+        plan = FaultPlan(seed=1, vector_corruption_probability=1.0,
+                         corruption_mode=CORRUPT_NAN)
+        value = np.ones(32)
+        corrupted = plan.corrupt_vector(0, 0, value)
+        assert corrupted is not None
+        assert np.isnan(corrupted).any()
+        assert not np.isnan(value).any(), "input must not be mutated"
+
+    def test_bitflip_mode_changes_values_silently(self):
+        plan = FaultPlan(seed=1, vector_corruption_probability=1.0,
+                         corruption_mode=CORRUPT_BITFLIP)
+        value = np.ones(32)
+        corrupted = plan.corrupt_vector(0, 0, value)
+        assert corrupted is not None
+        assert not np.array_equal(corrupted, value)
+        assert np.isfinite(corrupted).all(), "mantissa flips stay finite"
+
+    def test_zero_probability_never_corrupts(self):
+        plan = FaultPlan(seed=1)
+        assert plan.corrupt_vector(0, 0, np.ones(4)) is None
+        assert not plan.source_raises(0, 0)
+        assert not plan.read_times_out(0, 0, 0)
+
+
+class TestShardDecisions:
+    def test_crash_fires_only_on_early_attempts(self):
+        plan = FaultPlan(seed=0, crash_shards=frozenset({1}), crash_attempts=2)
+        assert plan.shard_crashes(1, 0)
+        assert plan.shard_crashes(1, 1)
+        assert not plan.shard_crashes(1, 2)
+        assert not plan.shard_crashes(0, 0)
+
+    def test_hang_mirrors_crash_semantics(self):
+        plan = FaultPlan(seed=0, hang_shards=frozenset({2}), crash_attempts=1)
+        assert plan.shard_hangs(2, 0)
+        assert not plan.shard_hangs(2, 1)
+        assert not plan.shard_hangs(0, 0)
+
+
+class TestValidation:
+    def test_rejects_unknown_corruption_mode(self):
+        with pytest.raises(ValueError, match="corruption mode"):
+            FaultPlan(corruption_mode="gamma-ray")
+
+    def test_rejects_out_of_range_probabilities(self):
+        with pytest.raises(ValueError):
+            FaultPlan(vector_corruption_probability=1.5)
+        with pytest.raises(ValueError):
+            FaultPlan(rank_timeout_probability={0: -0.1})
+
+    def test_rejects_speedup_multiplier(self):
+        with pytest.raises(ValueError, match="slow reads down"):
+            FaultPlan(rank_latency_multipliers={0: 0.5})
+
+    def test_touches_memory_only_for_memory_faults(self):
+        assert not FaultPlan(vector_corruption_probability=1.0).touches_memory
+        assert FaultPlan(rank_latency_multipliers={0: 2.0}).touches_memory
+        assert FaultPlan(rank_timeout_probability={0: 0.1}).touches_memory
+
+
+class TestPolicy:
+    def test_default_is_fail_fast(self):
+        policy = FaultPolicy()
+        assert policy.mode == MODE_FAIL_FAST
+        assert policy.fail_fast
+
+    def test_graceful_constructor(self):
+        policy = FaultPolicy.graceful(max_read_retries=5)
+        assert policy.mode == MODE_DEGRADE
+        assert not policy.fail_fast
+        assert policy.max_read_retries == 5
+
+    def test_rejects_unknown_mode_and_negative_budgets(self):
+        with pytest.raises(ValueError, match="unknown mode"):
+            FaultPolicy(mode="shrug")
+        with pytest.raises(ValueError):
+            FaultPolicy(max_read_retries=-1)
+        with pytest.raises(ValueError):
+            FaultPolicy(shard_timeout_s=0.0)
+
+    def test_policy_is_picklable(self):
+        policy = FaultPolicy.graceful(shard_timeout_s=2.5)
+        assert pickle.loads(pickle.dumps(policy)) == policy

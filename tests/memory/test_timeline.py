@@ -47,6 +47,47 @@ class TestRender:
             TimelineOptions(busy_char="##")
 
 
+class TestFaultTimeline:
+    @pytest.fixture
+    def chaos_events(self):
+        from repro.faults import FaultPlan, FaultPolicy
+        from repro.obs import InMemorySink, Tracer
+
+        sink = InMemorySink()
+        plan = FaultPlan(
+            seed=0,
+            rank_latency_multipliers={0: 3.0},
+            rank_timeout_probability={1: 1.0},
+        )
+        system = MemorySystem(
+            MemoryConfig.small_test_system(),
+            faults=plan,
+            fault_policy=FaultPolicy.graceful(max_read_retries=1),
+            tracer=Tracer([sink]),
+        )
+        requests = [
+            ReadRequest(rank=rank, bank=0, row=0, column=0, bytes_=512)
+            for rank in range(4)
+        ]
+        system.execute(requests)
+        return sink.events
+
+    def test_fault_marks_overlaid(self, chaos_events):
+        from repro.memory.timeline import render_fault_timeline
+
+        text = render_fault_timeline(chaos_events)
+        assert "~" in text  # injected on the degraded rank
+        assert "!" in text  # detected / retried on the flaky rank
+        assert "rank_degraded" in text
+        assert "rank_timeout" in text
+
+    def test_rejects_event_stream_without_memory_activity(self):
+        from repro.memory.timeline import render_fault_timeline
+
+        with pytest.raises(ValueError):
+            render_fault_timeline([])
+
+
 class TestUtilization:
     def test_fractions_bounded(self, completions):
         summary = utilization_summary(completions)

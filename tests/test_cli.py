@@ -22,6 +22,7 @@ class TestParser:
             "validate",
             "experiments",
             "trace",
+            "chaos",
         }
 
     def test_requires_subcommand(self):
@@ -100,3 +101,15 @@ class TestCommands:
         assert document["traceEvents"]
         assert {"ph", "ts", "pid", "name"} <= set(document["traceEvents"][-1])
         assert jsonl_path.read_text().strip()
+
+    def test_chaos_quick(self, capsys, tmp_path):
+        import json
+
+        out_path = tmp_path / "chaos.json"
+        assert main(["chaos", "--seed", "0", "--quick", "--out", str(out_path)]) == 0
+        out = capsys.readouterr().out
+        assert "fault recovery report" in out
+        assert "accounted" in out
+        assert "p99 query latency" in out
+        document = json.loads(out_path.read_text())
+        assert document["traceEvents"]
