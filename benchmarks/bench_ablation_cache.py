@@ -56,7 +56,7 @@ def test_ablation_recnmp_cache_sweep(benchmark):
     table.add_row(
         ["fafnir(dedup)", fafnir.dram_reads, 0, f"{fafnir.total_ns / 1000:.2f}"]
     )
-    write_report("ablation_cache", table.render())
+    write_report("ablation_cache", table)
 
     # Caches absorb reads, with diminishing returns.
     assert rows[32]["dram_reads"] <= rows[0]["dram_reads"]

@@ -63,7 +63,7 @@ def test_ablation_memory_controller(benchmark):
                 f"{100 * row['row_hit_rate']:.1f}",
             ]
         )
-    write_report("ablation_memory", table.render())
+    write_report("ablation_memory", table)
 
     # FR-FCFS strictly improves the interleaved stream.
     assert (

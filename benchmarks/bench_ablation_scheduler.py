@@ -41,7 +41,7 @@ def test_ablation_batch_scheduling(benchmark):
                 f"{100 * report.savings_fraction:.1f}",
             ]
         )
-    write_report("ablation_scheduler", table.render())
+    write_report("ablation_scheduler", table)
 
     fifo = reports["fifo (paper)"]
     small = reports["sharing-aware w=64"]

@@ -53,7 +53,7 @@ def test_ablation_zipf_skew(benchmark):
                 f"{rows[skew]['dedup_speedup']:.2f}×",
             ]
         )
-    write_report("ablation_skew", table.render())
+    write_report("ablation_skew", table)
 
     savings = [rows[skew]["saving"] for skew in SKEWS]
     # Savings grow monotonically with skew; uniform traffic saves ~nothing.

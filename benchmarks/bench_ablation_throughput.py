@@ -53,7 +53,7 @@ def test_ablation_throughput_pipelining(benchmark):
                 f"{row['qps'] / 1e6:.2f}",
             ]
         )
-    write_report("ablation_throughput", table.render())
+    write_report("ablation_throughput", table)
 
     # Pipelining always helps, and throughput (queries/s) grows with batch
     # size — the paper's scalability claim in throughput terms.

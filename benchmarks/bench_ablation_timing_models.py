@@ -59,7 +59,7 @@ def test_ablation_timing_models(benchmark):
             f"{np.mean(single_cycles):.1f}",
         ]
     )
-    write_report("ablation_timing_models", table.render())
+    write_report("ablation_timing_models", table)
 
     # Same functional outputs.
     for a, b in zip(dataflow.vectors, phased.vectors):

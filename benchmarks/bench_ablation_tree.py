@@ -46,7 +46,7 @@ def test_ablation_pe_rank_ratio(benchmark):
                 f"{row['num_pes'] * PE_AREA_MM2:.2f}",
             ]
         )
-    write_report("ablation_tree", table.render())
+    write_report("ablation_tree", table)
 
     # More ranks per leaf → fewer PEs (less area), shallower tree.
     assert rows[1]["num_pes"] > rows[2]["num_pes"] > rows[4]["num_pes"]

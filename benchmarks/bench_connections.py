@@ -25,7 +25,7 @@ def test_connection_scaling(benchmark):
                 f"{comparison.reduction_factor:.2f}×",
             ]
         )
-    write_report("connections", table.render())
+    write_report("connections", table)
 
     # The tree always needs fewer links, and the advantage grows with scale.
     factors = [c.reduction_factor for c in comparisons]

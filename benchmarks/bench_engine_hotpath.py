@@ -1,17 +1,20 @@
-"""Hot-path regression bench: vectorized PE kernels vs the scalar path.
+"""Hot-path regression bench: vectorized PE kernels and the SoA sweep.
 
 The PE compute units used to be pure-Python ``O(entries × partners)`` scan
 loops; the NumPy kernels in ``repro.core.pe`` / ``repro.core.bitset``
-replace them with sparse intersection-counting array operations.  This
-bench runs one 256-query, 64-rank batch through both kernels, proves the
-outputs and all statistics are byte-identical, and asserts the vector path
-is at least 5× faster — so the speedup is tracked like any other
-reproduced figure and a regression (someone re-introducing a Python inner
-loop) fails CI.
+replace them with sparse intersection-counting array operations, and the
+level-synchronous SoA sweep (``repro.core.soa``) replaces the per-PE
+object walk entirely.  This bench runs one 256-query, 64-rank batch
+through each path, proves the outputs and all statistics are
+byte-identical, and asserts the tracked speedup floors — so the speedups
+are tracked like any other reproduced figure and a regression (someone
+re-introducing a Python inner loop) fails CI.
 
-The scalar pass is long (~1 min); the vector pass is timed twice and the
-faster run is used, so a scheduler hiccup on a loaded host cannot fail the
-assertion by inflating a single measurement.
+The scalar pass is long (~1 min); the faster paths are timed repeatedly
+and the best run is used, with competing configurations *interleaved* so
+drifting host load biases every contestant equally rather than penalising
+whichever ran last.  Headline numbers append to the repo-root
+``BENCH_hotpath.json`` / ``BENCH_tracing.json`` trajectories.
 """
 
 import os
@@ -19,11 +22,11 @@ import time
 
 import numpy as np
 
-from _common import run_once, write_report
+from _common import append_trajectory, run_once, write_report
 from repro.analysis import Table
 from repro.core import FafnirConfig, FafnirEngine
 from repro.memory import MemoryConfig
-from repro.obs import InMemorySink, Tracer
+from repro.obs import ColumnarSink, InMemorySink, Tracer
 
 QUERIES = 256
 RANKS = 64
@@ -34,7 +37,16 @@ ELEMENTS = 128
 # the floor (FAFNIR_HOTPATH_MIN_SPEEDUP) — any re-introduced Python inner
 # loop lands near 1× and still fails.
 REQUIRED_SPEEDUP = float(os.environ.get("FAFNIR_HOTPATH_MIN_SPEEDUP", "5.0"))
+# The SoA sweep's floor over the object vector path.  Measured ~1.3× on
+# the reference container (the sweep's wins are concentrated in the tree
+# walk; memory planning and host-side work are shared) — the floor sits
+# below that so noise cannot fail it while a real regression (SoA falling
+# back to per-object work) still does.
+SOA_REQUIRED_SPEEDUP = float(os.environ.get("FAFNIR_SOA_MIN_SPEEDUP", "1.1"))
+# Acceptance bound for in-memory tracing through the packed columnar sink.
+TRACING_MAX_OVERHEAD = float(os.environ.get("FAFNIR_TRACING_MAX_OVERHEAD", "1.15"))
 VECTOR_REPEATS = 2
+SOA_REPEATS = 3
 
 
 def _workload():
@@ -63,12 +75,16 @@ def _workload():
     return config, memory, queries, vectors
 
 
-def _run(kernel, config, memory, queries, vectors, tracer=None):
-    engine = FafnirEngine(
-        config=config, memory_config=memory, kernel=kernel, tracer=tracer
+def _run(kernel, config, memory, queries, vectors, tracer=None, engine="object"):
+    instance = FafnirEngine(
+        config=config,
+        memory_config=memory,
+        kernel=kernel,
+        tracer=tracer,
+        engine=engine,
     )
     start = time.perf_counter()
-    result = engine.run_batch(queries, vectors.__getitem__)
+    result = instance.run_batch(queries, vectors.__getitem__)
     return time.perf_counter() - start, result
 
 
@@ -89,7 +105,16 @@ def test_engine_hotpath_speedup(benchmark):
     table = Table(["kernel", "wall_s", "speedup"])
     table.add_row(["scalar", f"{scalar_s:.3f}", "1.00×"])
     table.add_row(["vector", f"{vector_s:.3f}", f"{speedup:.2f}×"])
-    write_report("engine_hotpath", table.render())
+    write_report(
+        "engine_hotpath",
+        table,
+        record={
+            "config": _config_record(config),
+            "scalar_wall_s": round(scalar_s, 4),
+            "vector_wall_s": round(vector_s, 4),
+            "speedup": round(speedup, 3),
+        },
+    )
 
     # Identical physics: same vectors (bit for bit), same timing, same work.
     assert len(scalar.vectors) == len(vector.vectors) == QUERIES
@@ -104,66 +129,177 @@ def test_engine_hotpath_speedup(benchmark):
     )
 
 
+def _config_record(config):
+    return {
+        "batch_size": QUERIES,
+        "query_len": QUERY_LEN,
+        "ranks": RANKS,
+        "universe": UNIVERSE,
+        "vector_elements": ELEMENTS,
+    }
+
+
+def test_soa_engine_speedup(benchmark):
+    """The level-synchronous SoA sweep vs the object-walk vector path.
+
+    Both engines run the same batch; outputs, statuses, and every per-PE
+    work counter must match bit for bit (the differential harness pins
+    the trace streams too).  Timing interleaves object/SoA pairs and
+    compares min against min, so the reference container's drifting load
+    cannot bias one side.  The measured speedup lands in
+    ``BENCH_hotpath.json``; the floor only guards against the sweep
+    regressing to object-path speed.
+    """
+    config, memory, queries, vectors = _workload()
+
+    object_s = soa_s = None
+    object_res = soa_res = None
+
+    def paired_run():
+        nonlocal object_s, soa_s, object_res, soa_res
+        for _ in range(SOA_REPEATS):
+            seconds, object_res = _run("vector", config, memory, queries, vectors)
+            object_s = seconds if object_s is None else min(object_s, seconds)
+            seconds, soa_res = _run(
+                "vector", config, memory, queries, vectors, engine="soa"
+            )
+            soa_s = seconds if soa_s is None else min(soa_s, seconds)
+
+    run_once(benchmark, paired_run)
+    speedup = object_s / soa_s
+
+    table = Table(["engine", "wall_s", "speedup"])
+    table.add_row(["object (vector)", f"{object_s:.3f}", "1.00×"])
+    table.add_row(["soa", f"{soa_s:.3f}", f"{speedup:.2f}×"])
+    record = {
+        "config": _config_record(config),
+        "object_wall_s": round(object_s, 4),
+        "soa_wall_s": round(soa_s, 4),
+        "speedup": round(speedup, 3),
+    }
+    write_report("engine_soa_speedup", table, record=record)
+    append_trajectory("hotpath", record)
+
+    assert len(object_res.vectors) == len(soa_res.vectors) == QUERIES
+    for a, b in zip(object_res.vectors, soa_res.vectors):
+        assert a.tobytes() == b.tobytes()
+    assert object_res.stats.latency_pe_cycles == soa_res.stats.latency_pe_cycles
+    assert object_res.stats.per_pe_work == soa_res.stats.per_pe_work
+    assert object_res.query_statuses == soa_res.query_statuses
+
+    assert speedup >= SOA_REQUIRED_SPEEDUP, (
+        f"SoA sweep only {speedup:.2f}× over the object vector path "
+        f"({object_s:.3f}s vs {soa_s:.3f}s); required {SOA_REQUIRED_SPEEDUP}×"
+    )
+
+
 def test_tracing_disabled_no_overhead(benchmark):
-    """The speedup floor above is measured with tracing disabled — this
-    guard checks that state really is free.
+    """The speedup floors above are measured with tracing disabled — this
+    guard checks that state really is free, and bounds the cost of
+    recording through the packed columnar sink.
 
     Every emit site is behind an ``if tracer.enabled`` test, so an engine
     with a *disabled* tracer must (a) record nothing and (b) run at the
-    same speed as the default ``NULL_TRACER`` engine, min-of-N against
-    min-of-N so a scheduler hiccup cannot fail the comparison.  The
-    enabled-tracer pass is reported for information only: the events a
-    run emits are allowed to cost something.
+    same speed as the default ``NULL_TRACER`` engine.  The reference
+    host's load drifts within a process, so absolute wall clocks are not
+    comparable across positions in the run sequence — the earlier
+    sequential layout timed the baseline first, which made the disabled
+    path look ~2% slower than null when the code paths are instruction-
+    identical.  Each contestant run is therefore *bracketed* by null
+    runs and scored as a ratio against the mean of its neighbours; the
+    best ratio across rounds carries the assertion.  The object
+    in-memory sink is reported for information only; the columnar sink
+    carries the tracked overhead bound.
     """
     config, memory, queries, vectors = _workload()
-    repeats = 3
-
-    def best_of(tracer_factory):
-        best = None
-        result = None
-        for _ in range(repeats):
-            seconds, result = _run(
-                "vector", config, memory, queries, vectors, tracer_factory()
-            )
-            best = seconds if best is None else min(best, seconds)
-        return best, result
-
-    baseline_s, baseline = run_once(
-        benchmark, lambda: best_of(lambda: None)
-    )
+    repeats = 2
 
     def disabled_tracer():
         tracer = Tracer([])
         assert not tracer.enabled
         return tracer
 
-    disabled_s, disabled = best_of(disabled_tracer)
+    contestants = [
+        ("disabled", disabled_tracer),
+        ("columnar", lambda: Tracer([ColumnarSink()])),
+        ("in-memory", lambda: Tracer([InMemorySink()])),
+    ]
+    ratios = {name: [] for name, _ in contestants}
+    walls = {name: [] for name, _ in contestants}
+    null_walls = []
+    results = {}
+    last_tracer = {}
 
-    sink = InMemorySink()
-    traced_s, traced = _run(
-        "vector", config, memory, queries, vectors, Tracer([sink])
-    )
+    def timed(tracer=None):
+        return _run(
+            "vector", config, memory, queries, vectors, tracer, engine="soa"
+        )
 
-    table = Table(["tracer", "wall_s", "vs_baseline"])
+    def bracketed_rounds():
+        # Untimed warm-up: the first batch a process runs pays page
+        # faults and allocator growth that later runs don't — without
+        # this, whoever runs first looks fastest by a wide margin.
+        timed()
+        for _ in range(repeats):
+            null_s, results["null"] = timed()
+            null_walls.append(null_s)
+            for name, factory in contestants:
+                tracer = factory()
+                seconds, results[name] = timed(tracer)
+                last_tracer[name] = tracer
+                walls[name].append(seconds)
+                after_s, _unused = timed()
+                null_walls.append(after_s)
+                ratios[name].append(seconds / ((null_s + after_s) / 2))
+                null_s = after_s
+
+    run_once(benchmark, bracketed_rounds)
+    baseline_s = min(null_walls)
+    overhead = {name: min(values) for name, values in ratios.items()}
+
+    table = Table(["tracer", "wall_s", "vs_neighbouring_null"])
     table.add_row(["null (default)", f"{baseline_s:.3f}", "1.00×"])
-    table.add_row(
-        ["disabled", f"{disabled_s:.3f}", f"{disabled_s / baseline_s:.2f}×"]
-    )
-    table.add_row(
-        ["in-memory sink", f"{traced_s:.3f}", f"{traced_s / baseline_s:.2f}×"]
-    )
-    write_report("engine_tracing_overhead", table.render())
+    for name, label in [
+        ("disabled", "disabled"),
+        ("columnar", "columnar sink"),
+        ("in-memory", "in-memory sink"),
+    ]:
+        table.add_row(
+            [label, f"{min(walls[name]):.3f}", f"{overhead[name]:.2f}×"]
+        )
+    record = {
+        "config": _config_record(config),
+        "null_wall_s": round(baseline_s, 4),
+        "disabled_wall_s": round(min(walls["disabled"]), 4),
+        "columnar_wall_s": round(min(walls["columnar"]), 4),
+        "inmemory_wall_s": round(min(walls["in-memory"]), 4),
+        "columnar_overhead": round(overhead["columnar"], 3),
+        "disabled_overhead": round(overhead["disabled"], 3),
+        "inmemory_overhead": round(overhead["in-memory"], 3),
+    }
+    write_report("engine_tracing_overhead", table, record=record)
+    append_trajectory("tracing", record)
 
     # Identical physics regardless of tracer state.
-    for a, b in zip(baseline.vectors, disabled.vectors):
-        assert a.tobytes() == b.tobytes()
-    for a, b in zip(baseline.vectors, traced.vectors):
-        assert a.tobytes() == b.tobytes()
-    assert baseline.stats.latency_pe_cycles == traced.stats.latency_pe_cycles
-    # Disabled tracing costs nothing measurable (generous bound: timing
-    # noise on shared runners, not a perf target).
-    assert sink.events, "enabled tracer recorded no events"
-    assert disabled_s <= 1.25 * baseline_s, (
-        f"disabled tracer run took {disabled_s:.3f}s vs {baseline_s:.3f}s "
-        "baseline — the no-op path is no longer free"
+    for name in ("disabled", "columnar", "in-memory"):
+        for a, b in zip(results["null"].vectors, results[name].vectors):
+            assert a.tobytes() == b.tobytes()
+        assert (
+            results["null"].stats.latency_pe_cycles
+            == results[name].stats.latency_pe_cycles
+        )
+    columnar_sink = last_tracer["columnar"].sinks[0]
+    object_sink = last_tracer["in-memory"].sinks[0]
+    assert len(columnar_sink) and object_sink.events, "tracers recorded nothing"
+    assert columnar_sink.to_events() == object_sink.events
+
+    # Disabled tracing costs nothing measurable: neighbour-normalized
+    # ratios, so only genuine per-event work can separate the two.
+    assert overhead["disabled"] <= 1.05, (
+        f"disabled tracer ran {overhead['disabled']:.2f}× its neighbouring "
+        "null runs — the no-op path is no longer free"
+    )
+    assert overhead["columnar"] <= TRACING_MAX_OVERHEAD, (
+        f"columnar-sink tracing cost {overhead['columnar']:.2f}× vs "
+        f"neighbouring null runs; bound {TRACING_MAX_OVERHEAD}×"
     )

@@ -11,7 +11,7 @@ from repro.experiments import get_experiment
 
 def test_fig02_data_movement(benchmark):
     result = run_once(benchmark, get_experiment("fig02").run)
-    write_report("fig02_data_movement", result.table.render())
+    write_report("fig02_data_movement", result.table)
 
     bytes_to_core = result.data["bytes"]
     batch = result.data["batch"]

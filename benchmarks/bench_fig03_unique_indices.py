@@ -10,7 +10,7 @@ from repro.experiments import get_experiment
 
 def test_fig03_unique_indices(benchmark):
     result = run_once(benchmark, get_experiment("fig03").run)
-    write_report("fig03_unique_indices", result.table.render())
+    write_report("fig03_unique_indices", result.table)
 
     stats = result.data["stats"]
     fractions = [entry.mean_unique_fraction for entry in stats]

@@ -11,7 +11,7 @@ from repro.experiments import get_experiment
 
 def test_fig09_planner_sweep(benchmark):
     result = run_once(benchmark, get_experiment("fig09").run)
-    write_report("fig09_spmv_planner", result.table.render())
+    write_report("fig09_spmv_planner", result.table)
 
     plans = result.data["plans"]
     # The paper's headline claim at vector size 2048.

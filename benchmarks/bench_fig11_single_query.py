@@ -22,7 +22,7 @@ from repro.experiments import get_experiment
 
 def test_fig11_single_query_breakdown(benchmark):
     result = run_once(benchmark, get_experiment("fig11").run)
-    write_report("fig11_single_query", result.table.render())
+    write_report("fig11_single_query", result.table)
 
     memory_ratio = result.data["memory_ratio"]
     compute_ratio = result.data["compute_ratio"]

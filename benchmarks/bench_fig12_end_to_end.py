@@ -27,7 +27,7 @@ from repro.experiments import get_experiment
 
 def test_fig12_end_to_end_speedup(benchmark):
     result = run_once(benchmark, get_experiment("fig12").run)
-    write_report("fig12_end_to_end", result.table.render())
+    write_report("fig12_end_to_end", result.table)
 
     ranks = result.data["ranks"]
     fafnir = result.data["fafnir"]

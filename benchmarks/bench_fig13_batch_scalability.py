@@ -27,7 +27,7 @@ from repro.experiments import get_experiment
 
 def test_fig13_batch_scalability(benchmark):
     result = run_once(benchmark, get_experiment("fig13").run)
-    write_report("fig13_batch_scalability", result.table.render())
+    write_report("fig13_batch_scalability", result.table)
 
     raw = result.data["raw"]
     batch_sizes = result.data["batch_sizes"]

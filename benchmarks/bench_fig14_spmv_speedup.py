@@ -13,7 +13,7 @@ from repro.experiments import get_experiment
 
 def test_fig14_spmv_speedup(benchmark):
     result = run_once(benchmark, get_experiment("fig14").run)
-    write_report("fig14_spmv_speedup", result.table.render())
+    write_report("fig14_spmv_speedup", result.table)
 
     rows = result.data["rows"]
     speedups = [row["speedup"] for row in rows]

@@ -13,7 +13,7 @@ PAPER_SAVINGS = {8: 0.34, 16: 0.43, 32: 0.58}
 
 def test_fig15_memory_access_elimination(benchmark):
     result = run_once(benchmark, get_experiment("fig15").run)
-    write_report("fig15_memory_accesses", result.table.render())
+    write_report("fig15_memory_accesses", result.table)
 
     rows = result.data["rows"]
     for batch_size, paper_saving in PAPER_SAVINGS.items():

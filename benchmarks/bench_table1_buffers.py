@@ -30,7 +30,7 @@ def test_table1_buffer_sizes(benchmark):
                 paper_node,
             ]
         )
-    write_report("table1_buffers", table.render())
+    write_report("table1_buffers", table)
 
     for batch_size, (paper_pe, paper_node) in PAPER_TABLE1.items():
         assert abs(rows[batch_size]["pe_kb"] - paper_pe) / paper_pe < 0.02

@@ -43,7 +43,7 @@ def test_table4_compute_unit_latencies(benchmark):
     table.add_row(["forward", latencies.forward, 2])
     table.add_row(["reduce path (measured)", reduce_latency, "compare+16"])
     table.add_row(["forward path (measured)", forward_latency, "compare+2"])
-    write_report("table4_latency", table.render())
+    write_report("table4_latency", table)
 
     assert latencies.compare == 12
     assert latencies.reduce_value == 4

@@ -34,7 +34,7 @@ def test_table5_fpga_utilization(benchmark):
                 f"{numbers['bram']:.2f}",
             ]
         )
-    write_report("table5_fpga", table.render())
+    write_report("table5_fpga", table)
 
     system = utilization["system"]
     for resource, bound in PAPER_BOUNDS.items():

@@ -40,7 +40,7 @@ def test_table6_asic_area_and_power(benchmark):
     table.add_row(
         ["RecNMP area 16 DIMMs (mm²)", f"{recnmp_system_area_mm2(16):.2f}", 8.64]
     )
-    write_report("table6_asic", table.render())
+    write_report("table6_asic", table)
 
     assert area.total_mm2 == pytest.approx(1.249, rel=0.02)
     assert power.total_mw == pytest.approx(111.64, rel=0.01)
@@ -66,7 +66,7 @@ def test_fig16_fpga_power_breakdown(benchmark):
             [node, f"{sum(parts.values()):.2f}"]
             + [f"{value:.3f}" for value in parts.values()]
         )
-    write_report("fig16_fpga_power", table.render())
+    write_report("fig16_fpga_power", table)
 
     assert sum(breakdowns["dimm_rank"].values()) == pytest.approx(0.23)
     assert sum(breakdowns["channel"].values()) == pytest.approx(0.18)

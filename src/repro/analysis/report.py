@@ -63,6 +63,11 @@ class Table:
             print(f"\n=== {title} ===")
         print(self.render())
 
+    def records(self) -> List[dict]:
+        """Rows as header-keyed dicts — the machine-readable twin of
+        :meth:`render`, consumed by the bench harness's JSON reports."""
+        return [dict(zip(self.headers, row)) for row in self.rows]
+
 
 def _is_number(text: str) -> bool:
     try:

@@ -31,6 +31,7 @@ from repro.core.config import FafnirConfig
 from repro.core.header import Header, Message
 from repro.core.operators import ReductionOperator, SUM, get_operator
 from repro.core.pe import KERNEL_VECTOR, KERNELS, PEWork, ProcessingElement
+from repro.core.soa import run_tree_soa
 from repro.core.tree import FafnirTree, TreePE
 from repro.faults.plan import (
     FAULT_SOURCE_ERROR,
@@ -67,6 +68,12 @@ from repro.obs.events import (
 from repro.obs.tracer import NULL_TRACER, Tracer
 
 VectorSource = Callable[[int], np.ndarray]
+
+#: Object-per-message tree sweep (the reference implementation).
+ENGINE_OBJECT = "object"
+#: Level-synchronous structure-of-arrays sweep (:mod:`repro.core.soa`).
+ENGINE_SOA = "soa"
+ENGINES = (ENGINE_OBJECT, ENGINE_SOA)
 
 
 @dataclass
@@ -231,6 +238,7 @@ class FafnirEngine:
         rank_order: Optional[Sequence[int]] = None,
         faults: Optional[FaultPlan] = None,
         fault_policy: Optional[FaultPolicy] = None,
+        engine: str = ENGINE_OBJECT,
     ) -> None:
         """Build one FAFNIR instance.
 
@@ -250,9 +258,19 @@ class FafnirEngine:
                 code path byte-identical to a fault-free build.
             fault_policy: recovery budgets and the ``fail_fast``/``degrade``
                 exhaustion mode (defaults to ``fail_fast``).
+            engine: tree-sweep implementation.  ``"object"`` (default) walks
+                one :class:`ProcessingElement` at a time over per-message
+                objects; ``"soa"`` runs the level-synchronous
+                structure-of-arrays sweep (:mod:`repro.core.soa`) — the same
+                results, work counters, and trace events, byte for byte,
+                with no per-message objects between fold and root.
         """
         if kernel not in KERNELS:
             raise ValueError(f"unknown PE kernel {kernel!r}; choose from {KERNELS}")
+        if engine not in ENGINES:
+            raise ValueError(
+                f"unknown engine {engine!r}; choose from {ENGINES}"
+            )
         self.config = config or FafnirConfig()
         if isinstance(operator, str):
             operator = get_operator(operator)
@@ -280,6 +298,7 @@ class FafnirEngine:
         self.tree = FafnirTree(self.config, rank_order=rank_order)
         self._check_values = check_values
         self._kernel = kernel
+        self._engine = engine
         self._last_memory_stats = AccessStats()
         self._lost_read_indices: Set[int] = set()
 
@@ -425,40 +444,44 @@ class FafnirEngine:
         ``fifo_stall`` — the backpressure signal a sized hardware FIFO
         would assert (the functional model itself is unbounded).
         """
-        self.tracer.emit(
-            TraceEvent(
-                LEAF_INJECT,
-                cycle=ready,
-                pe=leaf.pe_id,
-                level=leaf.level,
-                rank=rank,
-                args={"index": index},
-            )
+        self.tracer.emit_packed(
+            LEAF_INJECT,
+            ready,
+            pe=leaf.pe_id,
+            level=leaf.level,
+            rank=rank,
+            args=(index,),
         )
-        self.tracer.emit(
-            TraceEvent(
-                FIFO_ENQUEUE,
-                cycle=ready,
-                pe=leaf.pe_id,
-                level=leaf.level,
-                args={"fifo": side, "depth": depth},
-            )
+        self.tracer.emit_packed(
+            FIFO_ENQUEUE,
+            ready,
+            pe=leaf.pe_id,
+            level=leaf.level,
+            args=(side, depth),
         )
         if depth > self.config.buffer_entries:
-            self.tracer.emit(
-                TraceEvent(
-                    FIFO_STALL,
-                    cycle=ready,
-                    pe=leaf.pe_id,
-                    level=leaf.level,
-                    args={"fifo": side, "depth": depth},
-                )
+            self.tracer.emit_packed(
+                FIFO_STALL,
+                ready,
+                pe=leaf.pe_id,
+                level=leaf.level,
+                args=(side, depth),
             )
 
     def _run_tree(
         self, leaf_inputs: Dict[int, List[List[Message]]]
     ) -> tuple:
         """Propagate messages leaves→root; returns (root outputs, per-PE work)."""
+        if self._engine == ENGINE_SOA:
+            return run_tree_soa(
+                self.tree,
+                self.config,
+                self.operator,
+                self.tracer,
+                self._check_values,
+                self._kernel,
+                leaf_inputs,
+            )
         outputs: Dict[int, List[Message]] = {}
         per_pe_work: Dict[int, PEWork] = {}
         for pe_id in self.tree.bottom_up_ids():
@@ -526,12 +549,10 @@ class FafnirEngine:
                     if query_positions is not None
                     else position
                 )
-                self.tracer.emit(
-                    TraceEvent(
-                        QUERY_COMPLETE,
-                        cycle=message.ready_cycle,
-                        args={"query": label, "terms": len(query)},
-                    )
+                self.tracer.emit_packed(
+                    QUERY_COMPLETE,
+                    message.ready_cycle,
+                    args=(label, len(query)),
                 )
         return vectors, ready_cycles
 

@@ -50,7 +50,7 @@ from repro.core.bitset import IndexUniverse
 from repro.core.config import FafnirConfig
 from repro.core.header import Header, Message, entry_sort_key, sorted_tuple
 from repro.core.operators import ReductionOperator
-from repro.obs.events import PE_FORWARD, PE_MERGE, PE_REDUCE, TraceEvent
+from repro.obs.events import PE_FORWARD, PE_MERGE, PE_REDUCE
 from repro.obs.tracer import NULL_TRACER, Tracer
 
 KERNEL_SCALAR = "scalar"
@@ -165,26 +165,22 @@ class ProcessingElement:
     # ------------------------------------------------------------------
     def _emit_op(self, kind: str, cycle: int, dur_cycles: int) -> None:
         """Emit one PE-operation event (callers guard on ``tracer.enabled``)."""
-        self.tracer.emit(
-            TraceEvent(
-                kind,
-                cycle=cycle,
-                pe=self.pe_id,
-                level=self.level,
-                args={"dur_cycles": dur_cycles},
-            )
+        self.tracer.emit_packed(
+            kind,
+            cycle,
+            pe=self.pe_id,
+            level=self.level,
+            args=(dur_cycles,),
         )
 
     def _emit_merge(self, cycle: int, members: int) -> None:
         """Emit one merge-unit event (callers guard on ``tracer.enabled``)."""
-        self.tracer.emit(
-            TraceEvent(
-                PE_MERGE,
-                cycle=cycle,
-                pe=self.pe_id,
-                level=self.level,
-                args={"members": members},
-            )
+        self.tracer.emit_packed(
+            PE_MERGE,
+            cycle,
+            pe=self.pe_id,
+            level=self.level,
+            args=(members,),
         )
 
     # ------------------------------------------------------------------

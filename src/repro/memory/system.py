@@ -115,31 +115,28 @@ class MemorySystem:
         done = [c for c in completions if c is not None]
         self.trace.extend(done)
         if self.tracer.enabled:
+            emit_packed = self.tracer.emit_packed
             for completion in done:
                 request = completion.request
-                self.tracer.emit(
-                    TraceEvent(
-                        MEM_READ_ISSUE,
-                        cycle=request.issue_cycle,
-                        clock=CLOCK_DRAM,
-                        rank=request.rank,
-                        args={"bank": request.bank, "bytes": request.bytes_},
-                    )
+                emit_packed(
+                    MEM_READ_ISSUE,
+                    request.issue_cycle,
+                    clock=CLOCK_DRAM,
+                    rank=request.rank,
+                    args=(request.bank, request.bytes_),
                 )
-                self.tracer.emit(
-                    TraceEvent(
-                        MEM_READ_COMPLETE,
-                        cycle=completion.finish_cycle,
-                        clock=CLOCK_DRAM,
-                        rank=request.rank,
-                        args={
-                            "bank": request.bank,
-                            "bytes": request.bytes_,
-                            "start_cycle": completion.start_cycle,
-                            "row_hit": completion.row_hit,
-                            "bursts": completion.bursts,
-                        },
-                    )
+                emit_packed(
+                    MEM_READ_COMPLETE,
+                    completion.finish_cycle,
+                    clock=CLOCK_DRAM,
+                    rank=request.rank,
+                    args=(
+                        request.bank,
+                        request.bytes_,
+                        completion.start_cycle,
+                        completion.row_hit,
+                        completion.bursts,
+                    ),
                 )
         return done, AccessStats.from_completions(done)
 

@@ -57,6 +57,7 @@ from repro.obs.metrics import (
 )
 from repro.obs.sinks import (
     ChromeTraceSink,
+    ColumnarSink,
     InMemorySink,
     JsonlSink,
     Sink,
@@ -70,6 +71,7 @@ __all__ = [
     "CLOCK_DRAM",
     "CLOCK_PE",
     "ChromeTraceSink",
+    "ColumnarSink",
     "Counter",
     "EVENT_KINDS",
     "FAULT_DETECTED",

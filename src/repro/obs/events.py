@@ -92,6 +92,38 @@ EVENT_KINDS = (
 CLOCK_PE = "pe"
 CLOCK_DRAM = "dram"
 
+# --- packed emission -------------------------------------------------------
+# Kinds whose ``args`` are a fixed tuple of small integers can travel the
+# packed fast path (``Tracer.emit_packed`` → ``ColumnarSink``) without a
+# TraceEvent or args dict ever being constructed at the emit site.  Each
+# schema lists the arg keys in emission order plus the decoder restoring
+# the original Python type when a columnar record is materialized back
+# into a :class:`TraceEvent` (``row_hit`` must come back as a real bool so
+# JSONL/Chrome exports are unchanged).
+PACKED_SCHEMAS: Dict[str, tuple] = {
+    PE_REDUCE: (("dur_cycles", int),),
+    PE_FORWARD: (("dur_cycles", int),),
+    PE_MERGE: (("members", int),),
+    LEAF_INJECT: (("index", int),),
+    FIFO_ENQUEUE: (("fifo", int), ("depth", int)),
+    FIFO_STALL: (("fifo", int), ("depth", int)),
+    QUERY_COMPLETE: (("query", int), ("terms", int)),
+    MEM_READ_ISSUE: (("bank", int), ("bytes", int)),
+    MEM_READ_COMPLETE: (
+        ("bank", int),
+        ("bytes", int),
+        ("start_cycle", int),
+        ("row_hit", bool),
+        ("bursts", int),
+    ),
+}
+
+#: Widest packed schema — sizes the arg columns of a ColumnarSink.
+MAX_PACKED_ARGS = max(len(schema) for schema in PACKED_SCHEMAS.values())
+
+#: Dense integer code per kind (the ColumnarSink's ``kind`` column).
+KIND_CODES: Dict[str, int] = {kind: code for code, kind in enumerate(EVENT_KINDS)}
+
 
 @dataclass(frozen=True)
 class TraceEvent:

@@ -64,15 +64,34 @@ class Gauge:
 
 
 class Histogram:
-    """Recorded samples with nearest-rank percentiles."""
+    """Recorded samples with nearest-rank percentiles.
 
-    __slots__ = ("_values",)
+    **Empty-histogram behavior** (uniform across every statistic): with no
+    recorded samples, ``count`` is 0 and ``mean``, ``max``, and
+    ``percentile(p)`` all return ``0.0`` — never an exception.  Callers
+    that need to distinguish "no data" from "all zeros" must check
+    ``count`` first.
+
+    The sorted sample list is computed at most once per flush: ``record``
+    marks the cached order dirty and every percentile read reuses the
+    cache, so a snapshot asking for p50/p95/p99 sorts once, not three
+    times.
+    """
+
+    __slots__ = ("_values", "_sorted")
 
     def __init__(self) -> None:
         self._values: List[float] = []
+        self._sorted: Optional[List[float]] = None
 
     def record(self, value: float) -> None:
         self._values.append(value)
+        self._sorted = None
+
+    def _ordered(self) -> List[float]:
+        if self._sorted is None:
+            self._sorted = sorted(self._values)
+        return self._sorted
 
     @property
     def count(self) -> int:
@@ -80,19 +99,26 @@ class Histogram:
 
     @property
     def mean(self) -> float:
+        """Arithmetic mean; ``0.0`` when no samples were recorded."""
         return sum(self._values) / len(self._values) if self._values else 0.0
 
     @property
     def max(self) -> float:
+        """Largest sample; ``0.0`` when no samples were recorded."""
         return max(self._values) if self._values else 0.0
 
     def percentile(self, p: float) -> float:
-        """Nearest-rank percentile; ``p`` in [0, 100]."""
+        """Nearest-rank percentile; ``p`` in [0, 100].
+
+        Returns ``0.0`` when no samples were recorded (same convention as
+        ``mean``/``max``).  Repeated calls between ``record``\\ s reuse the
+        cached sort.
+        """
         if not 0 <= p <= 100:
             raise ValueError("percentile must be within [0, 100]")
         if not self._values:
             return 0.0
-        ordered = sorted(self._values)
+        ordered = self._ordered()
         rank = max(1, -(-int(p * len(ordered)) // 100))  # ceil(p/100 · n)
         return ordered[min(rank, len(ordered)) - 1]
 

@@ -22,12 +22,19 @@ from __future__ import annotations
 import json
 from typing import IO, Any, Dict, List, Optional, Union
 
+import numpy as np
+
 from repro.clocks import Clock, DRAM_CLOCK, PE_CLOCK
 from repro.obs.events import (
     CLOCK_DRAM,
+    CLOCK_PE,
+    EVENT_KINDS,
     FIFO_ENQUEUE,
+    KIND_CODES,
+    MAX_PACKED_ARGS,
     MEM_READ_COMPLETE,
     MEM_READ_ISSUE,
+    PACKED_SCHEMAS,
     PE_FORWARD,
     PE_MERGE,
     PE_REDUCE,
@@ -59,6 +66,209 @@ class InMemorySink(Sink):
 
     def __len__(self) -> int:
         return len(self.events)
+
+
+class ColumnarSink(Sink):
+    """Ring-buffer sink recording events into preallocated typed arrays.
+
+    The in-memory tracing tax of :class:`InMemorySink` is dominated by
+    constructing one :class:`TraceEvent` (dataclass + args dict) per
+    emission.  This sink instead accepts the *fields* of an event through
+    the packed fast path (:meth:`record_packed` / :meth:`record_rows`,
+    driven by ``Tracer.emit_packed`` / ``Tracer.emit_rows``) and stores
+    them as plain integers in contiguous NumPy columns; ``TraceEvent``
+    objects are materialized only when the recorded stream is *read*
+    (:attr:`events` / :meth:`to_events`).
+
+    **Ring semantics**: the buffer holds the most recent ``capacity``
+    events.  Once more than ``capacity`` events have been recorded the
+    oldest slots are overwritten and :attr:`dropped` counts what was lost;
+    materialization always returns the retained window oldest-first.
+
+    Events whose args don't fit a packed schema (batch/fault/pipeline
+    events — rare, batch-scoped) are kept as objects in a side table and
+    spliced back in order on read, so a columnar recording materializes
+    exactly the stream an :class:`InMemorySink` would have captured.
+    """
+
+    #: Capability flag the Tracer checks before using the packed fast path.
+    supports_packed = True
+
+    _UNSET = -1  # column sentinel for "field not set" (pe/level/rank)
+    _OBJECT = -2  # nargs marker: slot holds a side-table object reference
+
+    def __init__(self, capacity: int = 1 << 20) -> None:
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self.capacity = capacity
+        self._kind = np.zeros(capacity, dtype=np.int16)
+        self._cycle = np.zeros(capacity, dtype=np.int64)
+        self._dram = np.zeros(capacity, dtype=bool)
+        self._pe = np.full(capacity, self._UNSET, dtype=np.int32)
+        self._level = np.full(capacity, self._UNSET, dtype=np.int16)
+        self._rank = np.full(capacity, self._UNSET, dtype=np.int32)
+        self._args = np.zeros((capacity, MAX_PACKED_ARGS), dtype=np.int64)
+        self._nargs = np.zeros(capacity, dtype=np.int8)
+        self._objects: Dict[int, TraceEvent] = {}
+        self._total = 0
+
+    # -- write paths --------------------------------------------------------
+    def record(self, event: TraceEvent) -> None:
+        """Generic object path (kinds without a packed schema)."""
+        slot = self._claim()
+        self._nargs[slot] = self._OBJECT
+        self._args[slot, 0] = self._total - 1
+        self._objects[self._total - 1] = event
+
+    def record_packed(
+        self,
+        kind: str,
+        cycle: int,
+        clock: str,
+        pe: Optional[int],
+        level: Optional[int],
+        rank: Optional[int],
+        args: tuple,
+    ) -> None:
+        """One packed event: scalar fields only, no TraceEvent constructed."""
+        total = self._total
+        slot = total % self.capacity
+        if self._objects and total >= self.capacity:
+            self._evict(slot, slot + 1)
+        self._total = total + 1
+        self._kind[slot] = KIND_CODES[kind]
+        self._cycle[slot] = cycle
+        self._dram[slot] = clock == CLOCK_DRAM
+        self._pe[slot] = self._UNSET if pe is None else pe
+        self._level[slot] = self._UNSET if level is None else level
+        self._rank[slot] = self._UNSET if rank is None else rank
+        n = len(args)
+        self._nargs[slot] = n
+        if n == 1:
+            # The dominant schemas carry one int — skip the slice set-up.
+            self._args[slot, 0] = args[0]
+        elif n:
+            self._args[slot, :n] = args
+
+    def record_rows(
+        self,
+        kind_codes: np.ndarray,
+        cycles: np.ndarray,
+        clock: str,
+        pe: Optional[int],
+        level: Optional[int],
+        arg0: Optional[np.ndarray],
+    ) -> None:
+        """Slab write: many single-int-arg events sharing pe/level/clock.
+
+        ``kind_codes`` may interleave kinds (e.g. reduce/forward rows in
+        scan order) — row order is preserved exactly.  This is the bulk
+        path the SoA sweep uses to trace a whole tree level per call.
+        """
+        count = len(kind_codes)
+        start = 0
+        while start < count:
+            cursor = self._total % self.capacity
+            room = min(count - start, self.capacity - cursor)
+            stop = start + room
+            window = slice(cursor, cursor + room)
+            self._evict(cursor, cursor + room)
+            self._kind[window] = kind_codes[start:stop]
+            self._cycle[window] = cycles[start:stop]
+            self._dram[window] = clock == CLOCK_DRAM
+            self._pe[window] = self._UNSET if pe is None else pe
+            self._level[window] = self._UNSET if level is None else level
+            self._rank[window] = self._UNSET
+            if arg0 is not None:
+                self._args[window, 0] = arg0[start:stop]
+                self._nargs[window] = 1
+            else:
+                self._nargs[window] = 0
+            self._total += room
+            start = stop
+
+    def _claim(self) -> int:
+        slot = self._total % self.capacity
+        self._evict(slot, slot + 1)
+        self._total += 1
+        return slot
+
+    def _evict(self, start: int, stop: int) -> None:
+        """Release side-table objects held by slots about to be overwritten."""
+        if self._total < self.capacity or not self._objects:
+            return
+        for slot in range(start, stop):
+            if self._nargs[slot] == self._OBJECT:
+                self._objects.pop(int(self._args[slot, 0]), None)
+
+    # -- read paths ---------------------------------------------------------
+    def __len__(self) -> int:
+        return min(self._total, self.capacity)
+
+    @property
+    def recorded(self) -> int:
+        """Total events ever recorded (including overwritten ones)."""
+        return self._total
+
+    @property
+    def dropped(self) -> int:
+        """Events lost to ring overwrite."""
+        return max(0, self._total - self.capacity)
+
+    def to_events(self) -> List[TraceEvent]:
+        """Materialize the retained window as TraceEvents, oldest first."""
+        live = len(self)
+        if not live:
+            return []
+        if self._total <= self.capacity:
+            order = np.arange(live)
+        else:
+            cursor = self._total % self.capacity
+            order = np.concatenate(
+                [np.arange(cursor, self.capacity), np.arange(cursor)]
+            )
+        kinds = self._kind[order].tolist()
+        cycles = self._cycle[order].tolist()
+        drams = self._dram[order].tolist()
+        pes = self._pe[order].tolist()
+        levels = self._level[order].tolist()
+        ranks = self._rank[order].tolist()
+        nargs = self._nargs[order].tolist()
+        argrows = self._args[order].tolist()
+        events: List[TraceEvent] = []
+        unset = self._UNSET
+        for i in range(live):
+            n = nargs[i]
+            if n == self._OBJECT:
+                events.append(self._objects[argrows[i][0]])
+                continue
+            kind = EVENT_KINDS[kinds[i]]
+            schema = PACKED_SCHEMAS[kind]
+            row = argrows[i]
+            events.append(
+                TraceEvent(
+                    kind,
+                    cycle=cycles[i],
+                    clock=CLOCK_DRAM if drams[i] else CLOCK_PE,
+                    pe=None if pes[i] == unset else pes[i],
+                    level=None if levels[i] == unset else levels[i],
+                    rank=None if ranks[i] == unset else ranks[i],
+                    args={
+                        key: decode(row[j])
+                        for j, (key, decode) in enumerate(schema[:n])
+                    },
+                )
+            )
+        return events
+
+    @property
+    def events(self) -> List[TraceEvent]:
+        """Materialized view (same shape as ``InMemorySink.events``)."""
+        return self.to_events()
+
+    def clear(self) -> None:
+        self._total = 0
+        self._objects.clear()
 
 
 class JsonlSink(Sink):

@@ -6,11 +6,17 @@ randomly drawn machines and workloads:
 * **functional** — the tree's per-query outputs must equal a plain NumPy
   reduction of the same table rows, whatever the tree arity, rank count,
   rank→leaf wiring permutation, batch shape, or dedup setting;
-* **behavioural** — the scalar and vectorized PE kernels must emit
-  *identical* event streams (same kinds, cycles, PEs, levels, args, in
-  the same order), recorded through in-memory sinks.  Byte-identical
-  outputs could still hide divergent internal scheduling; stream
-  equality cannot.
+* **behavioural** — the scalar kernel, the vectorized kernel, and the
+  level-synchronous SoA sweep must emit *identical* event streams (same
+  kinds, cycles, PEs, levels, args, in the same order) and identical
+  per-level event counts, recorded through in-memory sinks.
+  Byte-identical outputs could still hide divergent internal
+  scheduling; stream equality cannot.
+
+The three-way engine comparison runs plain, traced (object and columnar
+sinks), and fault-injected (latency degradation + read timeouts under
+the degrade policy) — the SoA sweep must be indistinguishable from the
+object walk in every observable, not just on the happy path.
 
 Configs are drawn from a seeded RNG so every run covers the same
 machines (failures reproduce) while spanning the space far wider than
@@ -23,7 +29,8 @@ import pytest
 from repro.core.config import FafnirConfig
 from repro.core.engine import FafnirEngine
 from repro.core.operators import MAX, MEAN, SUM
-from repro.obs import InMemorySink, Tracer
+from repro.faults import FaultPlan
+from repro.obs import ColumnarSink, InMemorySink, Tracer, per_level_counts
 
 UNIVERSE = 512
 
@@ -137,6 +144,112 @@ def test_scalar_and_vector_kernels_emit_identical_event_streams(seed):
 
     # Same observable behaviour, event for event.
     assert scalar_events == vector_events
+
+
+def _assert_runs_identical(reference, candidate):
+    """Every observable of two engine runs must match bit for bit."""
+    ref_result, ref_events = reference
+    cand_result, cand_events = candidate
+    assert len(ref_result.vectors) == len(cand_result.vectors)
+    for a, b in zip(ref_result.vectors, cand_result.vectors):
+        assert a.tobytes() == b.tobytes()
+    assert (
+        ref_result.stats.latency_pe_cycles
+        == cand_result.stats.latency_pe_cycles
+    )
+    assert ref_result.stats.per_pe_work == cand_result.stats.per_pe_work
+    assert ref_result.query_statuses == cand_result.query_statuses
+    assert ref_events == cand_events
+    # Per-level counts are implied by stream equality, but assert them
+    # explicitly: if streams ever diverge, the level histogram localizes
+    # which tree stage drifted.
+    assert per_level_counts(ref_events) == per_level_counts(cand_events)
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_three_engine_paths_are_indistinguishable(seed):
+    """scalar kernel == vector kernel == SoA sweep, on every observable.
+
+    The SoA sweep is a from-scratch rewrite of the tree walk (bitset
+    pools instead of frozensets, level-synchronous batches instead of a
+    per-PE object loop), so nothing is shared with the object paths
+    except the contract — making stream equality here the strongest
+    evidence the rewrite preserved the machine's semantics.
+    """
+    config, rank_order, queries, deduplicate = random_setup(seed)
+    table = make_table(config, seed)
+
+    def run(kernel, engine):
+        sink = InMemorySink()
+        instance = FafnirEngine(
+            config=config,
+            kernel=kernel,
+            engine=engine,
+            rank_order=rank_order,
+            tracer=Tracer([sink]),
+        )
+        result = instance.run_batch(
+            queries, table.__getitem__, deduplicate=deduplicate
+        )
+        return result, sink.events
+
+    scalar = run("scalar", "object")
+    vector = run("vector", "object")
+    soa = run("vector", "soa")
+
+    _assert_runs_identical(scalar, vector)
+    _assert_runs_identical(vector, soa)
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_soa_sweep_matches_object_walk_under_faults(seed):
+    """Fault injection exercises retry/timeout paths the happy-path seeds
+    never reach; the SoA sweep must replicate the object walk's behaviour
+    there too — same degraded timings, same statuses, same streams."""
+    config, rank_order, queries, deduplicate = random_setup(seed)
+    table = make_table(config, seed)
+    plan = FaultPlan(
+        seed=seed,
+        rank_latency_multipliers={1: 1.4},
+        rank_timeout_probability={0: 0.15},
+    )
+
+    def run(engine):
+        sink = InMemorySink()
+        instance = FafnirEngine(
+            config=config,
+            engine=engine,
+            rank_order=rank_order,
+            faults=plan,
+            tracer=Tracer([sink]),
+        )
+        result = instance.run_batch(
+            queries, table.__getitem__, deduplicate=deduplicate
+        )
+        return result, sink.events
+
+    _assert_runs_identical(run("object"), run("soa"))
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_columnar_sink_materializes_object_stream(seed):
+    """The packed columnar ring buffer and the object in-memory sink are
+    two encodings of one stream: recording an SoA run through both at
+    once must materialize to ``==``-equal event lists."""
+    config, rank_order, queries, deduplicate = random_setup(seed)
+    table = make_table(config, seed)
+    columnar = ColumnarSink()
+    objects = InMemorySink()
+    engine = FafnirEngine(
+        config=config,
+        engine="soa",
+        rank_order=rank_order,
+        tracer=Tracer([columnar, objects]),
+    )
+    engine.run_batch(queries, table.__getitem__, deduplicate=deduplicate)
+    assert objects.events, "run recorded nothing"
+    assert len(columnar) == len(objects.events)
+    assert columnar.to_events() == objects.events
 
 
 @pytest.mark.parametrize("seed", SEEDS)

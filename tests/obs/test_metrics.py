@@ -157,3 +157,44 @@ class TestPerLevelCounts:
         ]
         assert per_level_counts(events) == {0: 2, 2: 1}
         assert per_level_counts(events, kind=PE_FORWARD) == {0: 1}
+
+
+class TestHistogramSortCaching:
+    def test_empty_histogram_uniform_zero(self):
+        h = Histogram()
+        assert h.count == 0
+        assert h.mean == 0.0
+        assert h.max == 0.0
+        for p in (0, 50, 95, 99, 100):
+            assert h.percentile(p) == 0.0
+
+    def test_snapshot_sorts_once(self, monkeypatch):
+        registry = MetricsRegistry()
+        h = registry.histogram("latency")
+        for v in (5.0, 1.0, 3.0, 2.0, 4.0):
+            h.record(v)
+        import builtins
+
+        calls = {"sorted": 0}
+        real_sorted = builtins.sorted
+
+        def counting_sorted(*args, **kwargs):
+            calls["sorted"] += 1
+            return real_sorted(*args, **kwargs)
+
+        monkeypatch.setattr(builtins, "sorted", counting_sorted)
+        snap = registry.snapshot()
+        # p50/p95/p99 share one sort (snapshot() also sorts instrument
+        # names; only the histogram's sample sort counts here).
+        hist_sorts = calls["sorted"] - 3  # counters/gauges/histograms name sorts
+        assert hist_sorts == 1
+        assert snap["histograms"]["latency"]["p50"] == 3.0
+        assert snap["histograms"]["latency"]["p99"] == 5.0
+
+    def test_record_invalidates_cache(self):
+        h = Histogram()
+        h.record(1.0)
+        assert h.percentile(100) == 1.0
+        h.record(9.0)
+        assert h.percentile(100) == 9.0
+        assert h.mean == 5.0
