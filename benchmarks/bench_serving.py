@@ -1,0 +1,134 @@
+"""Online serving sweep: latency, SLO attainment, and dedup vs offered load.
+
+FAFNIR's batch dedup only pays off if the host can *form* shared batches,
+and an online server can only wait for sharers while the latency SLO
+allows.  This bench drives the continuous-batching front-end with Poisson
+arrivals at several offered-QPS levels and records the trade the paper's
+host-side story implies:
+
+* at low load the batcher spends SLO budget waiting for sharers, so p50
+  sits near the SLO but attainment stays perfect and dedup is real;
+* near capacity batches fill on their own — latency drops while dedup
+  savings rise with the arrival density;
+* far past capacity queueing delay shows up as missed SLOs.
+
+Headline numbers per level (p50/p99 latency, SLO attainment, dedup
+savings) are appended to ``BENCH_serving.json`` so the trajectory travels
+with the repo (same rev/date convention as the other perf benches).
+
+``FAFNIR_SMOKE=1`` shrinks the request counts so the bench finishes in
+seconds on CI smoke runs.
+"""
+
+import os
+import time
+
+from _common import append_trajectory, run_once, write_report
+from repro.analysis import Table
+from repro.serving import ContinuousBatcher, OpenLoopGenerator, RampStage, ServingSimulator
+from repro.workloads import EmbeddingTableSet, QueryGenerator
+
+SMOKE = bool(int(os.environ.get("FAFNIR_SMOKE", "0")))
+
+QPS_LEVELS = [0.5e6, 2e6, 6e6, 12e6]
+REQUESTS = 150 if SMOKE else 600
+SLO_US = 25.0
+BATCH_SIZE = 16
+WINDOW = 64
+MARGIN_US = 3.0
+QUERY_LEN = 16
+SEED = 0
+
+
+def _run_level(tables, qps):
+    queries = QueryGenerator.paper_calibrated(
+        tables, seed=SEED + 1, query_len=QUERY_LEN
+    )
+    load = OpenLoopGenerator(
+        queries,
+        [RampStage(qps=qps, duration_us=REQUESTS / qps * 1e6)],
+        slo_us=SLO_US,
+        seed=SEED + 2,
+    )
+    simulator = ServingSimulator(
+        batcher=ContinuousBatcher(
+            batch_size=BATCH_SIZE, window=WINDOW, dispatch_margin_us=MARGIN_US
+        )
+    )
+    start = time.perf_counter()
+    report = simulator.run(load, tables.vector)
+    wall_s = time.perf_counter() - start
+    return report, wall_s
+
+
+def test_serving_sweep(benchmark):
+    tables = EmbeddingTableSet.random(seed=SEED)
+
+    def experiment():
+        return [(qps, *_run_level(tables, qps)) for qps in QPS_LEVELS]
+
+    results = run_once(benchmark, experiment)
+
+    table = Table(
+        [
+            "offered_qps",
+            "requests",
+            "mean_batch",
+            "p50_us",
+            "p99_us",
+            "slo_attain",
+            "dedup_savings",
+            "wall_s",
+        ]
+    )
+    levels = []
+    for qps, report, wall_s in results:
+        summary = report.summary()
+        table.add_row(
+            [
+                f"{qps / 1e6:.2f}M",
+                int(summary["requests"]),
+                f"{summary['mean_batch_size']:.1f}",
+                f"{summary['p50_us']:.2f}",
+                f"{summary['p99_us']:.2f}",
+                f"{summary['slo_attainment']:.3f}",
+                f"{summary['dedup_savings_fraction']:.3f}",
+                f"{wall_s:.3f}",
+            ]
+        )
+        levels.append(
+            {
+                "qps": qps,
+                "requests": int(summary["requests"]),
+                "mean_batch": round(summary["mean_batch_size"], 2),
+                "p50_us": round(summary["p50_us"], 3),
+                "p99_us": round(summary["p99_us"], 3),
+                "slo_attainment": round(summary["slo_attainment"], 4),
+                "dedup_savings": round(summary["dedup_savings_fraction"], 4),
+                "wall_s": round(wall_s, 4),
+            }
+        )
+
+    record = {
+        "smoke": SMOKE,
+        "slo_us": SLO_US,
+        "batch_size": BATCH_SIZE,
+        "window": WINDOW,
+        "margin_us": MARGIN_US,
+        "levels": levels,
+    }
+    write_report("serving", table, record=record)
+    append_trajectory("serving", record)
+
+    # Qualitative shape: attainment must be perfect well under capacity and
+    # no better at the highest offered load; dedup savings must be real at
+    # every level and grow (weakly) with the arrival density, because denser
+    # arrivals give the window more sharers to group.
+    by_qps = {level["qps"]: level for level in levels}
+    assert by_qps[0.5e6]["slo_attainment"] == 1.0
+    assert by_qps[12e6]["slo_attainment"] <= by_qps[2e6]["slo_attainment"]
+    for level in levels:
+        assert level["dedup_savings"] > 0.0
+    assert by_qps[6e6]["dedup_savings"] >= by_qps[0.5e6]["dedup_savings"]
+    # Denser arrivals fill batches: mean batch size is non-decreasing.
+    assert by_qps[12e6]["mean_batch"] >= by_qps[0.5e6]["mean_batch"]

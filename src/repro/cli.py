@@ -17,7 +17,11 @@ Subcommands mirror the things a user actually does with the library:
   reads, vector corruption, a crashing shard worker) through the sharded
   runner under the graceful-degradation policy and print the recovery
   report: injected vs detected vs recovered, per-query statuses, and the
-  p99 latency inflation against a clean baseline.
+  p99 latency inflation against a clean baseline;
+* ``serve``   — drive the online serving front-end: Poisson (or
+  closed-loop) arrivals at one or more QPS levels through the admission +
+  continuous-batching scheduler under a latency SLO, printing p50/p99
+  latency, SLO attainment, dedup savings, and mean batch size per level.
 
 Run ``python -m repro.cli <subcommand> --help`` for options.
 """
@@ -337,6 +341,90 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
     return 0 if accounted == total_queries else 1
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    """Online serving sweep: one simulated run per offered QPS level."""
+    from repro.serving import (
+        ClosedLoopGenerator,
+        ContinuousBatcher,
+        OpenLoopGenerator,
+        RampStage,
+        ServingSimulator,
+    )
+
+    qps_levels = args.qps or ([0.5e6, 4e6] if args.quick else [0.5e6, 2e6, 6e6, 12e6])
+    n_requests = 120 if args.quick else args.requests
+    tables = EmbeddingTableSet.random(seed=args.seed)
+    table = Table(
+        [
+            "offered_qps",
+            "requests",
+            "mean_batch",
+            "interactive",
+            "p50_us",
+            "p99_us",
+            "slo_attain",
+            "dedup_savings",
+        ]
+    )
+    worst_attainment = 1.0
+    for qps in qps_levels:
+        queries = QueryGenerator.paper_calibrated(
+            tables, seed=args.seed + 1, query_len=args.query_len
+        )
+        if args.closed_loop:
+            load = ClosedLoopGenerator(
+                queries,
+                users=args.users,
+                think_time_us=args.think_us,
+                slo_us=args.slo_us,
+                requests_per_user=max(1, n_requests // args.users),
+                seed=args.seed + 2,
+            )
+        else:
+            load = OpenLoopGenerator(
+                queries,
+                [RampStage(qps=qps, duration_us=n_requests / qps * 1e6)],
+                slo_us=args.slo_us,
+                seed=args.seed + 2,
+            )
+        simulator = ServingSimulator(
+            batcher=ContinuousBatcher(
+                batch_size=args.batch_size,
+                window=args.window,
+                dispatch_margin_us=args.margin_us,
+            ),
+            interactive_fallback=not args.no_interactive,
+        )
+        report = simulator.run(load, tables.vector)
+        summary = report.summary()
+        worst_attainment = min(worst_attainment, summary["slo_attainment"])
+        table.add_row(
+            [
+                f"{qps / 1e6:.2f}M",
+                int(summary["requests"]),
+                f"{summary['mean_batch_size']:.1f}",
+                int(summary["interactive_dispatches"]),
+                f"{summary['p50_us']:.2f}",
+                f"{summary['p99_us']:.2f}",
+                f"{summary['slo_attainment']:.3f}",
+                f"{summary['dedup_savings_fraction']:.3f}",
+            ]
+        )
+    mode = "closed-loop" if args.closed_loop else "open-loop (Poisson)"
+    print(
+        f"serving sweep: {mode}, SLO {args.slo_us:.1f} µs, batch "
+        f"{args.batch_size}, window {args.window}, seed {args.seed}"
+    )
+    print(table.render())
+    if args.min_attainment is not None and worst_attainment < args.min_attainment:
+        print(
+            f"FAIL: worst SLO attainment {worst_attainment:.3f} below floor "
+            f"{args.min_attainment:.3f}"
+        )
+        return 1
+    return 0
+
+
 def _cmd_validate(args: argparse.Namespace) -> int:
     checks = validate_anchors()
     failures = 0
@@ -426,6 +514,57 @@ def build_parser() -> argparse.ArgumentParser:
         "--out", default=None, help="optional Chrome trace JSON of the chaos run"
     )
     chaos.set_defaults(func=_cmd_chaos)
+
+    serve = subparsers.add_parser(
+        "serve", help="online serving sweep under a latency SLO"
+    )
+    serve.add_argument(
+        "--qps",
+        type=float,
+        nargs="+",
+        default=None,
+        help="offered QPS levels to sweep (default: 0.5M 2M 6M 12M)",
+    )
+    serve.add_argument("--requests", type=int, default=400, help="requests per level")
+    serve.add_argument("--query-len", type=int, default=16)
+    serve.add_argument("--batch-size", type=int, default=16)
+    serve.add_argument(
+        "--window", type=int, default=64, help="sharing-aware reorder window"
+    )
+    serve.add_argument("--slo-us", type=float, default=25.0, help="latency SLO (µs)")
+    serve.add_argument(
+        "--margin-us",
+        type=float,
+        default=3.0,
+        help="dispatch a partial batch this many µs before the oldest deadline",
+    )
+    serve.add_argument("--seed", type=int, default=0)
+    serve.add_argument(
+        "--closed-loop",
+        action="store_true",
+        help="fixed user population with think time instead of Poisson arrivals",
+    )
+    serve.add_argument("--users", type=int, default=32, help="closed-loop users")
+    serve.add_argument(
+        "--think-us", type=float, default=4.0, help="closed-loop think time (µs)"
+    )
+    serve.add_argument(
+        "--no-interactive",
+        action="store_true",
+        help="disable the low-load single-query fallback path",
+    )
+    serve.add_argument(
+        "--min-attainment",
+        type=float,
+        default=None,
+        help="exit nonzero if worst SLO attainment falls below this floor",
+    )
+    serve.add_argument(
+        "--quick",
+        action="store_true",
+        help="small configuration for CI smoke runs",
+    )
+    serve.set_defaults(func=_cmd_serve)
 
     validate = subparsers.add_parser(
         "validate", help="check the paper's numeric anchors"

@@ -93,10 +93,15 @@ class InteractiveEngine:
         for index in indices:
             requests.extend(self.placement.requests_for(index))
         completions, stats = self.memory.execute(requests)
-        finish: Dict[int, int] = {
-            completion.request.tag: completion.finish_cycle
-            for completion in completions
-        }
+        # A placement may split one vector into several row-aligned reads
+        # (all tagged with the same index); the vector is only usable once
+        # its *last* piece lands, so keep the max finish cycle per index.
+        finish: Dict[int, int] = {}
+        for completion in completions:
+            tag = completion.request.tag
+            previous = finish.get(tag)
+            if previous is None or completion.finish_cycle > previous:
+                finish[tag] = completion.finish_cycle
 
         # Seed each leaf input side with (partial value, ready cycle).
         per_pe: Dict[int, List[Tuple[np.ndarray, int]]] = {}

@@ -1,0 +1,34 @@
+"""Online request serving: load generation, continuous batching, SLOs.
+
+The offline engine consumes pre-formed batches; this package serves an
+*arrival stream* — the production shape of a FAFNIR deployment (top ROADMAP
+item, MicroRec-style inference serving).  See ``docs/architecture.md``
+("Online serving") for the admission → batching → dispatch pipeline and
+``repro.cli serve`` for the command-line front-end.
+"""
+
+from repro.serving.batcher import ContinuousBatcher
+from repro.serving.loadgen import (
+    ClosedLoopGenerator,
+    OpenLoopGenerator,
+    RampStage,
+    Request,
+)
+from repro.serving.server import (
+    LoadSource,
+    RequestRecord,
+    ServingReport,
+    ServingSimulator,
+)
+
+__all__ = [
+    "ClosedLoopGenerator",
+    "ContinuousBatcher",
+    "LoadSource",
+    "OpenLoopGenerator",
+    "RampStage",
+    "Request",
+    "RequestRecord",
+    "ServingReport",
+    "ServingSimulator",
+]

@@ -1,0 +1,111 @@
+"""Admission + continuous batch formation under a latency SLO.
+
+The offline :class:`~repro.workloads.scheduler.SharingAwareScheduler` needs
+the whole stream up front; serving gets an *arrival* stream and has to trade
+dedup savings against queueing delay continuously (the RecNMP framing: every
+microsecond a query waits for sharers is a microsecond of its SLO budget
+spent).  :class:`ContinuousBatcher` holds pending requests and, whenever the
+accelerator is free, decides between:
+
+* **dispatch full** — a full hardware batch is available; form it
+  sharing-aware (seeded with the oldest request, overlap-matched within the
+  reorder window, aging bound enforced);
+* **dispatch partial** — the oldest pending request's deadline minus the
+  estimated service time is upon us: stop waiting for sharers and ship what
+  we have;
+* **wait** — neither holds; hold the queue open so future sharers can join.
+
+Batch formation itself is the *fixed* sharing-aware step
+(:meth:`~repro.workloads.scheduler.SharingAwareScheduler.form_batch`): one
+precomputed index set per admitted request, and the aging counter guarantees
+a request is never passed over more than ``window`` formations.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.workloads.scheduler import PendingQuery, SharingAwareScheduler
+
+from repro.serving.loadgen import Request
+
+
+class ContinuousBatcher:
+    """Continuously forms hardware batches from an arrival stream."""
+
+    def __init__(
+        self,
+        batch_size: int,
+        window: int = 64,
+        dispatch_margin_us: float = 3.0,
+    ) -> None:
+        """Args:
+        batch_size: hardware batch capacity (must match the engine config).
+        window: sharing-aware reorder window *and* aging bound, in batch
+            formations (see ``SharingAwareScheduler``).
+        dispatch_margin_us: estimated service time of a batch — a partial
+            batch is dispatched when the oldest pending request has only
+            this much SLO budget left.
+        """
+        if dispatch_margin_us < 0:
+            raise ValueError("dispatch_margin_us must be non-negative")
+        self._scheduler = SharingAwareScheduler(batch_size, window=max(window, batch_size))
+        self.dispatch_margin_us = dispatch_margin_us
+        self._pending: List[PendingQuery] = []
+
+    @property
+    def batch_size(self) -> int:
+        return self._scheduler.batch_size
+
+    @property
+    def window(self) -> int:
+        return self._scheduler.window
+
+    def __len__(self) -> int:
+        return len(self._pending)
+
+    def enqueue(self, request: Request) -> None:
+        """Admit one request (requests must arrive in timestamp order)."""
+        if self._pending and request.arrival_us < self._pending[-1].payload.arrival_us:  # type: ignore[union-attr]
+            raise ValueError("requests must be enqueued in arrival order")
+        self._pending.append(
+            PendingQuery.wrap(request.indices, payload=request)
+        )
+
+    def oldest(self) -> Optional[Request]:
+        if not self._pending:
+            return None
+        request = self._pending[0].payload
+        assert isinstance(request, Request)
+        return request
+
+    def next_forced_dispatch_us(self) -> Optional[float]:
+        """The time at which waiting any longer would break the oldest
+        pending request's SLO (given the service-time margin)."""
+        oldest = self.oldest()
+        if oldest is None:
+            return None
+        return oldest.deadline_us - self.dispatch_margin_us
+
+    def pop_batch(self, now_us: float, draining: bool = False) -> Optional[List[Request]]:
+        """Form and remove one batch if dispatch conditions hold.
+
+        Args:
+            now_us: current modeled time.
+            draining: no further arrivals will ever come — stop waiting
+                for sharers and flush whatever is pending.
+        """
+        if not self._pending:
+            return None
+        full = len(self._pending) >= self.batch_size
+        forced = self.next_forced_dispatch_us()
+        assert forced is not None
+        if not (full or draining or now_us >= forced):
+            return None
+        entries = self._scheduler.form_batch(self._pending)
+        batch: List[Request] = []
+        for entry in entries:
+            request = entry.payload
+            assert isinstance(request, Request)
+            batch.append(request)
+        return batch

@@ -1,0 +1,171 @@
+"""Load generators for the online serving front-end.
+
+Two canonical driving disciplines from the serving literature:
+
+* **Open loop** (:class:`OpenLoopGenerator`) — requests arrive on a Poisson
+  process at a configured rate, independent of how fast the system drains
+  them.  This models an internet-facing service where millions of users do
+  not wait for each other; queueing delay explodes visibly past saturation.
+  A :class:`RampStage` list makes the rate piecewise-constant so one run can
+  sweep QPS from idle to overload.
+* **Closed loop** (:class:`ClosedLoopGenerator`) — a fixed population of
+  users, each with at most one request in flight: issue, wait for the
+  completion, think, reissue.  Offered load self-limits at saturation, which
+  is the right model for internal batch clients.
+
+Query *contents* come from the existing Zipf-skewed
+:class:`~repro.workloads.embedding.QueryGenerator`, so the sharing structure
+the batcher exploits is the paper-calibrated one.  All timestamps are in
+**modeled microseconds** — the clock the hardware timing model advances, not
+host wall-clock — and every generator is fully deterministic under its seed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.workloads.embedding import QueryGenerator
+
+
+@dataclass(frozen=True)
+class Request:
+    """One query travelling through the serving layer."""
+
+    request_id: int
+    indices: Tuple[int, ...]
+    arrival_us: float
+    deadline_us: float
+    user: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if not self.indices:
+            raise ValueError("request must carry at least one index")
+        if self.deadline_us < self.arrival_us:
+            raise ValueError("deadline precedes arrival")
+
+
+@dataclass(frozen=True)
+class RampStage:
+    """One piecewise-constant segment of the offered-load schedule."""
+
+    qps: float
+    duration_us: float
+
+    def __post_init__(self) -> None:
+        if self.qps <= 0:
+            raise ValueError("qps must be positive")
+        if self.duration_us <= 0:
+            raise ValueError("duration_us must be positive")
+
+
+class OpenLoopGenerator:
+    """Poisson arrivals at a (ramped) QPS, Zipf-skewed query contents."""
+
+    def __init__(
+        self,
+        queries: QueryGenerator,
+        stages: Sequence[RampStage],
+        slo_us: float,
+        seed: int = 0,
+    ) -> None:
+        if not stages:
+            raise ValueError("need at least one ramp stage")
+        if slo_us <= 0:
+            raise ValueError("slo_us must be positive")
+        self.queries = queries
+        self.stages = list(stages)
+        self.slo_us = slo_us
+        self._rng = np.random.default_rng(seed)
+
+    def initial(self) -> List[Request]:
+        """The full arrival stream — open loop ignores completions."""
+        requests: List[Request] = []
+        now = 0.0
+        request_id = 0
+        for stage in self.stages:
+            stage_end = now + stage.duration_us
+            mean_gap_us = 1e6 / stage.qps
+            while True:
+                now += float(self._rng.exponential(mean_gap_us))
+                if now >= stage_end:
+                    now = stage_end
+                    break
+                requests.append(
+                    Request(
+                        request_id=request_id,
+                        indices=tuple(self.queries.query()),
+                        arrival_us=now,
+                        deadline_us=now + self.slo_us,
+                    )
+                )
+                request_id += 1
+        return requests
+
+    def on_complete(self, request: Request, complete_us: float) -> Optional[Request]:
+        return None
+
+
+class ClosedLoopGenerator:
+    """``users`` concurrent users with think time between requests.
+
+    Each user issues ``requests_per_user`` requests; the next one is
+    generated when the previous completes plus an exponentially distributed
+    think time.  Initial issues are staggered by one think time so the
+    system does not see a synchronized thundering herd at t = 0.
+    """
+
+    def __init__(
+        self,
+        queries: QueryGenerator,
+        users: int,
+        think_time_us: float,
+        slo_us: float,
+        requests_per_user: int = 8,
+        seed: int = 0,
+    ) -> None:
+        if users <= 0:
+            raise ValueError("users must be positive")
+        if think_time_us < 0:
+            raise ValueError("think_time_us must be non-negative")
+        if requests_per_user <= 0:
+            raise ValueError("requests_per_user must be positive")
+        if slo_us <= 0:
+            raise ValueError("slo_us must be positive")
+        self.queries = queries
+        self.users = users
+        self.think_time_us = think_time_us
+        self.slo_us = slo_us
+        self.requests_per_user = requests_per_user
+        self._rng = np.random.default_rng(seed)
+        self._issued: Dict[int, int] = {}
+        self._next_id = 0
+
+    def _think(self) -> float:
+        if self.think_time_us == 0:
+            return 0.0
+        return float(self._rng.exponential(self.think_time_us))
+
+    def _make(self, user: int, arrival_us: float) -> Request:
+        request = Request(
+            request_id=self._next_id,
+            indices=tuple(self.queries.query()),
+            arrival_us=arrival_us,
+            deadline_us=arrival_us + self.slo_us,
+            user=user,
+        )
+        self._next_id += 1
+        self._issued[user] = self._issued.get(user, 0) + 1
+        return request
+
+    def initial(self) -> List[Request]:
+        return [self._make(user, self._think()) for user in range(self.users)]
+
+    def on_complete(self, request: Request, complete_us: float) -> Optional[Request]:
+        user = request.user
+        assert user is not None
+        if self._issued.get(user, 0) >= self.requests_per_user:
+            return None
+        return self._make(user, complete_us + self._think())

@@ -5,6 +5,7 @@ from repro.workloads.embedding import EmbeddingTableSet, QueryGenerator
 from repro.workloads.scheduler import (
     BatchScheduler,
     FifoScheduler,
+    PendingQuery,
     ScheduleReport,
     SharingAwareScheduler,
     evaluate_schedule,
@@ -18,6 +19,7 @@ __all__ = [
     "BatchScheduler",
     "EmbeddingTableSet",
     "FifoScheduler",
+    "PendingQuery",
     "QueryTrace",
     "ScheduleReport",
     "SharingAwareScheduler",

@@ -11,16 +11,54 @@ sharing-aware alternative and the machinery to compare policies:
   indices, increasing per-batch dedup at the cost of reordering.
 
 Both are online-feasible: they look only at a bounded window of pending
-queries.
+queries.  :class:`SharingAwareScheduler` exposes its single-batch formation
+step (:meth:`SharingAwareScheduler.form_batch` over :class:`PendingQuery`
+entries) so the online serving layer (:mod:`repro.serving`) can form batches
+continuously from an arrival stream instead of a complete offline list.
 """
 
 from __future__ import annotations
 
 import abc
 from dataclasses import dataclass
-from typing import List, Sequence
+from typing import FrozenSet, List, Optional, Sequence
 
 from repro.core.batch import plan_batch
+
+
+def _freeze(query: Sequence[int]) -> FrozenSet[int]:
+    """The index set of one query.
+
+    Built exactly once per admitted query — never per (slot, candidate)
+    comparison.  The perf regression test counts calls to this hook to pin
+    the O(window × batch) set-rebuild bug closed.
+    """
+    return frozenset(query)
+
+
+@dataclass
+class PendingQuery:
+    """One query waiting to be placed into a hardware batch.
+
+    Carries the precomputed index set (so candidate matching never rebuilds
+    it) and an aging counter: ``age`` counts the batch formations this query
+    has sat through since admission.  ``payload`` is an opaque slot for
+    callers that schedule richer objects than bare index lists (the serving
+    layer stores its :class:`~repro.serving.loadgen.Request` there).
+    """
+
+    indices: List[int]
+    index_set: Optional[FrozenSet[int]] = None
+    age: int = 0
+    payload: Optional[object] = None
+
+    def __post_init__(self) -> None:
+        if self.index_set is None:
+            self.index_set = _freeze(self.indices)
+
+    @staticmethod
+    def wrap(query: Sequence[int], payload: Optional[object] = None) -> "PendingQuery":
+        return PendingQuery(indices=list(query), payload=payload)
 
 
 @dataclass
@@ -43,17 +81,24 @@ class ScheduleReport:
 
 
 def evaluate_schedule(batches: Sequence[Sequence[Sequence[int]]]) -> ScheduleReport:
-    """Count the deduplicated reads a batching would issue."""
+    """Count the deduplicated reads a batching would issue.
+
+    ``ScheduleReport.batches`` aligns position-for-position with the input:
+    an empty batch stays an empty list (contributing zero lookups and zero
+    reads) rather than being silently dropped, so callers can zip the report
+    against the schedule they passed in.
+    """
     total_lookups = 0
     total_reads = 0
     materialised: List[List[List[int]]] = []
     for batch in batches:
-        if not batch:
-            continue
-        plan = plan_batch(batch)
-        total_lookups += plan.total_lookups
-        total_reads += len(plan.unique_indices)
-        materialised.append([list(query) for query in batch])
+        if batch:
+            plan = plan_batch(batch)
+            total_lookups += plan.total_lookups
+            total_reads += len(plan.unique_indices)
+            materialised.append([list(query) for query in batch])
+        else:
+            materialised.append([])
     return ScheduleReport(
         batches=materialised,
         total_lookups=total_lookups,
@@ -93,8 +138,16 @@ class SharingAwareScheduler(BatchScheduler):
 
     Builds each batch by seeding it with the oldest pending query, then
     repeatedly pulling, from the next ``window`` pending queries, the one
-    with the largest index overlap with the batch so far.  Queries never
-    wait more than ``window`` batch-formations, bounding added latency.
+    with the largest index overlap with the batch so far.
+
+    **Bounded unfairness.**  Every batch formation a pending query sits
+    through increments its age; once a query's age reaches ``window`` it is
+    *urgent* and is dispatched in FIFO order ahead of any overlap-based
+    pick.  A query can therefore be passed over at most ``window`` times —
+    reordering delays it by at most ``window`` batch-formations relative to
+    its FIFO position — no matter how little it shares with its neighbours.
+    (Pending order is admission order and ages only ever grow in lock-step,
+    so urgent queries always form a prefix of the pending list.)
     """
 
     def __init__(self, batch_size: int, window: int = 128) -> None:
@@ -104,22 +157,41 @@ class SharingAwareScheduler(BatchScheduler):
         self.window = window
 
     def schedule(self, queries: Sequence[Sequence[int]]) -> List[List[List[int]]]:
-        pending: List[List[int]] = [list(query) for query in queries]
+        pending = [PendingQuery.wrap(query) for query in queries]
         batches: List[List[List[int]]] = []
         while pending:
-            batch: List[List[int]] = [pending.pop(0)]
-            covered = set(batch[0])
-            while len(batch) < self.batch_size and pending:
+            batches.append([entry.indices for entry in self.form_batch(pending)])
+        return batches
+
+    def form_batch(self, pending: List[PendingQuery]) -> List[PendingQuery]:
+        """Remove and return one batch's entries from ``pending``.
+
+        ``pending`` must be in admission order; entries left behind have
+        their ``age`` incremented.  This is the reusable single-step the
+        online serving layer drives directly.
+        """
+        if not pending:
+            raise ValueError("cannot form a batch from no pending queries")
+        seed = pending.pop(0)
+        batch = [seed]
+        covered = set(seed.index_set)
+        while len(batch) < self.batch_size and pending:
+            if pending[0].age >= self.window:
+                # Urgent prefix drains FIFO: this query has already been
+                # passed over `window` times and may not be jumped again.
+                chosen = pending.pop(0)
+            else:
                 horizon = min(self.window, len(pending))
                 best_position = 0
                 best_overlap = -1
                 for position in range(horizon):
-                    overlap = len(covered & set(pending[position]))
+                    overlap = len(covered & pending[position].index_set)
                     if overlap > best_overlap:
                         best_overlap = overlap
                         best_position = position
                 chosen = pending.pop(best_position)
-                covered.update(chosen)
-                batch.append(chosen)
-            batches.append(batch)
-        return batches
+            covered.update(chosen.index_set)
+            batch.append(chosen)
+        for entry in pending:
+            entry.age += 1
+        return batch

@@ -93,3 +93,60 @@ class TestInteractive:
         latencies = engine.config.latencies
         assert engine.stage_cycles < latencies.compare
         assert engine.stage_cycles == max(latencies.reduce_value, latencies.forward)
+
+
+class _SplitPlacement:
+    """Wraps a placement so every vector arrives as two row-aligned pieces,
+    with the *first-listed* piece finishing last (large issue delay)."""
+
+    def __init__(self, inner, late_by_dram_cycles):
+        self._inner = inner
+        self._late = late_by_dram_cycles
+        self.vector_bytes = inner.vector_bytes
+
+    def home_rank(self, vector_id):
+        return self._inner.home_rank(vector_id)
+
+    def requests_for(self, vector_id, issue_cycle=0):
+        from dataclasses import replace
+
+        [request] = self._inner.requests_for(vector_id, issue_cycle)
+        half = request.bytes_ // 2
+        late_piece = replace(
+            request, bytes_=half, issue_cycle=request.issue_cycle + self._late
+        )
+        early_piece = replace(
+            request, column=request.column + half, bytes_=request.bytes_ - half
+        )
+        return [late_piece, early_piece]
+
+
+class TestMultiRequestPlacement:
+    """Regression: ``finish[index]`` kept only the *last* completion, so a
+    vector split across several ReadRequests could be consumed before its
+    slowest piece had landed."""
+
+    def test_latency_covers_slowest_piece(self):
+        from repro.clocks import convert_cycles
+
+        delay_dram_cycles = 50_000
+        engine = InteractiveEngine()
+        engine.placement = _SplitPlacement(engine.placement, delay_dram_cycles)
+        source = make_source(seed=8)
+        result = engine.lookup_one([7], source)
+        floor = convert_cycles(
+            delay_dram_cycles, engine.config.dram_clock, engine.config.pe_clock
+        )
+        assert result.latency_pe_cycles >= floor
+        assert np.allclose(result.vector, source(7))
+        assert result.memory.reads == 2
+
+    def test_multi_piece_matches_single_piece_vector(self):
+        source = make_source(seed=9)
+        query = [3, 77, 515, 1030]
+        single = InteractiveEngine().lookup_one(query, source)
+        split_engine = InteractiveEngine()
+        split_engine.placement = _SplitPlacement(split_engine.placement, 1_000)
+        split = split_engine.lookup_one(query, source)
+        assert np.allclose(single.vector, split.vector)
+        assert split.latency_pe_cycles >= single.latency_pe_cycles

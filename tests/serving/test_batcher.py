@@ -1,0 +1,82 @@
+"""Tests for the continuous batcher's dispatch policy."""
+
+import pytest
+
+from repro.serving import ContinuousBatcher, Request
+
+
+def make_request(request_id, arrival_us, indices=None, slo_us=25.0):
+    return Request(
+        request_id=request_id,
+        indices=tuple(indices or [request_id * 100, request_id * 100 + 1]),
+        arrival_us=arrival_us,
+        deadline_us=arrival_us + slo_us,
+    )
+
+
+class TestDispatchPolicy:
+    def test_waits_for_sharers_when_slo_budget_remains(self):
+        batcher = ContinuousBatcher(batch_size=4, window=8, dispatch_margin_us=3.0)
+        batcher.enqueue(make_request(0, arrival_us=0.0))
+        # Budget remaining: deadline 25, margin 3 → forced at t = 22.
+        assert batcher.pop_batch(now_us=0.0) is None
+        assert batcher.pop_batch(now_us=21.9) is None
+        assert len(batcher) == 1
+
+    def test_forced_partial_dispatch_at_deadline_margin(self):
+        batcher = ContinuousBatcher(batch_size=4, window=8, dispatch_margin_us=3.0)
+        batcher.enqueue(make_request(0, arrival_us=0.0))
+        batcher.enqueue(make_request(1, arrival_us=1.0))
+        assert batcher.next_forced_dispatch_us() == pytest.approx(22.0)
+        batch = batcher.pop_batch(now_us=22.0)
+        assert batch is not None
+        assert [r.request_id for r in batch] == [0, 1]
+        assert len(batcher) == 0
+
+    def test_full_batch_dispatches_immediately(self):
+        batcher = ContinuousBatcher(batch_size=2, window=4, dispatch_margin_us=3.0)
+        batcher.enqueue(make_request(0, arrival_us=0.0))
+        batcher.enqueue(make_request(1, arrival_us=0.5))
+        batch = batcher.pop_batch(now_us=0.5)
+        assert batch is not None and len(batch) == 2
+
+    def test_draining_flushes_partials(self):
+        batcher = ContinuousBatcher(batch_size=8, window=8, dispatch_margin_us=3.0)
+        batcher.enqueue(make_request(0, arrival_us=0.0))
+        assert batcher.pop_batch(now_us=0.0) is None
+        batch = batcher.pop_batch(now_us=0.0, draining=True)
+        assert batch is not None and len(batch) == 1
+
+    def test_empty_queue_returns_none(self):
+        batcher = ContinuousBatcher(batch_size=4)
+        assert batcher.pop_batch(now_us=0.0, draining=True) is None
+        assert batcher.next_forced_dispatch_us() is None
+        assert batcher.oldest() is None
+
+    def test_sharing_aware_batch_composition(self):
+        """With a full window the formed batch groups sharers, exactly like
+        the offline scheduler would."""
+        batcher = ContinuousBatcher(batch_size=2, window=4, dispatch_margin_us=3.0)
+        batcher.enqueue(make_request(0, arrival_us=0.0, indices=[1, 2, 3]))
+        batcher.enqueue(make_request(1, arrival_us=0.1, indices=[100, 200]))
+        batcher.enqueue(make_request(2, arrival_us=0.2, indices=[1, 2, 4]))
+        batcher.enqueue(make_request(3, arrival_us=0.3, indices=[100, 300]))
+        first = batcher.pop_batch(now_us=0.3)
+        second = batcher.pop_batch(now_us=0.3)
+        assert first is not None and second is not None
+        assert {r.request_id for r in first} == {0, 2}
+        assert {r.request_id for r in second} == {1, 3}
+
+    def test_enqueue_rejects_out_of_order_arrivals(self):
+        batcher = ContinuousBatcher(batch_size=4)
+        batcher.enqueue(make_request(0, arrival_us=10.0))
+        with pytest.raises(ValueError):
+            batcher.enqueue(make_request(1, arrival_us=5.0))
+
+    def test_negative_margin_rejected(self):
+        with pytest.raises(ValueError):
+            ContinuousBatcher(batch_size=4, dispatch_margin_us=-1.0)
+
+    def test_window_floor_is_batch_size(self):
+        batcher = ContinuousBatcher(batch_size=8, window=2)
+        assert batcher.window == 8

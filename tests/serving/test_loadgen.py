@@ -1,0 +1,175 @@
+"""Tests for the open- and closed-loop load generators."""
+
+import numpy as np
+import pytest
+
+from repro.serving import ClosedLoopGenerator, OpenLoopGenerator, RampStage, Request
+from repro.workloads import EmbeddingTableSet, QueryGenerator
+
+
+@pytest.fixture(scope="module")
+def tables():
+    return EmbeddingTableSet.random(seed=0)
+
+
+def make_queries(tables, seed=1):
+    return QueryGenerator.paper_calibrated(tables, seed=seed, query_len=8)
+
+
+class TestRequest:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Request(request_id=0, indices=(), arrival_us=0.0, deadline_us=1.0)
+        with pytest.raises(ValueError):
+            Request(request_id=0, indices=(1,), arrival_us=5.0, deadline_us=1.0)
+
+
+class TestRampStage:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RampStage(qps=0, duration_us=1.0)
+        with pytest.raises(ValueError):
+            RampStage(qps=100.0, duration_us=0)
+
+
+class TestOpenLoop:
+    def test_deterministic_under_seed(self, tables):
+        stages = [RampStage(qps=1e6, duration_us=100.0)]
+        first = OpenLoopGenerator(
+            make_queries(tables), stages, slo_us=25.0, seed=7
+        ).initial()
+        second = OpenLoopGenerator(
+            make_queries(tables), stages, slo_us=25.0, seed=7
+        ).initial()
+        assert [r.indices for r in first] == [r.indices for r in second]
+        assert [r.arrival_us for r in first] == [r.arrival_us for r in second]
+
+    def test_poisson_rate_roughly_matches(self, tables):
+        qps = 2e6
+        duration_us = 2_000.0
+        requests = OpenLoopGenerator(
+            make_queries(tables),
+            [RampStage(qps=qps, duration_us=duration_us)],
+            slo_us=25.0,
+            seed=3,
+        ).initial()
+        expected = qps * duration_us / 1e6
+        assert 0.7 * expected < len(requests) < 1.3 * expected
+
+    def test_ramp_stages_partition_time(self, tables):
+        stages = [
+            RampStage(qps=5e5, duration_us=200.0),
+            RampStage(qps=4e6, duration_us=200.0),
+        ]
+        requests = OpenLoopGenerator(
+            make_queries(tables), stages, slo_us=25.0, seed=5
+        ).initial()
+        arrivals = [r.arrival_us for r in requests]
+        assert arrivals == sorted(arrivals)
+        assert arrivals[-1] < 400.0
+        low = sum(1 for a in arrivals if a < 200.0)
+        high = len(arrivals) - low
+        # The second stage offers 8× the rate over the same duration.
+        assert high > 3 * low
+
+    def test_deadline_is_arrival_plus_slo(self, tables):
+        requests = OpenLoopGenerator(
+            make_queries(tables),
+            [RampStage(qps=1e6, duration_us=50.0)],
+            slo_us=17.5,
+            seed=1,
+        ).initial()
+        assert requests
+        for request in requests:
+            assert request.deadline_us == pytest.approx(request.arrival_us + 17.5)
+
+    def test_ids_are_dense_and_ordered(self, tables):
+        requests = OpenLoopGenerator(
+            make_queries(tables),
+            [RampStage(qps=1e6, duration_us=100.0)],
+            slo_us=25.0,
+            seed=2,
+        ).initial()
+        assert [r.request_id for r in requests] == list(range(len(requests)))
+
+    def test_open_loop_ignores_completions(self, tables):
+        generator = OpenLoopGenerator(
+            make_queries(tables),
+            [RampStage(qps=1e6, duration_us=10.0)],
+            slo_us=25.0,
+        )
+        [first, *_] = generator.initial()
+        assert generator.on_complete(first, 99.0) is None
+
+    def test_requires_stage_and_positive_slo(self, tables):
+        with pytest.raises(ValueError):
+            OpenLoopGenerator(make_queries(tables), [], slo_us=25.0)
+        with pytest.raises(ValueError):
+            OpenLoopGenerator(
+                make_queries(tables),
+                [RampStage(qps=1e6, duration_us=1.0)],
+                slo_us=0,
+            )
+
+
+class TestClosedLoop:
+    def test_quota_per_user(self, tables):
+        generator = ClosedLoopGenerator(
+            make_queries(tables),
+            users=4,
+            think_time_us=2.0,
+            slo_us=25.0,
+            requests_per_user=3,
+            seed=0,
+        )
+        outstanding = generator.initial()
+        assert len(outstanding) == 4
+        total = len(outstanding)
+        while outstanding:
+            request = outstanding.pop()
+            follow_up = generator.on_complete(request, request.arrival_us + 5.0)
+            if follow_up is not None:
+                assert follow_up.user == request.user
+                assert follow_up.arrival_us >= request.arrival_us + 5.0
+                outstanding.append(follow_up)
+                total += 1
+        assert total == 4 * 3
+
+    def test_zero_think_time(self, tables):
+        generator = ClosedLoopGenerator(
+            make_queries(tables),
+            users=2,
+            think_time_us=0.0,
+            slo_us=25.0,
+            requests_per_user=2,
+            seed=0,
+        )
+        first = generator.initial()
+        assert all(r.arrival_us == 0.0 for r in first)
+        follow_up = generator.on_complete(first[0], 7.0)
+        assert follow_up is not None and follow_up.arrival_us == 7.0
+
+    def test_validation(self, tables):
+        queries = make_queries(tables)
+        with pytest.raises(ValueError):
+            ClosedLoopGenerator(queries, users=0, think_time_us=1.0, slo_us=25.0)
+        with pytest.raises(ValueError):
+            ClosedLoopGenerator(queries, users=1, think_time_us=-1.0, slo_us=25.0)
+        with pytest.raises(ValueError):
+            ClosedLoopGenerator(
+                queries, users=1, think_time_us=1.0, slo_us=25.0, requests_per_user=0
+            )
+
+    def test_zipf_skew_shows_in_indices(self, tables):
+        """The Zipf-skewed generator must produce repeated indices across
+        users — that sharing is what the batcher exploits."""
+        generator = ClosedLoopGenerator(
+            make_queries(tables, seed=11),
+            users=64,
+            think_time_us=1.0,
+            slo_us=25.0,
+            seed=11,
+        )
+        requests = generator.initial()
+        all_indices = [i for r in requests for i in r.indices]
+        assert len(set(all_indices)) < len(all_indices)

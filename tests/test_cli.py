@@ -23,6 +23,7 @@ class TestParser:
             "experiments",
             "trace",
             "chaos",
+            "serve",
         }
 
     def test_requires_subcommand(self):
@@ -113,3 +114,21 @@ class TestCommands:
         assert "p99 query latency" in out
         document = json.loads(out_path.read_text())
         assert document["traceEvents"]
+
+    def test_serve_quick(self, capsys):
+        assert main(["serve", "--quick"]) == 0
+        out = capsys.readouterr().out
+        assert "serving sweep" in out
+        assert "slo_attain" in out
+        assert "dedup_savings" in out
+
+    def test_serve_closed_loop_quick(self, capsys):
+        assert main(["serve", "--quick", "--closed-loop", "--users", "16"]) == 0
+        assert "closed-loop" in capsys.readouterr().out
+
+    def test_serve_min_attainment_floor(self, capsys):
+        # Far past capacity (~8.7M QPS) queueing delay accumulates with the
+        # backlog, so with enough requests the SLO floor of 1.0 cannot hold.
+        argv = ["serve", "--qps", "4e7", "--requests", "400", "--min-attainment", "1.0"]
+        assert main(argv) == 1
+        assert "FAIL" in capsys.readouterr().out

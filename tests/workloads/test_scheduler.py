@@ -1,10 +1,14 @@
 """Tests for software batch scheduling."""
 
+import time
+
 import pytest
 
 from repro.workloads import EmbeddingTableSet, QueryGenerator
+from repro.workloads import scheduler as scheduler_module
 from repro.workloads.scheduler import (
     FifoScheduler,
+    PendingQuery,
     SharingAwareScheduler,
     evaluate_schedule,
 )
@@ -64,6 +68,98 @@ class TestSharingAwareScheduler:
         with pytest.raises(ValueError):
             SharingAwareScheduler(batch_size=16, window=8)
 
+    def test_one_index_set_per_query(self, stream, monkeypatch):
+        """Regression: candidate matching must not rebuild ``set(query)``
+        for every (slot, candidate) pair — one frozenset per admitted
+        query, full stop."""
+        calls = []
+        real_freeze = scheduler_module._freeze
+
+        def counting_freeze(query):
+            calls.append(1)
+            return real_freeze(query)
+
+        monkeypatch.setattr(scheduler_module, "_freeze", counting_freeze)
+        SharingAwareScheduler(batch_size=8, window=32).schedule(stream)
+        assert len(calls) == len(stream)
+
+    def test_large_stream_perf_floor(self):
+        """Perf floor: a multi-thousand-query stream with a wide window
+        schedules in seconds.  The old quadratic inner loop rebuilt a set
+        per (slot, candidate) pair and blows well past this bound as the
+        window grows."""
+        tables = EmbeddingTableSet(rows_per_table=100_000, seed=9)
+        generator = QueryGenerator.paper_calibrated(tables, seed=9)
+        queries = generator.batch(2048)
+        start = time.perf_counter()
+        batches = SharingAwareScheduler(batch_size=32, window=256).schedule(queries)
+        elapsed = time.perf_counter() - start
+        assert sum(len(batch) for batch in batches) == len(queries)
+        assert elapsed < 5.0, f"sharing-aware matching took {elapsed:.1f}s"
+
+    def test_low_overlap_query_bounded_wait(self):
+        """Starvation property: under continuous arrivals, a query that
+        shares nothing must still be dispatched within ``window``
+        batch-formations plus the FIFO drain of the backlog ahead of it.
+
+        Without the aging counter, every formation's overlap picks go to
+        the fresh sharers arriving *behind* the loner, so the loner only
+        advances one position per formation (the seed pop) and its wait
+        grows with the backlog — unbounded by ``window``.
+        """
+        batch_size, window = 4, 8
+        backlog = 60
+        scheduler = SharingAwareScheduler(batch_size, window=window)
+
+        def sharer(i):
+            return PendingQuery.wrap([1, 2, 3, 1_000 + i])
+
+        pending = [sharer(i) for i in range(backlog)]
+        loner = PendingQuery.wrap([99_999])
+        pending.append(loner)
+        fresh = backlog
+        formations = 0
+        while loner in pending:
+            batch = scheduler.form_batch(pending)
+            formations += 1
+            if loner in batch:
+                break
+            # Arrivals keep pace with service: the reorder window never
+            # drains, which is exactly the high-QPS serving regime.
+            for _ in range(batch_size):
+                pending.append(sharer(fresh))
+                fresh += 1
+            assert formations < 10 * backlog, "loner is starving"
+        bound = window + backlog // batch_size + 1
+        assert formations <= bound, (
+            f"loner dispatched after {formations} formations; "
+            f"bound is {bound} (window {window}, backlog {backlog})"
+        )
+
+    def test_urgent_queries_drain_fifo_before_overlap_picks(self):
+        """Regression: an over-age (urgent) query may not be jumped by a
+        fresher, better-overlapping candidate — the pre-fix code always
+        took the overlap pick and let the loner age forever."""
+        scheduler = SharingAwareScheduler(batch_size=2, window=4)
+        seed = PendingQuery.wrap([1, 2, 3])
+        seed.age = 5
+        starved = PendingQuery.wrap([77_777])
+        starved.age = 5
+        fresh_sharer = PendingQuery.wrap([1, 2, 3, 4])
+        pending = [seed, starved, fresh_sharer]
+        batch = scheduler.form_batch(pending)
+        assert batch == [seed, starved]
+        assert pending == [fresh_sharer]
+
+    def test_form_batch_reusable_increments_age(self):
+        pending = [PendingQuery.wrap([i]) for i in range(6)]
+        scheduler = SharingAwareScheduler(batch_size=2, window=2)
+        batch = scheduler.form_batch(pending)
+        assert len(batch) == 2
+        assert all(entry.age == 1 for entry in pending)
+        with pytest.raises(ValueError):
+            scheduler.form_batch([])
+
 
 class TestEvaluateSchedule:
     def test_counts(self):
@@ -72,10 +168,13 @@ class TestEvaluateSchedule:
         assert report.total_reads == 5  # {1,2,3} + {1,2}
         assert report.accesses_saved == 1
 
-    def test_empty_batches_skipped(self):
-        report = evaluate_schedule([[], [[1]]])
-        assert report.total_lookups == 1
-        assert len(report.batches) == 1
+    def test_empty_batches_preserve_positions(self):
+        """Regression: an empty batch used to be silently dropped, so
+        ``ScheduleReport.batches`` misaligned with the input schedule."""
+        report = evaluate_schedule([[], [[1]], [], [[2, 3]]])
+        assert report.total_lookups == 3
+        assert report.batches == [[], [[1]], [], [[2, 3]]]
+        assert len(report.batches) == 4
 
     def test_savings_fraction_zero_for_empty(self):
         assert evaluate_schedule([]).savings_fraction == 0.0
