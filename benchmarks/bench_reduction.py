@@ -1,0 +1,162 @@
+"""Cross-shard reduction sweep: schedule cost vs shard count, verified.
+
+FAFNIR's on-package tree stops at the node boundary; at multi-node scale
+the per-shard partials ride a second-level reduction schedule over an
+inter-node link (src/repro/comm/).  This bench sweeps the three schedules
+over shard counts on the paper's 32-rank configuration and records the
+collective-cost crossover the topology predicts:
+
+* gather-to-root serializes S−1 messages into the root's ingress, so its
+  comm cycles grow linearly with the shard count;
+* recursive-doubling runs log2(S) pair-parallel rounds, so it overtakes
+  gather as S grows — by 8 shards the butterfly must win on modeled
+  cycles (the acceptance criterion this bench enforces);
+* reduce-scatter + allgather pays 2·log2(S) half-sized steps — more steps
+  but smaller messages, the bandwidth-bound regime's schedule.
+
+Every cell is verified byte-identical to the single-node engine before
+its cost is recorded — a schedule that got faster by reducing differently
+would be measuring a different computation.
+
+Headline numbers are appended to ``BENCH_reduction.json`` so the
+trajectory travels with the repo.  ``FAFNIR_SMOKE=1`` shrinks the batch
+stream for CI smoke runs.
+"""
+
+import os
+import time
+
+from _common import append_trajectory, run_once, write_report
+from repro.analysis import Table
+from repro.comm import SCHEDULES, LinkModel
+from repro.core import FafnirConfig, FafnirEngine
+from repro.core.sharding import ShardedRunner
+from repro.workloads import EmbeddingTableSet, QueryGenerator
+
+SMOKE = bool(int(os.environ.get("FAFNIR_SMOKE", "0")))
+
+SHARD_COUNTS = [2, 4, 8, 16]
+BATCHES = 2 if SMOKE else 4
+BATCH_SIZE = 16 if SMOKE else 32
+QUERY_LEN = 16
+SEED = 0
+LINK = LinkModel()  # PCIe-class defaults: 500 ns + 25 GB/s
+
+
+def _run_cell(config, stream, source, expected, shards, schedule):
+    runner = ShardedRunner(
+        config=config,
+        operator="sum",
+        max_workers=1,
+        reduction=schedule,
+        num_shards=shards,
+        link=LINK,
+    )
+    start = time.perf_counter()
+    reduced = runner.run_reduced(stream, source)
+    wall_s = time.perf_counter() - start
+    identical = [vector.tobytes() for vector in reduced.vectors] == expected
+    return reduced, identical, wall_s
+
+
+def test_reduction_sweep(benchmark):
+    config = FafnirConfig(batch_size=BATCH_SIZE)
+    tables = EmbeddingTableSet.random(seed=SEED)
+    generator = QueryGenerator.paper_calibrated(
+        tables, seed=SEED, query_len=QUERY_LEN
+    )
+    stream = [generator.batch(BATCH_SIZE) for _ in range(BATCHES)]
+
+    def experiment():
+        single = FafnirEngine(config=config, operator="sum")
+        baseline = single.run_batches(stream, tables.vector)
+        expected = [vector.tobytes() for vector in baseline.vectors]
+        cells = []
+        for shards in SHARD_COUNTS:
+            for name in sorted(SCHEDULES):
+                cells.append(
+                    (
+                        shards,
+                        name,
+                        *_run_cell(
+                            config, stream, tables.vector, expected, shards, name
+                        ),
+                    )
+                )
+        return cells
+
+    cells = run_once(benchmark, experiment)
+
+    table = Table(
+        [
+            "shards",
+            "schedule",
+            "steps",
+            "messages",
+            "comm_bytes",
+            "comm_cycles",
+            "makespan_cycles",
+            "identical",
+            "wall_s",
+        ]
+    )
+    levels = []
+    for shards, name, reduced, identical, wall_s in cells:
+        table.add_row(
+            [
+                shards,
+                name,
+                reduced.total_steps,
+                reduced.total_messages,
+                reduced.total_comm_bytes,
+                reduced.comm_pe_cycles,
+                reduced.makespan_pe_cycles,
+                "yes" if identical else "NO",
+                f"{wall_s:.3f}",
+            ]
+        )
+        levels.append(
+            {
+                "shards": shards,
+                "schedule": name,
+                "steps": reduced.total_steps,
+                "messages": reduced.total_messages,
+                "comm_bytes": reduced.total_comm_bytes,
+                "comm_cycles": reduced.comm_pe_cycles,
+                "makespan_cycles": reduced.makespan_pe_cycles,
+                "identical": identical,
+                "wall_s": round(wall_s, 4),
+            }
+        )
+
+    record = {
+        "smoke": SMOKE,
+        "batches": BATCHES,
+        "batch_size": BATCH_SIZE,
+        "query_len": QUERY_LEN,
+        "link": LINK.to_dict(),
+        "levels": levels,
+    }
+    write_report("reduction", table, record=record)
+    append_trajectory("reduction", record)
+
+    # Correctness first: every schedule at every shard count reproduces
+    # the single-node bytes.
+    for level in levels:
+        assert level["identical"], (level["shards"], level["schedule"])
+
+    by_cell = {(l["shards"], l["schedule"]): l for l in levels}
+    # Gather's serialized root ingress scales linearly; the butterfly's
+    # log-depth schedule must beat it on modeled comm cycles at ≥8 shards.
+    for shards in (8, 16):
+        assert (
+            by_cell[(shards, "recursive_doubling")]["comm_cycles"]
+            < by_cell[(shards, "gather")]["comm_cycles"]
+        ), shards
+    # Step counts follow the textbook bounds: gather is one step per batch,
+    # the butterfly log2(S) per batch, reduce-scatter+allgather twice that.
+    for shards in SHARD_COUNTS:
+        log2 = shards.bit_length() - 1
+        assert by_cell[(shards, "gather")]["steps"] == BATCHES
+        assert by_cell[(shards, "recursive_doubling")]["steps"] == BATCHES * log2
+        assert by_cell[(shards, "reduce_scatter")]["steps"] == BATCHES * 2 * log2

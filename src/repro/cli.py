@@ -21,7 +21,11 @@ Subcommands mirror the things a user actually does with the library:
 * ``serve``   — drive the online serving front-end: Poisson (or
   closed-loop) arrivals at one or more QPS levels through the admission +
   continuous-batching scheduler under a latency SLO, printing p50/p99
-  latency, SLO attainment, dedup savings, and mean batch size per level.
+  latency, SLO attainment, dedup savings, and mean batch size per level;
+* ``reduce``  — sweep the cross-shard reduction schedules (gather-to-root,
+  reduce-scatter + allgather, recursive-doubling) over shard counts on a
+  modeled inter-node link, verifying every cell byte-identical to the
+  single-node engine and printing messages/bytes/steps/comm-cycle costs.
 
 Run ``python -m repro.cli <subcommand> --help`` for options.
 """
@@ -425,6 +429,87 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_reduce(args: argparse.Namespace) -> int:
+    """Cross-shard reduction sweep: schedules × shard counts, verified."""
+    from repro.comm import SCHEDULES, LinkModel
+
+    if args.quick:
+        shard_counts = [2, 4]
+        batches_n, batch_size, query_len = 2, 8, 8
+        config = FafnirConfig(
+            total_ranks=16, ranks_per_leaf_pe=2, batch_size=8, max_query_len=8
+        )
+    else:
+        shard_counts = args.shards or [2, 4, 8, 16]
+        batches_n, batch_size, query_len = 4, 32, 16
+        config = FafnirConfig()
+    link = LinkModel(
+        latency_ns=args.link_latency_ns, bandwidth_gb_s=args.link_gb_s
+    )
+    tables = EmbeddingTableSet.random(seed=args.seed)
+    generator = QueryGenerator.paper_calibrated(
+        tables, seed=args.seed, query_len=query_len
+    )
+    stream = [generator.batch(batch_size) for _ in range(batches_n)]
+
+    single = FafnirEngine(config=config, operator=args.operator)
+    baseline = single.run_batches(stream, tables.vector)
+    expected = [vector.tobytes() for vector in baseline.vectors]
+
+    table = Table(
+        [
+            "shards",
+            "schedule",
+            "steps",
+            "messages",
+            "comm_bytes",
+            "comm_cycles",
+            "makespan_cycles",
+            "identical",
+        ]
+    )
+    failures = 0
+    for shards in shard_counts:
+        for name in sorted(SCHEDULES):
+            runner = ShardedRunner(
+                config=config,
+                operator=args.operator,
+                max_workers=1,
+                reduction=name,
+                num_shards=shards,
+                link=link,
+            )
+            reduced = runner.run_reduced(stream, tables.vector)
+            identical = [
+                vector.tobytes() for vector in reduced.vectors
+            ] == expected
+            failures += 0 if identical else 1
+            table.add_row(
+                [
+                    shards,
+                    name,
+                    reduced.total_steps,
+                    reduced.total_messages,
+                    reduced.total_comm_bytes,
+                    reduced.comm_pe_cycles,
+                    reduced.makespan_pe_cycles,
+                    "yes" if identical else "NO",
+                ]
+            )
+    total = len(stream) * len(stream[0])
+    print(
+        f"reduction sweep: {total} queries in {batches_n} batches, "
+        f"operator {args.operator}, link {link.latency_ns:.0f} ns + "
+        f"{link.bandwidth_gb_s:.0f} GB/s, seed {args.seed}"
+    )
+    print(table.render())
+    if failures:
+        print(f"FAIL: {failures} cells diverged from the single-node engine")
+        return 1
+    print("all cells byte-identical to the single-node engine")
+    return 0
+
+
 def _cmd_validate(args: argparse.Namespace) -> int:
     checks = validate_anchors()
     failures = 0
@@ -565,6 +650,39 @@ def build_parser() -> argparse.ArgumentParser:
         help="small configuration for CI smoke runs",
     )
     serve.set_defaults(func=_cmd_serve)
+
+    reduce = subparsers.add_parser(
+        "reduce", help="cross-shard reduction schedule sweep"
+    )
+    reduce.add_argument("--seed", type=int, default=0)
+    reduce.add_argument(
+        "--shards",
+        type=int,
+        nargs="+",
+        default=None,
+        help="shard counts to sweep (default: 2 4 8 16)",
+    )
+    reduce.add_argument(
+        "--operator", choices=("sum", "mean", "min", "max"), default="sum"
+    )
+    reduce.add_argument(
+        "--link-latency-ns",
+        type=float,
+        default=500.0,
+        help="inter-node link latency per message (ns)",
+    )
+    reduce.add_argument(
+        "--link-gb-s",
+        type=float,
+        default=25.0,
+        help="inter-node link bandwidth (GB/s)",
+    )
+    reduce.add_argument(
+        "--quick",
+        action="store_true",
+        help="small configuration for CI smoke runs",
+    )
+    reduce.set_defaults(func=_cmd_reduce)
 
     validate = subparsers.add_parser(
         "validate", help="check the paper's numeric anchors"

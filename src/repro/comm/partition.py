@@ -1,0 +1,174 @@
+"""Index-space partitioning for table-parallel sharding.
+
+A single FAFNIR node holds every embedding table; at multi-node scale the
+tables themselves are partitioned, each node owns a slice of the index
+space, and a query's reduction spans nodes.  :class:`IndexPartition`
+names that ownership: ``owner(index)`` → *piece* id (the shard holding
+the index), plus the query-splitting helper the cross-shard reducer
+needs.
+
+Two constructors matter in practice:
+
+* :meth:`IndexPartition.by_home_rank` — pieces are contiguous rank
+  ranges of the single-node row-major placement (vector ``i`` lives in
+  rank ``i mod R``).  When the piece count is a power of two dividing
+  the leaf count, every piece is exactly an aligned subtree of the
+  single-node reduction tree, so a shard's partial over its piece equals
+  that subtree's value **bit for bit** and the canonical pairwise fold
+  over pieces reproduces the single-node root association exactly — the
+  property the reduction differential matrix asserts.
+* :meth:`IndexPartition.contiguous` — equal index ranges over a known
+  universe, the layout a range-sharded parameter server uses.  Useful in
+  the property tests precisely because it is *not* subtree-aligned.
+
+Partitions are plain picklable data so they ship to worker processes
+alongside the engine configuration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+from repro.core.config import FafnirConfig
+
+#: Partition modes (how ``owner`` maps an index to a piece).
+MODE_HOME_RANK = "home_rank"
+MODE_CONTIGUOUS = "contiguous"
+MODE_EXPLICIT = "explicit"
+
+
+@dataclass(frozen=True)
+class IndexPartition:
+    """Ownership of the global index space by ``num_pieces`` shards.
+
+    Construct through the classmethods; the raw fields describe one of
+    three modes:
+
+    * ``home_rank`` — ``rank_owner[index % total_ranks]`` decides.
+    * ``contiguous`` — ``index // piece_span`` over a fixed universe.
+    * ``explicit`` — a literal index → piece map (property tests).
+    """
+
+    num_pieces: int
+    mode: str = MODE_HOME_RANK
+    rank_owner: Tuple[int, ...] = ()
+    total_ranks: int = 32
+    piece_span: int = 0
+    universe: int = 0
+    explicit_owner: Dict[int, int] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.num_pieces < 1:
+            raise ValueError("need at least one piece")
+        if self.mode not in (MODE_HOME_RANK, MODE_CONTIGUOUS, MODE_EXPLICIT):
+            raise ValueError(f"unknown partition mode {self.mode!r}")
+        if self.mode == MODE_HOME_RANK and len(self.rank_owner) != self.total_ranks:
+            raise ValueError(
+                f"rank_owner covers {len(self.rank_owner)} ranks, "
+                f"expected {self.total_ranks}"
+            )
+
+    # --- constructors ------------------------------------------------------
+    @classmethod
+    def by_home_rank(cls, config: FafnirConfig, pieces: int) -> "IndexPartition":
+        """Partition by the single-node home rank, contiguous rank ranges.
+
+        Ranks are divided into ``pieces`` contiguous runs, as evenly as
+        possible, snapped onto leaf-PE boundaries whenever the leaf count
+        allows.  A power-of-two ``pieces`` dividing the leaf count yields
+        subtree-aligned pieces — the bit-exact composition case.
+        """
+        if pieces > config.total_ranks:
+            raise ValueError(
+                f"{pieces} pieces exceed {config.total_ranks} ranks "
+                "(a piece must own at least one rank)"
+            )
+        per_leaf = config.ranks_per_leaf_pe
+        owner: List[int] = []
+        if config.num_leaf_pes >= pieces:
+            # Divide whole leaves: every piece boundary is a leaf boundary.
+            leaves_base, leaves_extra = divmod(config.num_leaf_pes, pieces)
+            for piece in range(pieces):
+                leaves = leaves_base + (1 if piece < leaves_extra else 0)
+                owner.extend([piece] * (leaves * per_leaf))
+        else:
+            base, extra = divmod(config.total_ranks, pieces)
+            for piece in range(pieces):
+                owner.extend([piece] * (base + (1 if piece < extra else 0)))
+        return cls(
+            num_pieces=pieces,
+            mode=MODE_HOME_RANK,
+            rank_owner=tuple(owner),
+            total_ranks=config.total_ranks,
+        )
+
+    @classmethod
+    def contiguous(cls, universe: int, pieces: int) -> "IndexPartition":
+        """Equal index ranges over ``[0, universe)`` (range sharding)."""
+        if universe < 1:
+            raise ValueError("universe must be positive")
+        span = max(1, -(-universe // pieces))
+        return cls(
+            num_pieces=pieces,
+            mode=MODE_CONTIGUOUS,
+            piece_span=span,
+            universe=universe,
+        )
+
+    @classmethod
+    def explicit(cls, owner_of: Dict[int, int], pieces: int) -> "IndexPartition":
+        """A literal index → piece map (arbitrary partitions, tests)."""
+        for index, piece in owner_of.items():
+            if not 0 <= piece < pieces:
+                raise ValueError(
+                    f"index {index} assigned to piece {piece} outside "
+                    f"[0, {pieces})"
+                )
+        return cls(
+            num_pieces=pieces,
+            mode=MODE_EXPLICIT,
+            explicit_owner=dict(owner_of),
+        )
+
+    # --- ownership ---------------------------------------------------------
+    def owner(self, index: int) -> int:
+        """The piece holding ``index``."""
+        if index < 0:
+            raise ValueError("index must be non-negative")
+        if self.mode == MODE_HOME_RANK:
+            return self.rank_owner[index % self.total_ranks]
+        if self.mode == MODE_CONTIGUOUS:
+            return min(index // self.piece_span, self.num_pieces - 1)
+        try:
+            return self.explicit_owner[index]
+        except KeyError:
+            raise KeyError(f"index {index} is not assigned to any piece") from None
+
+    def split_query(self, query: Sequence[int]) -> Dict[int, List[int]]:
+        """Per-piece sub-queries, preserving the query's index order.
+
+        Pieces with no indices in the query are absent from the result —
+        the sparse-awareness the message sizing relies on.
+        """
+        pieces: Dict[int, List[int]] = {}
+        for index in query:
+            pieces.setdefault(self.owner(int(index)), []).append(int(index))
+        return pieces
+
+    def subtree_aligned(self, config: FafnirConfig) -> bool:
+        """Whether every piece is an aligned subtree of ``config``'s tree
+        (the precondition for bit-exact single-node composition)."""
+        if self.mode != MODE_HOME_RANK or config.total_ranks != self.total_ranks:
+            return False
+        pieces = self.num_pieces
+        if pieces & (pieces - 1):
+            return False
+        leaves = config.num_leaf_pes
+        if pieces > leaves or leaves % pieces:
+            return False
+        span = config.total_ranks // pieces
+        return all(
+            self.rank_owner[rank] == rank // span
+            for rank in range(config.total_ranks)
+        )

@@ -1,0 +1,330 @@
+"""Cross-shard reduction: split queries over pieces, fold partials back.
+
+The table-parallel execution model has three phases:
+
+1. **Split** (:class:`ShardSplit`) — every query is cut along the
+   :class:`~repro.comm.partition.IndexPartition`; each piece gets the
+   sub-queries it owns indices of, batched into its own stream.  Empty
+   sub-batches are dropped (a shard untouched by a batch does no work and
+   ships no bytes — the sparse-awareness contract), with back-pointers
+   retained so partials can be reassembled in submission order.
+2. **Local reduction** — each shard runs its stream through an ordinary
+   :class:`~repro.core.engine.FafnirEngine` under the *partial* operator
+   (:func:`partial_operator`): the tree combine runs as usual but the
+   host-side finalize is deferred, so a MEAN shard ships raw sums and the
+   divide-by-count happens exactly once, at the very end, like the
+   single-node engine does.
+3. **Combine** (:class:`CrossShardReducer`) — per batch, the partials
+   ride a pluggable :class:`~repro.comm.schedule.ReductionSchedule` over
+   the modeled link for *timing*, while the *numbers* always go through
+   :func:`~repro.comm.schedule.canonical_fold` — the schedule decides
+   cost, never bytes.  Failed partials (every index the shard owned was
+   dropped by faults) are skipped by the fold exactly as an absent
+   subtree forwards in hardware, and surviving-index counts are summed
+   across shards so ok/degraded/failed statuses match the single-node
+   verdicts.
+
+With a subtree-aligned partition the whole three-phase pipeline is
+**byte-identical** to running the batches on one node — the property the
+reduction differential matrix asserts, including under index-keyed fault
+plans.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.core.config import FafnirConfig
+from repro.core.engine import MultiBatchResult
+from repro.core.operators import ReductionOperator, _identity_finalize, get_operator
+from repro.comm.partition import IndexPartition
+from repro.comm.schedule import (
+    ReductionSchedule,
+    ScheduleOutcome,
+    canonical_fold,
+    get_schedule,
+)
+from repro.faults.policy import STATUS_DEGRADED, STATUS_FAILED, STATUS_OK
+from repro.hw.link import LinkModel
+from repro.obs.events import TraceEvent
+
+Batch = Sequence[Sequence[int]]
+
+
+def partial_operator(operator: Union[str, ReductionOperator]) -> ReductionOperator:
+    """The shard-local variant of ``operator``: combine now, finalize never.
+
+    Finalization (MEAN's divide-by-count) must see the *global* surviving
+    count, so shards run with it stubbed out and the reducer applies the
+    real finalize once after the cross-shard fold.  The stub is the
+    module-level :func:`~repro.core.operators._identity_finalize`, keeping
+    the operator picklable for worker processes.
+    """
+    if isinstance(operator, str):
+        operator = get_operator(operator)
+    return ReductionOperator(operator.name, operator.combine, _identity_finalize)
+
+
+@dataclass(frozen=True)
+class _Slot:
+    """Where one (batch, query) sub-query landed in a piece's stream."""
+
+    piece: int
+    stream_pos: int
+    query_pos: int
+
+
+class ShardSplit:
+    """One batch stream cut along a partition into per-piece streams.
+
+    Attributes:
+        streams: piece → its list of non-empty sub-batches.
+        batch_of: piece → original batch position of each sub-batch.
+        contributors: per original batch, query position → the slots
+            holding that query's per-piece sub-queries.
+        active_pieces: pieces with at least one sub-batch, ascending.
+    """
+
+    def __init__(self, batches: Sequence[Batch], partition: IndexPartition) -> None:
+        self.partition = partition
+        self.num_pieces = partition.num_pieces
+        self.streams: Dict[int, List[List[List[int]]]] = {}
+        self.batch_of: Dict[int, List[int]] = {}
+        self.contributors: List[Dict[int, List[_Slot]]] = []
+        for batch_pos, batch in enumerate(batches):
+            per_piece: Dict[int, List[Tuple[int, List[int]]]] = {}
+            slots: Dict[int, List[_Slot]] = {}
+            for query_pos, query in enumerate(batch):
+                for piece, indices in partition.split_query(query).items():
+                    per_piece.setdefault(piece, []).append((query_pos, indices))
+            for piece in sorted(per_piece):
+                stream = self.streams.setdefault(piece, [])
+                self.batch_of.setdefault(piece, []).append(batch_pos)
+                sub_batch: List[List[int]] = []
+                for sub_pos, (query_pos, indices) in enumerate(per_piece[piece]):
+                    sub_batch.append(indices)
+                    slots.setdefault(query_pos, []).append(
+                        _Slot(piece, len(stream), sub_pos)
+                    )
+                stream.append(sub_batch)
+            self.contributors.append(slots)
+        self.active_pieces: List[int] = sorted(self.streams)
+
+    def shard_streams(self) -> List[List[List[List[int]]]]:
+        """The per-piece batch streams, ordered like ``active_pieces``
+        (the shard list handed to :meth:`ShardedRunner.run`)."""
+        return [self.streams[piece] for piece in self.active_pieces]
+
+
+@dataclass
+class ReducedBatchResult:
+    """One batch after the cross-shard fold.
+
+    ``local_ready_pe_cycles`` are per-query completion cycles of the
+    slowest contributing *partial* (schedule-independent — they measure
+    shard-local work); ``outcome`` carries the schedule's modeled cost for
+    the batch's comm phase.
+    """
+
+    vectors: List[np.ndarray]
+    statuses: List[str]
+    local_ready_pe_cycles: List[int]
+    outcome: ScheduleOutcome
+    comm_start_pe_cycles: int = 0
+    comm_end_pe_cycles: int = 0
+
+
+@dataclass
+class ReducedRunResult:
+    """A whole batch stream executed table-parallel and reduced.
+
+    ``events`` are the comm-phase trace events (``shard_msg_sent`` /
+    ``shard_reduced``) re-based onto absolute PE cycles; shard-local
+    streams stay on ``shard_results[i].events`` when tracing was on.
+    """
+
+    batches: List[ReducedBatchResult]
+    schedule: str
+    partition: IndexPartition
+    link: LinkModel
+    shard_results: List[MultiBatchResult] = field(default_factory=list)
+    active_pieces: List[int] = field(default_factory=list)
+    events: List[TraceEvent] = field(default_factory=list)
+    local_makespan_pe_cycles: int = 0
+    comm_pe_cycles: int = 0
+    makespan_pe_cycles: int = 0
+
+    @property
+    def vectors(self) -> List[np.ndarray]:
+        """All reduced vectors, submission order across batches."""
+        return [vector for batch in self.batches for vector in batch.vectors]
+
+    @property
+    def statuses(self) -> List[str]:
+        return [status for batch in self.batches for status in batch.statuses]
+
+    @property
+    def local_latencies(self) -> List[int]:
+        return [
+            cycles
+            for batch in self.batches
+            for cycles in batch.local_ready_pe_cycles
+        ]
+
+    @property
+    def total_comm_bytes(self) -> int:
+        return sum(batch.outcome.total_bytes for batch in self.batches)
+
+    @property
+    def total_messages(self) -> int:
+        return sum(batch.outcome.message_count for batch in self.batches)
+
+    @property
+    def total_steps(self) -> int:
+        return sum(batch.outcome.steps for batch in self.batches)
+
+
+class CrossShardReducer:
+    """Folds per-shard partial results back into per-query answers."""
+
+    def __init__(
+        self,
+        partition: IndexPartition,
+        schedule: Union[str, ReductionSchedule],
+        link: Optional[LinkModel] = None,
+        operator: Union[str, ReductionOperator] = "sum",
+        config: Optional[FafnirConfig] = None,
+    ) -> None:
+        self.partition = partition
+        self.schedule = (
+            get_schedule(schedule) if isinstance(schedule, str) else schedule
+        )
+        self.link = link if link is not None else LinkModel()
+        self.operator = (
+            get_operator(operator) if isinstance(operator, str) else operator
+        )
+        self.config = config if config is not None else FafnirConfig()
+
+    def combine(
+        self,
+        batches: Sequence[Batch],
+        split: ShardSplit,
+        shard_results: Sequence[MultiBatchResult],
+    ) -> ReducedRunResult:
+        """Fold ``shard_results`` (ordered like ``split.active_pieces``).
+
+        Each shard's partials must have been produced under
+        :func:`partial_operator`; this is where the real finalize runs.
+        """
+        by_piece: Dict[int, MultiBatchResult] = dict(
+            zip(split.active_pieces, shard_results)
+        )
+        if len(by_piece) != len(shard_results):
+            raise ValueError(
+                f"{len(shard_results)} shard results for "
+                f"{len(split.active_pieces)} active pieces"
+            )
+        vector_elements = self.config.vector_elements
+        reduced: List[ReducedBatchResult] = []
+        events: List[TraceEvent] = []
+        comm_cursor = 0
+        for batch_pos, batch in enumerate(batches):
+            slots = split.contributors[batch_pos]
+            touched: Dict[int, frozenset] = {}
+            vectors: List[np.ndarray] = []
+            statuses: List[str] = []
+            local_ready: List[int] = []
+            for query_pos, query in enumerate(batch):
+                entries: Dict[int, np.ndarray] = {}
+                total_surviving = 0
+                query_unique = len(frozenset(int(index) for index in query))
+                ready = 0
+                for slot in slots.get(query_pos, []):
+                    result = by_piece[slot.piece].results[slot.stream_pos]
+                    sub_query = result.plan.queries[slot.query_pos]
+                    surviving = len(sub_query) - len(
+                        result.dropped_indices & sub_query
+                    )
+                    if not surviving:
+                        continue  # failed partial — absent subtree, forward
+                    entries[slot.piece] = result.vectors[slot.query_pos]
+                    total_surviving += surviving
+                    existing = touched.get(slot.piece, frozenset())
+                    touched[slot.piece] = existing | {query_pos}
+                    if result.ready_pe_cycles:
+                        ready = max(
+                            ready, result.ready_pe_cycles[slot.query_pos]
+                        )
+                if entries:
+                    folded = canonical_fold(
+                        entries, self.partition.num_pieces, self.operator.combine
+                    )
+                    vectors.append(
+                        self.operator.finalize(folded.copy(), total_surviving)
+                    )
+                else:
+                    vectors.append(np.full(vector_elements, np.nan))
+                local_ready.append(ready)
+                if total_surviving == query_unique:
+                    statuses.append(STATUS_OK)
+                elif total_surviving:
+                    statuses.append(STATUS_DEGRADED)
+                else:
+                    statuses.append(STATUS_FAILED)
+
+            outcome = self.schedule.run(
+                touched,
+                self.partition.num_pieces,
+                self.config.vector_bytes,
+                self.link,
+            )
+            # The batch's comm phase starts once every contributing shard
+            # has drained the batch locally, and batches share the link.
+            partials_done = 0
+            for piece, result in by_piece.items():
+                for stream_pos, orig_pos in enumerate(split.batch_of[piece]):
+                    if orig_pos == batch_pos:
+                        partials_done = max(
+                            partials_done,
+                            result.pipeline.batch_completion_cycles[stream_pos],
+                        )
+            comm_start = max(partials_done, comm_cursor)
+            comm_cursor = comm_start + outcome.comm_pe_cycles
+            for event in outcome.events:
+                events.append(
+                    TraceEvent(
+                        event.kind,
+                        cycle=event.cycle + comm_start,
+                        args=dict(event.args, batch=batch_pos),
+                    )
+                )
+            reduced.append(
+                ReducedBatchResult(
+                    vectors=vectors,
+                    statuses=statuses,
+                    local_ready_pe_cycles=local_ready,
+                    outcome=outcome,
+                    comm_start_pe_cycles=comm_start,
+                    comm_end_pe_cycles=comm_cursor,
+                )
+            )
+
+        local_makespan = max(
+            (r.pipeline.pipelined_latency_pe_cycles for r in shard_results),
+            default=0,
+        )
+        return ReducedRunResult(
+            batches=reduced,
+            schedule=self.schedule.name,
+            partition=self.partition,
+            link=self.link,
+            shard_results=list(shard_results),
+            active_pieces=list(split.active_pieces),
+            events=events,
+            local_makespan_pe_cycles=local_makespan,
+            comm_pe_cycles=sum(b.outcome.comm_pe_cycles for b in reduced),
+            makespan_pe_cycles=max(local_makespan, comm_cursor),
+        )

@@ -1,0 +1,459 @@
+"""Second-level reduction schedules over shard partials.
+
+Each shard's engine reduces its slice of every query down to one partial
+vector; combining partials across shards is a classic sparse allreduce,
+and this module models the three canonical schedules over the
+:class:`~repro.hw.link.LinkModel` fabric:
+
+* **gather-to-root** — every shard ships its partials to shard 0, whose
+  ingress link drains the messages serially: O(S) link time, one step.
+  The baseline every tree schedule is measured against.
+* **recursive-doubling** — ``log2 S`` butterfly rounds; in round *k*
+  node *i* exchanges its full accumulated holdings with node ``i xor
+  2^k``.  All rounds run pair-parallel, so link time is O(log S) at full
+  message size.
+* **reduce-scatter + allgather** — recursive halving scatters ownership
+  of query *chunks* (round *k* ships only the chunks belonging to the
+  partner's half), then a doubling allgather spreads the fully reduced
+  chunks back: ``2·log2 S`` steps shipping roughly half the bytes per
+  step.
+
+Non-power-of-two shard counts use the standard fold-in: shards beyond
+the largest power of two ship their holdings to a partner in a pre-step
+and sit out the butterfly.
+
+**Determinism.**  Floating-point reduction is not associative, so the
+*numeric* fold must not depend on which schedule moved the bytes.  All
+schedules therefore route *piece-tagged* partials and defer any
+numerically non-adjacent combination; the one true fold is
+:func:`canonical_fold` — a fixed tournament over piece ids — applied
+when a node holds every present piece of a query.  The message-size
+model charges for that honesty: a holding that cannot yet fold ships as
+multiple *segments* (one per maximal complete subtree of the
+tournament), exactly the deterministic-reduction tax real allreduce
+implementations pay for bitwise reproducibility.  Because pieces from
+:meth:`~repro.comm.partition.IndexPartition.by_home_rank` are subtrees
+of the single-node FAFNIR tree, the tournament reproduces the
+single-node root association bit for bit.
+
+Sparsity is first-class (the Tascade framing): a shard only holds — and
+only ships — the queries its piece actually touches, so message bytes
+track the workload's sharing structure rather than the batch size.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, FrozenSet, List, Mapping, Optional, Set, Tuple
+
+import numpy as np
+
+from repro.hw.link import LinkModel
+from repro.obs.events import SHARD_MSG_SENT, SHARD_REDUCED, TraceEvent
+
+#: Wire overhead per shipped segment: piece-range tag + query id + length.
+SEGMENT_HEADER_BYTES = 8
+
+SCHEDULE_GATHER = "gather"
+SCHEDULE_REDUCE_SCATTER = "reduce_scatter"
+SCHEDULE_RECURSIVE_DOUBLING = "recursive_doubling"
+
+
+def _next_pow2(n: int) -> int:
+    power = 1
+    while power < n:
+        power *= 2
+    return power
+
+
+def _prev_pow2(n: int) -> int:
+    power = 1
+    while power * 2 <= n:
+        power *= 2
+    return power
+
+
+def canonical_fold(
+    entries: Mapping[int, np.ndarray],
+    num_pieces: int,
+    combine: Callable[[np.ndarray, np.ndarray], np.ndarray],
+) -> np.ndarray:
+    """The one deterministic fold: a tournament over piece ids.
+
+    Pieces are combined along a fixed balanced binary tree over
+    ``[0, next_pow2(num_pieces))``; absent pieces are skipped without
+    disturbing the association of the rest.  Invariant under schedule
+    choice and shard-order permutation by construction, and — for
+    subtree-aligned partitions — bitwise equal to the single-node FAFNIR
+    root reduction.
+    """
+    if not entries:
+        raise ValueError("cannot fold zero partials")
+
+    def fold(lo: int, hi: int) -> Optional[np.ndarray]:
+        if hi - lo == 1:
+            return entries.get(lo)
+        mid = (lo + hi) // 2
+        left = fold(lo, mid)
+        right = fold(mid, hi)
+        if left is None:
+            return right
+        if right is None:
+            return left
+        return combine(left, right)
+
+    result = fold(0, _next_pow2(num_pieces))
+    assert result is not None
+    return result
+
+
+def segment_count(
+    held: FrozenSet[int], present: FrozenSet[int], num_pieces: int
+) -> int:
+    """Segments needed to ship ``held`` without breaking the canonical fold.
+
+    A run of held pieces may travel as one combined vector only if it
+    forms a *complete subtree* of the tournament over the query's present
+    pieces; anything else must stay piece-tagged.  The count is therefore
+    the number of maximal tournament subtrees fully covered by ``held``.
+    """
+    if not held:
+        return 0
+
+    def count(lo: int, hi: int) -> int:
+        window_present = [p for p in present if lo <= p < hi]
+        if not window_present:
+            return 0
+        if all(p in held for p in window_present):
+            return 1
+        if hi - lo == 1:
+            return 0  # present but not held
+        mid = (lo + hi) // 2
+        return count(lo, mid) + count(mid, hi)
+
+    return count(0, _next_pow2(num_pieces))
+
+
+@dataclass(frozen=True)
+class CommMessage:
+    """One modeled inter-shard message."""
+
+    step: int
+    src: int
+    dst: int
+    payload_bytes: int
+    queries: int
+    segments: int
+
+
+@dataclass
+class ScheduleOutcome:
+    """Cost and routing results of one schedule over one batch's partials.
+
+    ``comm_pe_cycles`` is the makespan of the synchronous step sequence;
+    ``events`` carry relative cycles (step end, starting at 0) that the
+    reducer re-bases onto the shards' local completion time.
+    """
+
+    schedule: str
+    num_pieces: int
+    steps: int
+    messages: List[CommMessage] = field(default_factory=list)
+    step_cycles: List[int] = field(default_factory=list)
+    comm_pe_cycles: int = 0
+    total_bytes: int = 0
+    events: List[TraceEvent] = field(default_factory=list)
+
+    @property
+    def message_count(self) -> int:
+        return len(self.messages)
+
+
+class _RoutingState:
+    """Piece holdings per node plus the bookkeeping all schedules share."""
+
+    def __init__(
+        self,
+        touched: Mapping[int, FrozenSet[int]],
+        num_pieces: int,
+        vector_bytes: int,
+        link: LinkModel,
+        schedule: str,
+    ) -> None:
+        self.num_pieces = num_pieces
+        self.vector_bytes = vector_bytes
+        self.link = link
+        # present[q]: pieces contributing to query q (global sparsity map;
+        # a real deployment learns this from the query headers it already
+        # routes, exactly like the engine's header algebra).
+        self.present: Dict[int, FrozenSet[int]] = {}
+        for piece, queries in touched.items():
+            for query in queries:
+                existing = self.present.get(query, frozenset())
+                self.present[query] = existing | {piece}
+        # hold[node][q]: pieces of q currently resident on the node.
+        self.hold: List[Dict[int, FrozenSet[int]]] = [
+            {query: frozenset({piece}) for query in touched.get(piece, frozenset())}
+            for piece in range(num_pieces)
+        ]
+        self.outcome = ScheduleOutcome(schedule=schedule, num_pieces=num_pieces, steps=0)
+        self._cursor = 0  # relative PE-cycle end of the last closed step
+
+    # --- message construction ---------------------------------------------
+    def payload(
+        self, src: int, queries: Optional[Set[int]] = None
+    ) -> Tuple[Dict[int, FrozenSet[int]], int, int]:
+        """(holdings shipped, payload bytes, segment count) for one send."""
+        holdings = self.hold[src]
+        if queries is not None:
+            holdings = {q: holdings[q] for q in queries if q in holdings}
+        segments = 0
+        for query, held in holdings.items():
+            segments += segment_count(held, self.present[query], self.num_pieces)
+        payload_bytes = segments * (self.vector_bytes + SEGMENT_HEADER_BYTES)
+        return holdings, payload_bytes, segments
+
+    def send(
+        self, step: int, src: int, dst: int, queries: Optional[Set[int]] = None
+    ) -> Optional[CommMessage]:
+        """Ship (a slice of) ``src``'s holdings to ``dst``; empty → no wire."""
+        holdings, payload_bytes, segments = self.payload(src, queries)
+        if not holdings:
+            return None
+        for query, held in holdings.items():
+            self.hold[dst][query] = self.hold[dst].get(query, frozenset()) | held
+        if queries is not None:
+            for query in list(holdings):
+                del self.hold[src][query]
+        message = CommMessage(
+            step=step,
+            src=src,
+            dst=dst,
+            payload_bytes=payload_bytes,
+            queries=len(holdings),
+            segments=segments,
+        )
+        self.outcome.messages.append(message)
+        self.outcome.total_bytes += payload_bytes
+        return message
+
+    def close_step(self, step: int, cycles: int, inbound: Dict[int, int]) -> None:
+        """Account one synchronous step: duration, events, reduce marks."""
+        self._cursor += cycles
+        self.outcome.step_cycles.append(cycles)
+        self.outcome.steps += 1
+        for message in self.outcome.messages:
+            if message.step == step:
+                self.outcome.events.append(
+                    TraceEvent(
+                        SHARD_MSG_SENT,
+                        cycle=self._cursor,
+                        args={
+                            "step": step,
+                            "src": message.src,
+                            "dst": message.dst,
+                            "bytes": message.payload_bytes,
+                            "queries": message.queries,
+                            "segments": message.segments,
+                        },
+                    )
+                )
+        for node in sorted(inbound):
+            self.outcome.events.append(
+                TraceEvent(
+                    SHARD_REDUCED,
+                    cycle=self._cursor,
+                    args={
+                        "step": step,
+                        "node": node,
+                        "messages": inbound[node],
+                        "queries": len(self.hold[node]),
+                    },
+                )
+            )
+
+    def finish(self, consumer: int = 0) -> ScheduleOutcome:
+        """Close the outcome, asserting the consumer holds every partial."""
+        for query, present in self.present.items():
+            held = self.hold[consumer].get(query, frozenset())
+            if not held >= present:
+                raise RuntimeError(
+                    f"schedule {self.outcome.schedule!r} left query {query} "
+                    f"incomplete at node {consumer}: holds {sorted(held)} "
+                    f"of {sorted(present)}"
+                )
+        self.outcome.comm_pe_cycles = self._cursor
+        return self.outcome
+
+    # --- shared building blocks -------------------------------------------
+    def fold_in_extras(self, core: int) -> None:
+        """Pre-step: shards beyond the power-of-two core ship to a partner."""
+        if core >= self.num_pieces:
+            return
+        step = self.outcome.steps
+        longest = 0
+        inbound: Dict[int, int] = {}
+        for src in range(core, self.num_pieces):
+            message = self.send(step, src, src - core)
+            if message is not None:
+                longest = max(longest, self.link.transfer_pe_cycles(message.payload_bytes))
+                inbound[src - core] = inbound.get(src - core, 0) + 1
+        self.close_step(step, longest, inbound)
+
+
+class ReductionSchedule:
+    """Interface: route every shard's partials to the consumer (node 0)."""
+
+    name: str
+
+    def run(
+        self,
+        touched: Mapping[int, FrozenSet[int]],
+        num_pieces: int,
+        vector_bytes: int,
+        link: LinkModel,
+    ) -> ScheduleOutcome:
+        """Model one batch's cross-shard reduction.
+
+        Args:
+            touched: piece id → query positions that piece contributes to
+                (the sparsity map; pieces may be absent).
+            num_pieces: total shard count (piece ids are ``range`` of it).
+            vector_bytes: bytes of one partial vector on the wire.
+            link: inter-node link model.
+        """
+        raise NotImplementedError
+
+
+class GatherToRoot(ReductionSchedule):
+    """Everybody ships to shard 0; the root ingress drains serially."""
+
+    name = SCHEDULE_GATHER
+
+    def run(self, touched, num_pieces, vector_bytes, link):
+        state = _RoutingState(touched, num_pieces, vector_bytes, link, self.name)
+        if num_pieces > 1:
+            cycles = 0
+            inbound: Dict[int, int] = {}
+            for src in range(1, num_pieces):
+                message = state.send(0, src, 0)
+                if message is not None:
+                    cycles += link.transfer_pe_cycles(message.payload_bytes)
+                    inbound[0] = inbound.get(0, 0) + 1
+            state.close_step(0, cycles, inbound)
+        return state.finish()
+
+
+class RecursiveDoubling(ReductionSchedule):
+    """Butterfly exchange: ``log2 S`` pair-parallel full-size rounds."""
+
+    name = SCHEDULE_RECURSIVE_DOUBLING
+
+    def run(self, touched, num_pieces, vector_bytes, link):
+        state = _RoutingState(touched, num_pieces, vector_bytes, link, self.name)
+        core = _prev_pow2(num_pieces)
+        state.fold_in_extras(core)
+        distance = 1
+        while distance < core:
+            step = state.outcome.steps
+            longest = 0
+            inbound: Dict[int, int] = {}
+            pair_cycles: Dict[Tuple[int, int], int] = {}
+            for node in range(core):
+                partner = node ^ distance
+                message = state.send(step, node, partner)
+                if message is not None:
+                    cycles = link.transfer_pe_cycles(message.payload_bytes)
+                    pair = (min(node, partner), max(node, partner))
+                    if link.duplex:
+                        longest = max(longest, cycles)
+                    else:
+                        pair_cycles[pair] = pair_cycles.get(pair, 0) + cycles
+                    inbound[partner] = inbound.get(partner, 0) + 1
+            if not link.duplex and pair_cycles:
+                longest = max(pair_cycles.values())
+            state.close_step(step, longest, inbound)
+            distance *= 2
+        return state.finish()
+
+
+class ReduceScatterAllgather(ReductionSchedule):
+    """Recursive halving over query chunks, then a doubling allgather."""
+
+    name = SCHEDULE_REDUCE_SCATTER
+
+    def run(self, touched, num_pieces, vector_bytes, link):
+        state = _RoutingState(touched, num_pieces, vector_bytes, link, self.name)
+        core = _prev_pow2(num_pieces)
+        state.fold_in_extras(core)
+        if core > 1:
+            chunk_of = {query: query % core for query in state.present}
+            # Recursive halving: shed the chunks belonging to the partner's
+            # half, keep your own; after log2(core) rounds node i owns
+            # exactly the fully-combined chunk i.
+            distance = core // 2
+            while distance >= 1:
+                step = state.outcome.steps
+                longest = 0
+                inbound: Dict[int, int] = {}
+                pair_cycles: Dict[Tuple[int, int], int] = {}
+                for node in range(core):
+                    partner = node ^ distance
+                    to_ship = {
+                        query
+                        for query in state.hold[node]
+                        if chunk_of[query] & distance == partner & distance
+                    }
+                    message = state.send(step, node, partner, to_ship)
+                    if message is not None:
+                        cycles = link.transfer_pe_cycles(message.payload_bytes)
+                        pair = (min(node, partner), max(node, partner))
+                        if link.duplex:
+                            longest = max(longest, cycles)
+                        else:
+                            pair_cycles[pair] = pair_cycles.get(pair, 0) + cycles
+                        inbound[partner] = inbound.get(partner, 0) + 1
+                if not link.duplex and pair_cycles:
+                    longest = max(pair_cycles.values())
+                state.close_step(step, longest, inbound)
+                distance //= 2
+            # Doubling allgather: fully reduced chunks spread back out so
+            # the consumer (and, symmetrically, every node) has the batch.
+            distance = 1
+            while distance < core:
+                step = state.outcome.steps
+                longest = 0
+                inbound = {}
+                pair_cycles = {}
+                for node in range(core):
+                    partner = node ^ distance
+                    message = state.send(step, node, partner)
+                    if message is not None:
+                        cycles = link.transfer_pe_cycles(message.payload_bytes)
+                        pair = (min(node, partner), max(node, partner))
+                        if link.duplex:
+                            longest = max(longest, cycles)
+                        else:
+                            pair_cycles[pair] = pair_cycles.get(pair, 0) + cycles
+                        inbound[partner] = inbound.get(partner, 0) + 1
+                if not link.duplex and pair_cycles:
+                    longest = max(pair_cycles.values())
+                state.close_step(step, longest, inbound)
+                distance *= 2
+        return state.finish()
+
+
+SCHEDULES: Dict[str, ReductionSchedule] = {
+    schedule.name: schedule
+    for schedule in (GatherToRoot(), ReduceScatterAllgather(), RecursiveDoubling())
+}
+
+
+def get_schedule(name: str) -> ReductionSchedule:
+    """Look up a schedule by name; raises ``KeyError`` for unknown names."""
+    try:
+        return SCHEDULES[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown reduction schedule {name!r}; available: {sorted(SCHEDULES)}"
+        ) from None

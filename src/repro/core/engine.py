@@ -144,6 +144,12 @@ class LookupResult:
     those indices), or :data:`~repro.faults.policy.STATUS_FAILED` (no
     index survived; the vector is all-NaN poison, never silent zeros).
     ``None`` means the run saw no fault machinery — every query is ``ok``.
+
+    ``ready_pe_cycles`` is each query's completion cycle at the tree root
+    (submission order, same length as ``vectors``; failed queries carry 0).
+    The batch-level ``stats.latency_pe_cycles`` is its maximum; the
+    per-query values let the cross-shard reducer time each query's partial
+    individually.
     """
 
     vectors: List[np.ndarray]
@@ -151,6 +157,7 @@ class LookupResult:
     plan: BatchPlan
     statuses: Optional[List[str]] = None
     dropped_indices: FrozenSet[int] = frozenset()
+    ready_pe_cycles: List[int] = field(default_factory=list)
 
     @property
     def query_statuses(self) -> List[str]:
@@ -625,7 +632,9 @@ class FafnirEngine:
                     },
                 )
             )
-        return LookupResult(vectors=vectors, stats=stats, plan=plan)
+        return LookupResult(
+            vectors=vectors, stats=stats, plan=plan, ready_pe_cycles=ready_cycles
+        )
 
     # --- fault-injected execution -------------------------------------
     def _run_batch_faulty(
@@ -720,6 +729,7 @@ class FafnirEngine:
             plan=plan,
             statuses=statuses,
             dropped_indices=frozenset(dropped),
+            ready_pe_cycles=ready_cycles,
         )
 
     def _fetch_one_vector(

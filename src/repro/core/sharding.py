@@ -39,6 +39,22 @@ A :class:`~repro.faults.plan.FaultPlan` passed to the runner ships to
 every worker (it is plain picklable data), so rank degradation and
 leaf-boundary corruption fire inside the replicas while crash/hang faults
 fire at the worker boundary the runner itself guards.
+
+**Cross-shard reduction** (:meth:`ShardedRunner.run_reduced`) is the
+opt-in table-parallel mode: instead of routing whole batches at replica
+shards, every query is *split* along an
+:class:`~repro.comm.partition.IndexPartition`, each shard reduces the
+slice of the index space it owns, and the partials ride a second-level
+reduction schedule (``reduction=`` names it) over a modeled inter-node
+link back to one answer per query — byte-identical to a single-node
+engine for subtree-aligned partitions.  The shard sub-streams run
+through the same :meth:`run` machinery, so crash/hang faults on a shard
+are detected and its partials re-dispatched before the reduction tree
+completes, and index-keyed fault plans degrade queries to the exact
+vectors and statuses the single-node engine reports.  The comm-phase
+trace events (``shard_msg_sent``/``shard_reduced``) are synthesized in
+the parent from the deterministic partials, so serial-fallback and
+process-pool runs ship identical reduction event streams.
 """
 
 from __future__ import annotations
@@ -49,7 +65,11 @@ import time
 from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures import TimeoutError as FuturesTimeoutError
 from concurrent.futures.process import BrokenProcessPool
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple, Union
+
+if TYPE_CHECKING:  # sharding ← comm.reducer ← core.engine: import lazily
+    from repro.comm.partition import IndexPartition
+    from repro.comm.reducer import ReducedRunResult
 
 from repro.core.config import FafnirConfig
 from repro.core.engine import FafnirEngine, MultiBatchResult, VectorSource
@@ -64,6 +84,7 @@ from repro.faults.plan import (
     SimulatedWorkerCrash,
 )
 from repro.faults.policy import FaultPolicy
+from repro.hw.link import LinkModel
 from repro.memory.config import MemoryConfig
 from repro.obs.events import (
     FAULT_DETECTED,
@@ -165,7 +186,28 @@ class ShardedRunner:
         trace: bool = False,
         faults: Optional[FaultPlan] = None,
         fault_policy: Optional[FaultPolicy] = None,
+        reduction: Optional[str] = None,
+        num_shards: Optional[int] = None,
+        partition: Optional["IndexPartition"] = None,
+        link: Optional[LinkModel] = None,
     ) -> None:
+        """Build the runner.
+
+        The last four parameters configure the opt-in cross-shard
+        reduction mode consumed by :meth:`run_reduced`:
+
+        Args:
+            reduction: schedule name (``"gather"``, ``"reduce_scatter"``,
+                ``"recursive_doubling"``); ``None`` leaves the runner in
+                plain replica mode.
+            num_shards: table-parallel shard count; defaults to the
+                partition's piece count, or 2 when neither is given.
+            partition: index-space ownership; defaults to the
+                subtree-aligned :meth:`IndexPartition.by_home_rank` split
+                of the configured tree (the byte-exact case).
+            link: inter-node link model (latency/bandwidth); defaults to
+                :class:`~repro.hw.link.LinkModel`'s PCIe-class numbers.
+        """
         self.config = config
         self.operator = operator
         self.memory_config = memory_config
@@ -174,6 +216,15 @@ class ShardedRunner:
         self.trace = trace
         self.faults = faults
         self.fault_policy = fault_policy if fault_policy is not None else FaultPolicy()
+        self.reduction = reduction
+        if partition is None and num_shards is not None:
+            from repro.comm.partition import IndexPartition
+
+            partition = IndexPartition.by_home_rank(
+                config if config is not None else FafnirConfig(), num_shards
+            )
+        self.partition = partition
+        self.link = link
 
     def run(
         self,
@@ -296,6 +347,76 @@ class ShardedRunner:
                 result.events = extra + result.events
             final.append(result)
         return final
+
+    # --- cross-shard reduction ----------------------------------------
+    def run_reduced(
+        self,
+        batches: Sequence[Batch],
+        source: VectorSource,
+        deduplicate: bool = True,
+        pipeline: bool = True,
+        schedule: Optional[Union[str, object]] = None,
+    ) -> "ReducedRunResult":
+        """Table-parallel execution: split, reduce locally, fold globally.
+
+        Every query is split along the runner's partition; each active
+        piece's sub-stream runs through :meth:`run` (inheriting the full
+        crash/hang re-dispatch machinery) under the *partial* operator,
+        and the partials are folded back per
+        :mod:`repro.comm.reducer` — byte-identical to a single-node
+        engine for subtree-aligned partitions, schedule and shard-order
+        invariant always.
+
+        Args:
+            batches: the original (unsplit) batch stream.
+            source: picklable vector source, as for :meth:`run`.
+            deduplicate / pipeline: forwarded to every shard engine.
+            schedule: override of the runner's ``reduction=`` schedule.
+
+        Note: shard-crash fault plans address *active* shard positions
+        (the order of ``ReducedRunResult.active_pieces``), since pieces
+        untouched by the whole stream never start a worker.
+        """
+        from repro.comm.partition import IndexPartition
+        from repro.comm.reducer import (
+            CrossShardReducer,
+            ShardSplit,
+            partial_operator,
+        )
+
+        if not batches:
+            raise ValueError("need at least one batch")
+        name = schedule if schedule is not None else self.reduction
+        if name is None:
+            raise ValueError(
+                "no reduction schedule configured; pass reduction= to the "
+                "runner or schedule= to run_reduced"
+            )
+        partition = self.partition
+        if partition is None:
+            partition = IndexPartition.by_home_rank(
+                self.config if self.config is not None else FafnirConfig(), 2
+            )
+        reducer = CrossShardReducer(
+            partition=partition,
+            schedule=name,
+            link=self.link,
+            operator=self.operator,
+            config=self.config,
+        )
+        split = ShardSplit(batches, partition)
+        saved_operator = self.operator
+        self.operator = partial_operator(saved_operator)
+        try:
+            shard_results = self.run(
+                split.shard_streams(),
+                source,
+                deduplicate=deduplicate,
+                pipeline=pipeline,
+            )
+        finally:
+            self.operator = saved_operator
+        return reducer.combine(batches, split, shard_results)
 
     # ------------------------------------------------------------------
     def _shard_fault_events(

@@ -23,6 +23,7 @@ from repro.hw.connections import (
     crossover_memory_devices,
     fafnir_connections,
 )
+from repro.hw.link import LinkModel
 from repro.hw.fpga import (
     FpgaUtilization,
     PE_RESOURCES,
@@ -53,6 +54,7 @@ __all__ = [
     "DIMM_RANK_NODE_AREA_MM2",
     "DIMM_RANK_NODE_MW",
     "FpgaUtilization",
+    "LinkModel",
     "PES_PER_CHANNEL_NODE",
     "PES_PER_DIMM_RANK_NODE",
     "PE_AREA_MM2",

@@ -1,0 +1,80 @@
+"""Inter-node link model for cross-shard reduction (Tascade-style scale-out).
+
+One FAFNIR node reduces locally through its on-package tree; combining
+partial sums *across* nodes rides an ordinary interconnect (PCIe/NVLink/
+NIC class), which is orders of magnitude slower per byte than the
+intra-package wiring.  :class:`LinkModel` captures that boundary with the
+two numbers every collective cost model needs — a fixed per-message
+latency and a per-byte transfer rate — expressed in the PE clock domain so
+communication cycles compose directly with the engine's pipelined
+makespans.
+
+The defaults model a PCIe-4.0-x16-class link (~500 ns small-message
+latency, 25 GB/s effective): fast enough that a log-depth schedule wins,
+slow enough that shipping redundant bytes shows up in the benches.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict
+
+from repro.clocks import Clock, PE_CLOCK
+
+
+@dataclass(frozen=True)
+class LinkModel:
+    """Latency/bandwidth parameters of one inter-node link.
+
+    Attributes:
+        latency_ns: fixed cost of any message (serialization, NIC/switch
+            traversal, protocol overhead).
+        bandwidth_gb_s: sustained payload rate in gigabytes per second.
+        duplex: whether a node can send and receive concurrently (true for
+            the modelled switched fabrics; half-duplex serializes the two
+            directions of an exchange step).
+        pe_clock: clock used to express transfer times in PE cycles.
+    """
+
+    latency_ns: float = 500.0
+    bandwidth_gb_s: float = 25.0
+    duplex: bool = True
+    pe_clock: Clock = PE_CLOCK
+
+    def __post_init__(self) -> None:
+        if self.latency_ns < 0:
+            raise ValueError("latency_ns must be non-negative")
+        if self.bandwidth_gb_s <= 0:
+            raise ValueError("bandwidth_gb_s must be positive")
+
+    def transfer_ns(self, payload_bytes: int) -> float:
+        """Wire time of one message carrying ``payload_bytes``."""
+        if payload_bytes < 0:
+            raise ValueError("payload_bytes must be non-negative")
+        return self.latency_ns + payload_bytes / self.bandwidth_gb_s
+
+    def transfer_pe_cycles(self, payload_bytes: int) -> int:
+        """Message time rounded up to whole PE cycles (composable with
+        engine makespans, which are integral PE cycles)."""
+        return self.pe_clock.ns_to_cycles(self.transfer_ns(payload_bytes))
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "latency_ns": self.latency_ns,
+            "bandwidth_gb_s": self.bandwidth_gb_s,
+            "duplex": self.duplex,
+            "pe_clock_mhz": self.pe_clock.freq_mhz,
+        }
+
+    @staticmethod
+    def from_dict(data: Dict[str, Any]) -> "LinkModel":
+        known = {"latency_ns", "bandwidth_gb_s", "duplex", "pe_clock_mhz"}
+        unknown = set(data) - known
+        if unknown:
+            raise ValueError(f"unknown link keys: {sorted(unknown)}")
+        return LinkModel(
+            latency_ns=data.get("latency_ns", 500.0),
+            bandwidth_gb_s=data.get("bandwidth_gb_s", 25.0),
+            duplex=data.get("duplex", True),
+            pe_clock=Clock(data.get("pe_clock_mhz", PE_CLOCK.freq_mhz)),
+        )

@@ -44,7 +44,9 @@ from repro.obs.events import (
     QUERY_COMPLETE,
     QUERY_DEGRADED,
     RETRY_ISSUED,
+    SHARD_MSG_SENT,
     SHARD_REDISPATCHED,
+    SHARD_REDUCED,
     TraceEvent,
 )
 from repro.obs.metrics import (
@@ -94,7 +96,9 @@ __all__ = [
     "QUERY_COMPLETE",
     "QUERY_DEGRADED",
     "RETRY_ISSUED",
+    "SHARD_MSG_SENT",
     "SHARD_REDISPATCHED",
+    "SHARD_REDUCED",
     "Sink",
     "TraceEvent",
     "Tracer",

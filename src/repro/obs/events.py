@@ -35,6 +35,12 @@ kind                      meaning
                           healthy worker by ``ShardedRunner``
 ``query_degraded``        a query lost vectors and completed with
                           ``degraded``/``failed`` status (graceful mode)
+``shard_msg_sent``        cross-shard reduction: one modeled inter-node
+                          message (args carry step/src/dst/bytes/queries/
+                          segments)
+``shard_reduced``         cross-shard reduction: a node merged inbound
+                          partials at the end of a schedule step (args carry
+                          step/node/messages/queries)
 ========================  =====================================================
 
 Memory events carry DRAM-clock cycles (``clock == CLOCK_DRAM``); everything
@@ -67,6 +73,8 @@ FAULT_DETECTED = "fault_detected"
 RETRY_ISSUED = "retry_issued"
 SHARD_REDISPATCHED = "shard_redispatched"
 QUERY_DEGRADED = "query_degraded"
+SHARD_MSG_SENT = "shard_msg_sent"
+SHARD_REDUCED = "shard_reduced"
 
 EVENT_KINDS = (
     BATCH_START,
@@ -86,6 +94,8 @@ EVENT_KINDS = (
     RETRY_ISSUED,
     SHARD_REDISPATCHED,
     QUERY_DEGRADED,
+    SHARD_MSG_SENT,
+    SHARD_REDUCED,
 )
 
 # --- clock domains ---------------------------------------------------------

@@ -29,7 +29,9 @@ from repro.obs.events import (
     QUERY_COMPLETE,
     QUERY_DEGRADED,
     RETRY_ISSUED,
+    SHARD_MSG_SENT,
     SHARD_REDISPATCHED,
+    SHARD_REDUCED,
     TraceEvent,
 )
 
@@ -185,7 +187,10 @@ def metrics_from_events(
     * ``faults.injected.<type>`` / ``faults.detected.<type>`` /
       ``faults.unrecovered.<type>`` counters, ``faults.retries`` /
       ``faults.redispatches`` totals, and ``query.status.<status>``
-      counters from graceful-degradation runs.
+      counters from graceful-degradation runs;
+    * ``comm.messages`` / ``comm.bytes`` / ``comm.segments`` totals and a
+      ``comm.message_bytes`` histogram from cross-shard reduction runs,
+      plus ``comm.reduces`` merge-step counts.
     """
     metrics = registry if registry is not None else MetricsRegistry()
     for event in events:
@@ -226,6 +231,15 @@ def metrics_from_events(
         elif event.kind == QUERY_DEGRADED:
             status = event.args.get("status", "degraded")
             metrics.counter(f"query.status.{status}").inc()
+        elif event.kind == SHARD_MSG_SENT:
+            metrics.counter("comm.messages").inc()
+            metrics.counter("comm.bytes").inc(event.args.get("bytes", 0))
+            metrics.counter("comm.segments").inc(event.args.get("segments", 0))
+            metrics.histogram("comm.message_bytes").record(
+                event.args.get("bytes", 0)
+            )
+        elif event.kind == SHARD_REDUCED:
+            metrics.counter("comm.reduces").inc()
     return metrics
 
 

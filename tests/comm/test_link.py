@@ -1,0 +1,63 @@
+"""Unit tests for the inter-node link model."""
+
+import pytest
+
+from repro.clocks import PE_CLOCK
+from repro.hw.link import LinkModel
+
+
+def test_defaults_are_pcie_class():
+    link = LinkModel()
+    assert link.latency_ns == 500.0
+    assert link.bandwidth_gb_s == 25.0
+    assert link.duplex
+
+
+def test_transfer_time_is_latency_plus_bytes_over_bandwidth():
+    link = LinkModel(latency_ns=100.0, bandwidth_gb_s=10.0)
+    # 1 GB/s == 1 byte/ns, so 10 GB/s moves 1000 bytes in 100 ns.
+    assert link.transfer_ns(0) == 100.0
+    assert link.transfer_ns(1000) == pytest.approx(200.0)
+
+
+def test_transfer_pe_cycles_is_integral_and_rounds_up():
+    link = LinkModel(latency_ns=500.0, bandwidth_gb_s=25.0)
+    cycles = link.transfer_pe_cycles(4096)
+    assert isinstance(cycles, int)
+    assert cycles == PE_CLOCK.ns_to_cycles(link.transfer_ns(4096))
+    # A bigger payload can never be cheaper.
+    assert link.transfer_pe_cycles(8192) >= cycles
+
+
+def test_zero_byte_message_still_pays_latency():
+    link = LinkModel(latency_ns=500.0)
+    assert link.transfer_pe_cycles(0) == PE_CLOCK.ns_to_cycles(500.0)
+
+
+@pytest.mark.parametrize(
+    "kwargs",
+    [
+        {"latency_ns": -1.0},
+        {"bandwidth_gb_s": 0.0},
+        {"bandwidth_gb_s": -5.0},
+    ],
+)
+def test_invalid_parameters_rejected(kwargs):
+    with pytest.raises(ValueError):
+        LinkModel(**kwargs)
+
+
+def test_negative_payload_rejected():
+    with pytest.raises(ValueError):
+        LinkModel().transfer_ns(-1)
+
+
+def test_dict_roundtrip():
+    link = LinkModel(latency_ns=250.0, bandwidth_gb_s=50.0, duplex=False)
+    restored = LinkModel.from_dict(link.to_dict())
+    assert restored == link
+
+
+def test_from_dict_rejects_unknown_keys():
+    with pytest.raises(ValueError, match="unknown link keys"):
+        LinkModel.from_dict({"latency_ns": 10.0, "bandwdith": 1.0})

@@ -1,0 +1,276 @@
+"""Differential matrix: single-node engines vs every cross-shard schedule.
+
+The cross-shard reduction (src/repro/comm/) claims byte-identity with the
+single-node tree for subtree-aligned partitions: each shard computes an
+exact subtree of the single-node tournament, and the canonical fold
+replays the missing upper levels in the same association.  This module
+pits every single-node engine variant (scalar kernel, vector kernel, SoA
+sweep) against every sharded ``reduction=`` schedule at power-of-two
+shard counts and requires bit-for-bit agreement on vectors and statuses —
+on clean runs and under index-keyed fault injection, where retries and
+dropped rows must land on exactly the same queries in both worlds.
+
+Latencies are compared where the model says they must agree: the three
+sharded schedules share identical shard-local per-query latencies (a
+schedule only re-times the comm phase), and the single-node kernels share
+identical latencies among themselves.  Single-node and sharded latencies
+legitimately differ — a shard's private memory system sees less
+contention than one node serving the whole stream.
+"""
+
+import numpy as np
+import pytest
+
+from repro.comm import SCHEDULES, IndexPartition, LinkModel
+from repro.core.config import FafnirConfig
+from repro.core.engine import FafnirEngine
+from repro.core.sharding import ShardedRunner
+from repro.faults import FaultPlan, FaultPolicy
+from repro.obs import SHARD_MSG_SENT, SHARD_REDUCED
+
+UNIVERSE = 512
+LINK = LinkModel(latency_ns=300.0, bandwidth_gb_s=20.0)
+SINGLE_VARIANTS = [("scalar", "object"), ("vector", "object"), ("vector", "soa")]
+
+
+def random_setup(seed):
+    """One machine + stream whose partitions stay subtree-aligned."""
+    rng = np.random.default_rng(seed)
+    leaves = int(rng.choice([4, 8]))
+    ranks_per_leaf = int(rng.choice([1, 2, 4]))
+    config = FafnirConfig(
+        total_ranks=leaves * ranks_per_leaf,
+        ranks_per_leaf_pe=ranks_per_leaf,
+        batch_size=int(rng.integers(2, 13)),
+        max_query_len=8,
+        vector_bytes=int(rng.choice([32, 64])),
+    )
+    batches = [
+        [
+            rng.choice(
+                UNIVERSE, size=rng.integers(1, 9), replace=False
+            ).tolist()
+            for _ in range(rng.integers(1, config.batch_size + 1))
+        ]
+        for _ in range(int(rng.integers(1, 4)))
+    ]
+    return config, batches
+
+
+class make_source:
+    """Picklable deterministic vector source (crosses process pools)."""
+
+    def __init__(self, seed, elements):
+        self.seed = seed
+        self.elements = elements
+
+    def __call__(self, index):
+        rng = np.random.default_rng(30_000 + self.seed * 1000 + index)
+        return rng.standard_normal(self.elements)
+
+
+def run_single(config, batches, source, kernel, engine, **kwargs):
+    instance = FafnirEngine(
+        config=config, operator="sum", kernel=kernel, engine=engine, **kwargs
+    )
+    result = instance.run_batches(batches, source)
+    latencies = [
+        cycles for item in result.results for cycles in item.ready_pe_cycles
+    ]
+    return result.vectors, result.statuses, latencies
+
+
+def run_sharded(config, batches, source, schedule, shards, **kwargs):
+    runner = ShardedRunner(
+        config=config,
+        operator="sum",
+        max_workers=1,
+        reduction=schedule,
+        num_shards=shards,
+        link=LINK,
+        **kwargs,
+    )
+    reduced = runner.run_reduced(batches, source)
+    return reduced
+
+
+SEEDS = range(8)
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_matrix_agrees_on_vectors_and_statuses(seed):
+    """Every cell — 3 single-node variants x {2,4} shards x 3 schedules —
+    produces the same bytes and the same per-query statuses."""
+    config, batches = random_setup(seed)
+    source = make_source(seed, config.vector_elements)
+
+    reference, ref_statuses, _ = run_single(
+        config, batches, source, "vector", "object"
+    )
+    ref_bytes = [vector.tobytes() for vector in reference]
+
+    for kernel, engine in SINGLE_VARIANTS:
+        vectors, statuses, _ = run_single(
+            config, batches, source, kernel, engine
+        )
+        assert [v.tobytes() for v in vectors] == ref_bytes, (kernel, engine)
+        assert statuses == ref_statuses
+
+    for shards in (2, 4):
+        for name in sorted(SCHEDULES):
+            reduced = run_sharded(config, batches, source, name, shards)
+            assert [v.tobytes() for v in reduced.vectors] == ref_bytes, (
+                shards,
+                name,
+            )
+            assert reduced.statuses == ref_statuses
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_local_latencies_are_schedule_independent(seed):
+    """A schedule re-times only the comm phase: per-query shard-local
+    latencies must be identical across all three schedules (and the
+    single-node kernels must agree among themselves)."""
+    config, batches = random_setup(seed)
+    source = make_source(seed, config.vector_elements)
+
+    single = {
+        (kernel, engine): run_single(
+            config, batches, source, kernel, engine
+        )[2]
+        for kernel, engine in SINGLE_VARIANTS
+    }
+    assert len({tuple(lat) for lat in single.values()}) == 1
+
+    sharded = {
+        name: run_sharded(config, batches, source, name, 4).local_latencies
+        for name in sorted(SCHEDULES)
+    }
+    assert len({tuple(lat) for lat in sharded.values()}) == 1
+    # And the comm phase genuinely differs between schedules, so the
+    # equality above is not vacuous.
+    ends = {
+        name: run_sharded(config, batches, source, name, 4).comm_pe_cycles
+        for name in sorted(SCHEDULES)
+    }
+    assert len(set(ends.values())) > 1
+
+
+@pytest.mark.parametrize("seed", range(6))
+def test_matrix_agrees_under_fault_injection(seed):
+    """Index-keyed faults (corruption, source failures) drop the same rows
+    in every cell, so byte-identity must survive degraded and failed
+    queries — including the NaN fill of fully failed ones."""
+    config, batches = random_setup(seed)
+    source = make_source(seed, config.vector_elements)
+    plan = FaultPlan(
+        seed=seed,
+        vector_corruption_probability=0.4,
+        source_failure_probability=0.25,
+    )
+    policy = FaultPolicy.graceful(
+        max_corruption_retries=0, max_source_retries=0
+    )
+
+    reference, ref_statuses, _ = run_single(
+        config,
+        batches,
+        source,
+        "vector",
+        "object",
+        faults=plan,
+        fault_policy=policy,
+    )
+    ref_bytes = [vector.tobytes() for vector in reference]
+    assert set(ref_statuses) != {"ok"}, "faults never fired; weak test"
+
+    for shards in (2, 4):
+        for name in sorted(SCHEDULES):
+            reduced = run_sharded(
+                config,
+                batches,
+                source,
+                name,
+                shards,
+                faults=plan,
+                fault_policy=policy,
+            )
+            assert [v.tobytes() for v in reduced.vectors] == ref_bytes, (
+                shards,
+                name,
+            )
+            assert reduced.statuses == ref_statuses
+
+
+@pytest.mark.parametrize("seed", range(4))
+def test_crashed_shard_is_redispatched_before_the_tree_completes(seed):
+    """A shard crash re-dispatches that shard's sub-stream; the fold then
+    completes with the replacement partials, byte-identical to a clean
+    run, and the re-dispatch is visible in the shard-local trace."""
+    config, batches = random_setup(seed)
+    source = make_source(seed, config.vector_elements)
+
+    clean = run_sharded(config, batches, source, "recursive_doubling", 4)
+    crashed = ShardedRunner(
+        config=config,
+        operator="sum",
+        max_workers=1,
+        trace=True,
+        reduction="recursive_doubling",
+        num_shards=4,
+        link=LINK,
+        # Crash the first *active* position: tiny streams may touch a
+        # single piece, and crash plans address active shard positions.
+        faults=FaultPlan(seed=seed, crash_shards={0}, crash_attempts=1),
+    ).run_reduced(batches, source)
+
+    assert [v.tobytes() for v in crashed.vectors] == [
+        v.tobytes() for v in clean.vectors
+    ]
+    assert crashed.statuses == clean.statuses
+    redispatches = [
+        event
+        for result in crashed.shard_results
+        if result.events
+        for event in result.events
+        if event.kind == "shard_redispatched"
+    ]
+    assert redispatches, "crash never surfaced in the trace"
+
+
+@pytest.mark.parametrize("seed", range(4))
+def test_serial_and_process_paths_ship_identical_reduction_events(seed):
+    """Satellite fix: the serial fallback (max_workers=1) must emit the
+    same comm event stream as the process-pool path — the events are
+    synthesized from deterministic partials, so the execution vehicle
+    may not leak into the trace."""
+    config, batches = random_setup(seed)
+    source = make_source(seed, config.vector_elements)
+
+    def run(workers):
+        runner = ShardedRunner(
+            config=config,
+            operator="sum",
+            max_workers=workers,
+            trace=True,
+            reduction="reduce_scatter",
+            num_shards=4,
+            link=LINK,
+        )
+        return runner.run_reduced(batches, source)
+
+    serial = run(1)
+    pooled = run(2)
+
+    assert [v.tobytes() for v in serial.vectors] == [
+        v.tobytes() for v in pooled.vectors
+    ]
+    assert serial.events == pooled.events
+    assert serial.events, "reduction emitted no comm events"
+    kinds = {event.kind for event in serial.events}
+    assert kinds == {SHARD_MSG_SENT, SHARD_REDUCED}
+    # Shard-local streams must match too: same sub-batches, same engine,
+    # same physics, regardless of which process hosted them.
+    assert len(serial.shard_results) == len(pooled.shard_results)
+    for a, b in zip(serial.shard_results, pooled.shard_results):
+        assert a.events == b.events

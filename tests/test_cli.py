@@ -24,6 +24,7 @@ class TestParser:
             "trace",
             "chaos",
             "serve",
+            "reduce",
         }
 
     def test_requires_subcommand(self):
@@ -125,6 +126,19 @@ class TestCommands:
     def test_serve_closed_loop_quick(self, capsys):
         assert main(["serve", "--quick", "--closed-loop", "--users", "16"]) == 0
         assert "closed-loop" in capsys.readouterr().out
+
+    def test_reduce_quick(self, capsys):
+        assert main(["reduce", "--quick"]) == 0
+        out = capsys.readouterr().out
+        assert "reduction sweep" in out
+        for name in ("gather", "recursive_doubling", "reduce_scatter"):
+            assert name in out
+        assert "all cells byte-identical" in out
+        assert "DIVERGED" not in out
+
+    def test_reduce_mean_operator_quick(self, capsys):
+        assert main(["reduce", "--quick", "--operator", "mean"]) == 0
+        assert "operator mean" in capsys.readouterr().out
 
     def test_serve_min_attainment_floor(self, capsys):
         # Far past capacity (~8.7M QPS) queueing delay accumulates with the
