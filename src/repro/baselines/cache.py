@@ -4,30 +4,30 @@ RecNMP reduces redundant DRAM accesses with per-rank caches: 128 KB per rank
 achieves at most a ~50 % hit rate in the paper.  The cache stores whole
 embedding vectors, so its capacity in vectors is ``size_bytes /
 vector_bytes`` (256 vectors at the reference 512 B).
+
+This module is now a thin facade over the shared hot-index tiering model
+(:mod:`repro.tiering.cache`): :class:`VectorCache` delegates every access
+to a :class:`~repro.tiering.cache.HotIndexCache` with the same geometry
+and LRU policy, and :class:`CacheStats` *is* the tiering model's stats
+type.  Baseline numbers and the FAFNIR tier therefore cannot drift apart
+— ``tests/baselines/test_cache.py`` pins the delegation with an
+old-vs-new hit/miss stream equivalence test.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List
+from repro.tiering.cache import CacheStats, HotIndexCache, POLICY_LRU
 
-
-@dataclass
-class CacheStats:
-    hits: int = 0
-    misses: int = 0
-
-    @property
-    def accesses(self) -> int:
-        return self.hits + self.misses
-
-    @property
-    def hit_rate(self) -> float:
-        return self.hits / self.accesses if self.accesses else 0.0
+__all__ = ["CacheStats", "VectorCache", "RankCacheArray"]
 
 
 class VectorCache:
-    """LRU set-associative cache keyed by vector id."""
+    """LRU set-associative cache keyed by vector id.
+
+    The historical RecNMP-baseline interface (``vector_bytes`` naming,
+    ``capacity_vectors``), implemented by the shared
+    :class:`~repro.tiering.cache.HotIndexCache`.
+    """
 
     def __init__(
         self,
@@ -35,43 +35,35 @@ class VectorCache:
         vector_bytes: int = 512,
         ways: int = 8,
     ) -> None:
-        if size_bytes <= 0 or vector_bytes <= 0 or ways <= 0:
-            raise ValueError("cache parameters must be positive")
-        capacity = size_bytes // vector_bytes
-        if capacity < ways:
-            raise ValueError(
-                f"cache of {size_bytes} B holds {capacity} vectors, fewer "
-                f"than {ways} ways"
-            )
-        self.num_sets = max(1, capacity // ways)
-        self.ways = ways
-        self._sets: Dict[int, List[int]] = {}
-        self.stats = CacheStats()
+        self._cache = HotIndexCache(
+            size_bytes=size_bytes,
+            line_bytes=vector_bytes,
+            ways=ways,
+            policy=POLICY_LRU,
+        )
+
+    @property
+    def num_sets(self) -> int:
+        return self._cache.num_sets
+
+    @property
+    def ways(self) -> int:
+        return self._cache.ways
+
+    @property
+    def stats(self) -> CacheStats:
+        return self._cache.stats
 
     @property
     def capacity_vectors(self) -> int:
-        return self.num_sets * self.ways
+        return self._cache.capacity_lines
 
     def access(self, vector_id: int) -> bool:
         """Touch a vector; returns True on hit.  Misses allocate (LRU)."""
-        if vector_id < 0:
-            raise ValueError("vector_id must be non-negative")
-        index = vector_id % self.num_sets
-        entries = self._sets.setdefault(index, [])
-        if vector_id in entries:
-            entries.remove(vector_id)
-            entries.append(vector_id)  # most-recently-used at the tail
-            self.stats.hits += 1
-            return True
-        self.stats.misses += 1
-        entries.append(vector_id)
-        if len(entries) > self.ways:
-            entries.pop(0)
-        return False
+        return self._cache.access(vector_id)
 
     def reset(self) -> None:
-        self._sets.clear()
-        self.stats = CacheStats()
+        self._cache.reset()
 
 
 class RankCacheArray:
@@ -101,6 +93,5 @@ class RankCacheArray:
     def stats(self) -> CacheStats:
         total = CacheStats()
         for cache in self._caches:
-            total.hits += cache.stats.hits
-            total.misses += cache.stats.misses
+            total = total.merged_with(cache.stats)
         return total

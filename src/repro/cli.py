@@ -25,7 +25,11 @@ Subcommands mirror the things a user actually does with the library:
 * ``reduce``  — sweep the cross-shard reduction schedules (gather-to-root,
   reduce-scatter + allgather, recursive-doubling) over shard counts on a
   modeled inter-node link, verifying every cell byte-identical to the
-  single-node engine and printing messages/bytes/steps/comm-cycle costs.
+  single-node engine and printing messages/bytes/steps/comm-cycle costs;
+* ``cache``   — sweep the opt-in hot-index tier (``src/repro/tiering``)
+  over per-rank cache sizes and Zipf skews: hit rate, DRAM reads saved on
+  top of dedup alone, and p99 query latency per cell, with every cached
+  run verified byte-identical to its uncached twin.
 
 Run ``python -m repro.cli <subcommand> --help`` for options.
 """
@@ -358,18 +362,26 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     qps_levels = args.qps or ([0.5e6, 4e6] if args.quick else [0.5e6, 2e6, 6e6, 12e6])
     n_requests = 120 if args.quick else args.requests
     tables = EmbeddingTableSet.random(seed=args.seed)
-    table = Table(
-        [
-            "offered_qps",
-            "requests",
-            "mean_batch",
-            "interactive",
-            "p50_us",
-            "p99_us",
-            "slo_attain",
-            "dedup_savings",
-        ]
-    )
+    tier = None
+    if args.cache_kb:
+        from repro.tiering import HotTierConfig
+
+        tier = HotTierConfig(
+            size_bytes=args.cache_kb * 1024, line_bytes=tables.vector_bytes
+        )
+    columns = [
+        "offered_qps",
+        "requests",
+        "mean_batch",
+        "interactive",
+        "p50_us",
+        "p99_us",
+        "slo_attain",
+        "dedup_savings",
+    ]
+    if tier is not None:
+        columns.append("cache_hit")
+    table = Table(columns)
     worst_attainment = 1.0
     for qps in qps_levels:
         queries = QueryGenerator.paper_calibrated(
@@ -398,26 +410,30 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                 dispatch_margin_us=args.margin_us,
             ),
             interactive_fallback=not args.no_interactive,
+            cache=tier,
         )
         report = simulator.run(load, tables.vector)
         summary = report.summary()
         worst_attainment = min(worst_attainment, summary["slo_attainment"])
-        table.add_row(
-            [
-                f"{qps / 1e6:.2f}M",
-                int(summary["requests"]),
-                f"{summary['mean_batch_size']:.1f}",
-                int(summary["interactive_dispatches"]),
-                f"{summary['p50_us']:.2f}",
-                f"{summary['p99_us']:.2f}",
-                f"{summary['slo_attainment']:.3f}",
-                f"{summary['dedup_savings_fraction']:.3f}",
-            ]
-        )
+        row = [
+            f"{qps / 1e6:.2f}M",
+            int(summary["requests"]),
+            f"{summary['mean_batch_size']:.1f}",
+            int(summary["interactive_dispatches"]),
+            f"{summary['p50_us']:.2f}",
+            f"{summary['p99_us']:.2f}",
+            f"{summary['slo_attainment']:.3f}",
+            f"{summary['dedup_savings_fraction']:.3f}",
+        ]
+        if tier is not None:
+            row.append(f"{summary['cache_hit_rate']:.3f}")
+        table.add_row(row)
     mode = "closed-loop" if args.closed_loop else "open-loop (Poisson)"
+    cache_note = f", cache {args.cache_kb} KB/rank" if tier is not None else ""
     print(
         f"serving sweep: {mode}, SLO {args.slo_us:.1f} µs, batch "
         f"{args.batch_size}, window {args.window}, seed {args.seed}"
+        f"{cache_note}"
     )
     print(table.render())
     if args.min_attainment is not None and worst_attainment < args.min_attainment:
@@ -508,6 +524,158 @@ def _cmd_reduce(args: argparse.Namespace) -> int:
         return 1
     print("all cells byte-identical to the single-node engine")
     return 0
+
+
+def _cmd_cache(args: argparse.Namespace) -> int:
+    """Hot-index tier sweep: hit rate and p99 vs cache size and Zipf α.
+
+    Every cached cell is compared byte-for-byte against the dedup-only
+    baseline it shares a stream with — the tier is a timing mechanism and
+    any functional divergence fails the sweep.  ``--check`` runs the CI
+    smoke assertions instead: a skewed stream must hit, a uniform stream
+    of never-repeating ids must not.
+    """
+    from repro.tiering import HotTierConfig
+
+    if args.quick:
+        batches_n, batch_size, query_len = 3, 8, 8
+        config = FafnirConfig(
+            total_ranks=8, ranks_per_leaf_pe=2, batch_size=8, max_query_len=8
+        )
+        sizes_kb = args.sizes_kb or [8, 32]
+        alphas = args.alphas or [1.05]
+        hot_rows = 512
+    else:
+        batches_n, batch_size, query_len = 6, 32, 16
+        config = FafnirConfig()
+        sizes_kb = args.sizes_kb or [16, 64, 128, 256]
+        alphas = args.alphas or [0.8, 1.05, 1.65]
+        hot_rows = 4096
+    tables = EmbeddingTableSet.random(seed=args.seed)
+
+    def run_stream(alpha: float, tier) -> dict:
+        generator = QueryGenerator(
+            tables,
+            query_len=query_len,
+            skew=alpha,
+            hot_rows=hot_rows,
+            seed=args.seed,
+        )
+        stream = [generator.batch(batch_size) for _ in range(batches_n)]
+        engine = FafnirEngine(config=config, cache=tier)
+        result = engine.run_batches(stream, tables.vector, deduplicate=True)
+        cycles = sorted(
+            cycle for item in result.results for cycle in item.ready_pe_cycles
+        )
+        stats = engine.memory.cache_stats
+        return {
+            "bytes": tuple(vector.tobytes() for vector in result.vectors),
+            "reads": result.memory_stats.reads,
+            "hit_rate": stats.hit_rate,
+            "hits": stats.hits,
+            "p99": cycles[min(len(cycles) - 1, int(len(cycles) * 0.99))],
+        }
+
+    if args.check:
+        tier = HotTierConfig(
+            size_bytes=128 * 1024, line_bytes=config.vector_bytes
+        )
+        skewed = run_stream(1.05, tier)
+        # Uniform control: sequential never-repeating ids cannot hit a
+        # demand-filled cache (dedup removes within-batch repeats anyway).
+        unique = iter(range(10**9))
+        batches = [
+            [[next(unique) for _ in range(query_len)] for _ in range(batch_size)]
+            for _ in range(batches_n)
+        ]
+        engine = FafnirEngine(config=config, cache=tier)
+        engine.run_batches(batches, make_unique_source(config), deduplicate=True)
+        uniform = engine.memory.cache_stats
+        print(
+            f"check: zipf hit rate {skewed['hit_rate']:.3f}, "
+            f"uniform hit rate {uniform.hit_rate:.3f}"
+        )
+        if skewed["hit_rate"] <= 0.0:
+            print("FAIL: Zipf(1.05) stream produced no cache hits")
+            return 1
+        if uniform.hit_rate != 0.0:
+            print("FAIL: uniform-unique stream produced cache hits")
+            return 1
+        print("cache smoke passed")
+        return 0
+
+    table = Table(
+        [
+            "alpha",
+            "cache_kb",
+            "hit_rate",
+            "dram_reads",
+            "read_drop",
+            "p99_cycles",
+            "identical",
+        ]
+    )
+    failures = 0
+    for alpha in alphas:
+        baseline = run_stream(alpha, None)
+        table.add_row(
+            [
+                f"{alpha:.2f}",
+                "dedup-only",
+                "—",
+                baseline["reads"],
+                "—",
+                baseline["p99"],
+                "—",
+            ]
+        )
+        for kb in sizes_kb:
+            tier = HotTierConfig(
+                size_bytes=kb * 1024,
+                line_bytes=config.vector_bytes,
+                policy=args.policy,
+            )
+            cached = run_stream(alpha, tier)
+            identical = cached["bytes"] == baseline["bytes"]
+            failures += 0 if identical else 1
+            drop = (
+                1.0 - cached["reads"] / baseline["reads"]
+                if baseline["reads"]
+                else 0.0
+            )
+            table.add_row(
+                [
+                    f"{alpha:.2f}",
+                    kb,
+                    f"{cached['hit_rate']:.3f}",
+                    cached["reads"],
+                    f"{drop:.1%}",
+                    cached["p99"],
+                    "yes" if identical else "NO",
+                ]
+            )
+    total = batches_n * batch_size
+    print(
+        f"hot-index tier sweep: {total} queries × {query_len} lookups per "
+        f"cell, {config.total_ranks} ranks, line "
+        f"{config.vector_bytes} B, policy {args.policy}, seed {args.seed}"
+    )
+    print(table.render())
+    if failures:
+        print(f"FAIL: {failures} cached cells diverged from dedup-only")
+        return 1
+    print("all cached cells byte-identical to the dedup-only baseline")
+    return 0
+
+
+class make_unique_source:
+    """Deterministic vector source for arbitrarily large unique-id streams."""
+
+    def __init__(self, config: FafnirConfig):
+        self.elements = config.vector_elements
+
+    def __call__(self, index: int) -> np.ndarray:
+        return np.random.default_rng(index).standard_normal(self.elements)
 
 
 def _cmd_validate(args: argparse.Namespace) -> int:
@@ -645,6 +813,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="exit nonzero if worst SLO attainment falls below this floor",
     )
     serve.add_argument(
+        "--cache-kb",
+        type=int,
+        default=None,
+        help="enable the hot-index tier with this many KB per rank",
+    )
+    serve.add_argument(
         "--quick",
         action="store_true",
         help="small configuration for CI smoke runs",
@@ -683,6 +857,39 @@ def build_parser() -> argparse.ArgumentParser:
         help="small configuration for CI smoke runs",
     )
     reduce.set_defaults(func=_cmd_reduce)
+
+    cache = subparsers.add_parser(
+        "cache", help="hot-index tier sweep: hit rate & p99 vs size and skew"
+    )
+    cache.add_argument("--seed", type=int, default=0)
+    cache.add_argument(
+        "--sizes-kb",
+        type=int,
+        nargs="+",
+        default=None,
+        help="per-rank cache sizes to sweep in KB (default: 16 64 128 256)",
+    )
+    cache.add_argument(
+        "--alphas",
+        type=float,
+        nargs="+",
+        default=None,
+        help="Zipf skews to sweep (default: 0.8 1.05 1.65)",
+    )
+    cache.add_argument(
+        "--policy", choices=("lru", "fifo"), default="lru"
+    )
+    cache.add_argument(
+        "--check",
+        action="store_true",
+        help="CI smoke: assert hits under Zipf, zero hits under uniform-unique",
+    )
+    cache.add_argument(
+        "--quick",
+        action="store_true",
+        help="small configuration for CI smoke runs",
+    )
+    cache.set_defaults(func=_cmd_cache)
 
     validate = subparsers.add_parser(
         "validate", help="check the paper's numeric anchors"

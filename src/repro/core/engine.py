@@ -47,7 +47,7 @@ from repro.faults.policy import (
     FaultPolicy,
 )
 from repro.memory.config import MemoryConfig
-from repro.memory.mapping import RowMajorPlacement
+from repro.memory.mapping import RowMajorPlacement, VectorPlacement
 from repro.memory.request import ReadRequest
 from repro.memory.system import MemorySystem
 from repro.memory.trace import AccessStats
@@ -66,6 +66,7 @@ from repro.obs.events import (
     TraceEvent,
 )
 from repro.obs.tracer import NULL_TRACER, Tracer
+from repro.tiering.cache import HotTierConfig
 
 VectorSource = Callable[[int], np.ndarray]
 
@@ -246,6 +247,8 @@ class FafnirEngine:
         faults: Optional[FaultPlan] = None,
         fault_policy: Optional[FaultPolicy] = None,
         engine: str = ENGINE_OBJECT,
+        cache: Optional[HotTierConfig] = None,
+        placement: Optional[VectorPlacement] = None,
     ) -> None:
         """Build one FAFNIR instance.
 
@@ -271,6 +274,17 @@ class FafnirEngine:
                 structure-of-arrays sweep (:mod:`repro.core.soa`) — the same
                 results, work counters, and trace events, byte for byte,
                 with no per-message objects between fold and root.
+            cache: opt-in rank-level hot-index tier
+                (:class:`~repro.tiering.cache.HotTierConfig`); ``None``
+                (the default) keeps the memory path byte-identical to an
+                uncached build.  The tier only changes modeled latency
+                and DRAM access counts — functional results are
+                invariant.
+            placement: optional data-placement override (any
+                :class:`~repro.memory.mapping.VectorPlacement`, e.g. a
+                placement-optimizer
+                :class:`~repro.tiering.placement.PermutedRankPlacement`);
+                ``None`` uses the paper's row-major placement.
         """
         if kernel not in KERNELS:
             raise ValueError(f"unknown PE kernel {kernel!r}; choose from {KERNELS}")
@@ -293,14 +307,20 @@ class FafnirEngine:
         self.tracer = tracer if tracer is not None else NULL_TRACER
         self.faults = faults
         self.fault_policy = fault_policy if fault_policy is not None else FaultPolicy()
+        self.cache_config = cache
         self.memory = MemorySystem(
             memory_config,
             tracer=self.tracer,
             faults=faults,
             fault_policy=self.fault_policy,
+            cache=cache,
         )
-        self.placement = RowMajorPlacement(
-            memory_config.geometry, self.config.vector_bytes
+        self.placement: VectorPlacement = (
+            placement
+            if placement is not None
+            else RowMajorPlacement(
+                memory_config.geometry, self.config.vector_bytes
+            )
         )
         self.tree = FafnirTree(self.config, rank_order=rank_order)
         self._check_values = check_values

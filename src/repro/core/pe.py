@@ -535,9 +535,10 @@ class ProcessingElement:
     def _apply_issue_limit(self, outputs: List[Message]) -> List[Message]:
         """Finite compute units: at most ``compute_units`` outputs per cycle."""
         units = self.config.compute_units
-        # Order by (ready_cycle, sorted indices).  Sorting by the cheap int
-        # key first and breaking ties per run avoids materialising the
-        # sorted-indices key for messages whose ready cycle is unique —
+        # Stalls are assigned in (ready_cycle, sorted indices) order: the
+        # earliest-ready outputs grab the free units first.  Sorting by the
+        # cheap int key first and breaking ties per run avoids materialising
+        # the sorted-indices key for messages whose ready cycle is unique —
         # near the root those index sets hold thousands of members.
         outputs.sort(key=operator.attrgetter("ready_cycle"))
         start = 0
@@ -554,6 +555,15 @@ class ProcessingElement:
             start = stop
         for position, message in enumerate(outputs):
             message.ready_cycle += position // units
+        # Hand the list to the parent level in canonical sorted-indices
+        # order.  The stall assignment above is timing (who waits for a
+        # free unit); the *list* order steers the parent's greedy matching
+        # and merge grouping, which must not depend on when memory happened
+        # to deliver the operands — the invariant that keeps functional
+        # outputs byte-identical under the opt-in hot-index tier.  Indices
+        # sets are unique after the merge unit, so this is a strict total
+        # order.
+        outputs.sort(key=lambda m: sorted_tuple(m.indices))
         return outputs
 
     # ------------------------------------------------------------------
@@ -659,7 +669,12 @@ class ProcessingElement:
                 else:
                     insert(combined)
 
-        for message in sorted(stream, key=lambda m: m.ready_cycle):
+        # FIFO arrival order — the deterministic append order built by
+        # ``FafnirEngine._leaf_inputs`` — not ready-cycle order: which pairs
+        # fold (and therefore the reduced values' float association) must
+        # not depend on DRAM scheduling or the hot-index tier, only the
+        # ready arithmetic may.
+        for message in stream:
             insert(message)
         return self._coalesce(buffer, work)
 
@@ -770,7 +785,8 @@ class ProcessingElement:
                 else:
                     insert(combined)
 
-        for message in sorted(stream, key=lambda m: m.ready_cycle):
+        # FIFO arrival order, matching the scalar fold exactly.
+        for message in stream:
             insert(message)
         return self._coalesce(buffer, work)
 

@@ -94,6 +94,7 @@ from repro.obs.events import (
 )
 from repro.obs.sinks import InMemorySink
 from repro.obs.tracer import Tracer
+from repro.tiering.cache import HotTierConfig
 
 Batch = Sequence[Sequence[int]]
 Shard = Sequence[Batch]
@@ -131,6 +132,7 @@ def _run_shard(
     shard_index: int = 0,
     attempt: int = 0,
     in_process: bool = False,
+    cache: Optional[HotTierConfig] = None,
 ) -> MultiBatchResult:
     """Worker entry point: one engine, one shard (module-level: picklable).
 
@@ -164,6 +166,7 @@ def _run_shard(
         tracer=Tracer([sink]) if sink is not None else None,
         faults=faults,
         fault_policy=fault_policy,
+        cache=cache,
     )
     result = engine.run_batches(
         batches, source, deduplicate=deduplicate, pipeline=pipeline
@@ -190,6 +193,7 @@ class ShardedRunner:
         num_shards: Optional[int] = None,
         partition: Optional["IndexPartition"] = None,
         link: Optional[LinkModel] = None,
+        cache: Optional[HotTierConfig] = None,
     ) -> None:
         """Build the runner.
 
@@ -207,6 +211,12 @@ class ShardedRunner:
                 of the configured tree (the byte-exact case).
             link: inter-node link model (latency/bandwidth); defaults to
                 :class:`~repro.hw.link.LinkModel`'s PCIe-class numbers.
+            cache: opt-in per-replica hot-index tier
+                (:class:`~repro.tiering.cache.HotTierConfig`, plain
+                picklable data) — every worker engine builds its own
+                tier from this description, so cached sharded runs stay
+                byte-identical to uncached ones while each replica's
+                modeled DRAM traffic drops.
         """
         self.config = config
         self.operator = operator
@@ -225,6 +235,7 @@ class ShardedRunner:
             )
         self.partition = partition
         self.link = link
+        self.cache = cache
 
     def run(
         self,
@@ -285,6 +296,7 @@ class ShardedRunner:
                         index,
                         attempts[index],
                         False,
+                        self.cache,
                     )
             except (OSError, PermissionError):
                 # Process spawning is unavailable (restricted sandbox) —
@@ -512,6 +524,7 @@ class ShardedRunner:
                     index,
                     attempt,
                     True,
+                    self.cache,
                 )
                 if fault_events and result.events is not None:
                     result.events = fault_events + result.events

@@ -37,8 +37,10 @@ streams (same kinds, cycles, and emission order).  The sweep therefore
 reproduces the object kernels' exact decision rules: maximal-partner
 matching with earliest-partner tie-break, merge-unit grouping in
 first-appearance order with the forwarded-intact header fast path, entry
-dedup in member order, and the ``(ready_cycle, sorted indices)`` issue
-limit.  Leaf FIFO folding stays a sequential loop — the greedy closure
+dedup in member order, and the issue limit's ``(ready_cycle, sorted
+indices)`` stall assignment followed by the canonical sorted-indices
+handoff order (which keeps functional results independent of memory
+timing).  Leaf FIFO folding stays a sequential loop — the greedy closure
 in arrival order and its event ordering are part of the contract — but
 runs in the pool domain (:func:`_fold_leaf_stream`): buffered index sets
 carry memoised big-int masks so each containment test is one native
@@ -515,7 +517,9 @@ def _fold_leaf_stream(
             else:
                 insert(c_ind, c_mask, c_entries, c_ready, c_hops, c_value)
 
-    for message in sorted(stream, key=lambda m: m.ready_cycle):
+    # FIFO arrival order, mirroring the object kernels' fold: functional
+    # pairing must not depend on DRAM scheduling or the hot-index tier.
+    for message in stream:
         header = message.header
         insert(
             header.indices,
@@ -1087,8 +1091,12 @@ def _process_pe(
     work.duplicates_removed = duplicates
 
     # ------------------------------------------------------------------
-    # Issue limit: stable sort by ready cycle, ties by sorted indices,
-    # then one extra cycle per compute_units outputs in a tie run.
+    # Issue limit: stalls are assigned in (ready cycle, sorted indices)
+    # order — one extra cycle per compute_units outputs in a tie run —
+    # but the stream is handed to the parent level in canonical
+    # sorted-indices order, mirroring _apply_issue_limit: list order
+    # steers the parent's matching/merging and must stay independent of
+    # memory timing.
     # ------------------------------------------------------------------
     n_out = len(out_ind)
     perm = np.argsort(out_ready, kind="stable")
@@ -1117,7 +1125,17 @@ def _process_pe(
             )
         perm = np.asarray(perm_l, dtype=np.int64)
     units = config.compute_units
-    final_ready = ready_sorted + np.arange(n_out, dtype=np.int64) // units
+    # Scatter the stall-adjusted ready cycles back to original rows, then
+    # re-permute everything canonically by indices key.
+    final_ready = np.empty(n_out, dtype=np.int64)
+    final_ready[np.asarray(perm_l, dtype=np.int64)] = (
+        ready_sorted + np.arange(n_out, dtype=np.int64) // units
+    )
+    pool.ensure_keys(out_ind_l)
+    keys = pool._indices_keys
+    perm_l = sorted(range(n_out), key=lambda p: keys[out_ind_l[p]])
+    perm = np.asarray(perm_l, dtype=np.int64)
+    final_ready = final_ready[perm]
     work.outputs = n_out
 
     # Materialize output values: forwards copy straight from the input

@@ -17,6 +17,8 @@ from repro.memory.controller import ChannelController
 from repro.memory.request import Completion, ReadRequest
 from repro.memory.trace import AccessStats, AccessTrace
 from repro.obs.events import (
+    CACHE_HIT,
+    CACHE_MISS,
     CLOCK_DRAM,
     FAULT_DETECTED,
     FAULT_INJECTED,
@@ -26,6 +28,7 @@ from repro.obs.events import (
     TraceEvent,
 )
 from repro.obs.tracer import NULL_TRACER, Tracer
+from repro.tiering.cache import CacheStats, HotIndexTier, HotTierConfig
 
 
 class MemorySystem:
@@ -57,6 +60,20 @@ class MemorySystem:
       to degrade around.
 
     Without a plan the servicing path is unchanged, byte for byte.
+
+    With a :class:`~repro.tiering.cache.HotTierConfig` installed, a
+    rank-level hot-index tier is consulted before the channel
+    controllers: vector reads (requests whose ``tag`` is the vector id)
+    that hit skip DRAM entirely and complete after
+    ``hit_latency_cycles``; only the misses reach a controller, the
+    access trace, the :class:`AccessStats`, and the ``mem_read_*``
+    events (so modeled DRAM traffic is strictly non-increasing).  The
+    tier is a *timing* overlay: completions keep their batch positions,
+    fault injection still evaluates every position, and functional
+    results are byte-identical with the tier on or off.  ``reset``
+    deliberately does **not** flush the tier — hot lines survive across
+    batches, which is where the cross-batch popularity win lives; use
+    :meth:`reset_cache` for a cold tier.
     """
 
     def __init__(
@@ -66,6 +83,7 @@ class MemorySystem:
         tracer: Tracer = NULL_TRACER,
         faults: Optional[FaultPlan] = None,
         fault_policy: Optional[FaultPolicy] = None,
+        cache: Optional[HotTierConfig] = None,
     ) -> None:
         self.config = config
         self.policy = policy
@@ -76,29 +94,101 @@ class MemorySystem:
             channel: ChannelController(channel, config, policy=policy)
             for channel in range(config.geometry.channels)
         }
+        self.cache_config = cache
+        self.tier: Optional[HotIndexTier] = (
+            HotIndexTier(cache, config.geometry.total_ranks)
+            if cache is not None
+            else None
+        )
         self.trace = AccessTrace()
         #: positions (within the last ``execute`` batch) whose reads were
         #: lost to rank timeouts after the full retry budget (degrade mode).
         self.failed_positions: Set[int] = set()
 
     def reset(self) -> None:
-        """Clear all bank/bus state and the access trace."""
+        """Clear all bank/bus state and the access trace (tier stays warm)."""
         for controller in self._controllers.values():
             controller.reset()
         self.trace = AccessTrace()
         self.failed_positions = set()
 
+    def reset_cache(self) -> None:
+        """Flush the hot-index tier (no-op when no tier is configured)."""
+        if self.tier is not None:
+            self.tier.reset()
+
+    @property
+    def cache_stats(self) -> CacheStats:
+        """Aggregate tier hit/miss stats (all-zero when no tier)."""
+        if self.tier is None:
+            return CacheStats()
+        return self.tier.stats
+
     def execute(
         self, requests: Sequence[ReadRequest]
     ) -> Tuple[List[Completion], AccessStats]:
-        """Service a batch of reads; returns completions in request order."""
+        """Service a batch of reads; returns completions in request order.
+
+        With a hot-index tier configured, each vector read (integer
+        ``tag``) consults its rank's cache first, in batch-position
+        order.  Hits complete synthetically after ``hit_latency_cycles``
+        and never reach a channel controller, the access trace, the
+        stats, or the ``mem_read_*`` events; misses (and untagged
+        stream reads) take the normal DRAM path.  Positions are
+        preserved throughout, so engines slice the returned list exactly
+        as in an uncached run and fault injection sees every position.
+        """
+        tier = self.tier
+        hit_positions: Set[int] = set()
+        completions: List[Completion] = [None] * len(requests)  # type: ignore
+        if tier is not None:
+            hit_latency = tier.hit_latency_cycles
+            tracing = self.tracer.enabled
+            emit_packed = self.tracer.emit_packed
+            for position, request in enumerate(requests):
+                # Only whole-vector reads are cacheable: their tag is the
+                # vector id.  Stream reads carry tuple tags and bypass.
+                tag = request.tag
+                if not isinstance(tag, int) or isinstance(tag, bool):
+                    continue
+                if tier.cache_for(request.rank) is None:
+                    continue
+                if tier.access(request.rank, tag):
+                    finish = request.issue_cycle + hit_latency
+                    completions[position] = Completion(
+                        request=request,
+                        start_cycle=request.issue_cycle,
+                        finish_cycle=finish,
+                        row_hit=False,
+                        bursts=0,
+                        activated=False,
+                    )
+                    hit_positions.add(position)
+                    if tracing:
+                        emit_packed(
+                            CACHE_HIT,
+                            finish,
+                            clock=CLOCK_DRAM,
+                            rank=request.rank,
+                            args=(tag,),
+                        )
+                elif tracing:
+                    emit_packed(
+                        CACHE_MISS,
+                        request.issue_cycle,
+                        clock=CLOCK_DRAM,
+                        rank=request.rank,
+                        args=(tag,),
+                    )
+
         by_channel: Dict[int, List[Tuple[int, ReadRequest]]] = {}
         geometry = self.config.geometry
         for position, request in enumerate(requests):
+            if position in hit_positions:
+                continue
             channel = geometry.channel_of(request.rank)
             by_channel.setdefault(channel, []).append((position, request))
 
-        completions: List[Completion] = [None] * len(requests)  # type: ignore
         for channel, entries in by_channel.items():
             controller = self._controllers[channel]
             for position, completion in controller.service_batch(entries):
@@ -106,6 +196,10 @@ class MemorySystem:
 
         self.failed_positions = set()
         if self.faults is not None and self.faults.touches_memory:
+            # Faults evaluate every position — hits included — so the set
+            # of failed positions (and hence statuses) is invariant to the
+            # tier: injection is keyed by batch position, and a cached run
+            # must degrade exactly like the uncached run it models.
             for position, completion in enumerate(completions):
                 if completion is not None:
                     completions[position] = self._apply_read_faults(
@@ -113,10 +207,15 @@ class MemorySystem:
                     )
 
         done = [c for c in completions if c is not None]
-        self.trace.extend(done)
+        dram = [
+            completion
+            for position, completion in enumerate(completions)
+            if completion is not None and position not in hit_positions
+        ]
+        self.trace.extend(dram)
         if self.tracer.enabled:
             emit_packed = self.tracer.emit_packed
-            for completion in done:
+            for completion in dram:
                 request = completion.request
                 emit_packed(
                     MEM_READ_ISSUE,
@@ -138,7 +237,7 @@ class MemorySystem:
                         completion.bursts,
                     ),
                 )
-        return done, AccessStats.from_completions(done)
+        return done, AccessStats.from_completions(dram)
 
     def execute_one(self, request: ReadRequest) -> Completion:
         completions, _ = self.execute([request])

@@ -41,6 +41,14 @@ kind                      meaning
 ``shard_reduced``         cross-shard reduction: a node merged inbound
                           partials at the end of a schedule step (args carry
                           step/node/messages/queries)
+``cache_hit``             the rank's hot-index tier served a vector read
+                          without touching DRAM (args carry ``index``)
+``cache_miss``            the tier was consulted and missed — the read went
+                          to DRAM and the line was allocated (args carry
+                          ``index``)
+``placement_decided``     the placement optimizer assigned a rank its cache
+                          budget / pinned residents / physical slot (args
+                          carry the decision record)
 ========================  =====================================================
 
 Memory events carry DRAM-clock cycles (``clock == CLOCK_DRAM``); everything
@@ -75,6 +83,9 @@ SHARD_REDISPATCHED = "shard_redispatched"
 QUERY_DEGRADED = "query_degraded"
 SHARD_MSG_SENT = "shard_msg_sent"
 SHARD_REDUCED = "shard_reduced"
+CACHE_HIT = "cache_hit"
+CACHE_MISS = "cache_miss"
+PLACEMENT_DECIDED = "placement_decided"
 
 EVENT_KINDS = (
     BATCH_START,
@@ -96,6 +107,11 @@ EVENT_KINDS = (
     QUERY_DEGRADED,
     SHARD_MSG_SENT,
     SHARD_REDUCED,
+    # New kinds append at the END: KIND_CODES are enumeration-derived and
+    # recorded columnar traces must keep decoding under newer vocabularies.
+    CACHE_HIT,
+    CACHE_MISS,
+    PLACEMENT_DECIDED,
 )
 
 # --- clock domains ---------------------------------------------------------
@@ -126,6 +142,8 @@ PACKED_SCHEMAS: Dict[str, tuple] = {
         ("row_hit", bool),
         ("bursts", int),
     ),
+    CACHE_HIT: (("index", int),),
+    CACHE_MISS: (("index", int),),
 }
 
 #: Widest packed schema — sizes the arg columns of a ColumnarSink.

@@ -19,6 +19,8 @@ from __future__ import annotations
 from typing import Any, Dict, Iterable, List, Optional
 
 from repro.obs.events import (
+    CACHE_HIT,
+    CACHE_MISS,
     FAULT_DETECTED,
     FAULT_INJECTED,
     FIFO_ENQUEUE,
@@ -26,6 +28,7 @@ from repro.obs.events import (
     PE_FORWARD,
     PE_MERGE,
     PE_REDUCE,
+    PLACEMENT_DECIDED,
     QUERY_COMPLETE,
     QUERY_DEGRADED,
     RETRY_ISSUED,
@@ -190,7 +193,11 @@ def metrics_from_events(
       counters from graceful-degradation runs;
     * ``comm.messages`` / ``comm.bytes`` / ``comm.segments`` totals and a
       ``comm.message_bytes`` histogram from cross-shard reduction runs,
-      plus ``comm.reduces`` merge-step counts.
+      plus ``comm.reduces`` merge-step counts;
+    * ``cache.hits`` / ``cache.misses`` totals with per-rank
+      ``cache.hits.rank<R>`` / ``cache.misses.rank<R>`` breakdowns from
+      hot-index tier runs, and ``placement.decisions`` counting
+      placement-optimizer assignments.
     """
     metrics = registry if registry is not None else MetricsRegistry()
     for event in events:
@@ -240,6 +247,16 @@ def metrics_from_events(
             )
         elif event.kind == SHARD_REDUCED:
             metrics.counter("comm.reduces").inc()
+        elif event.kind == CACHE_HIT:
+            metrics.counter("cache.hits").inc()
+            if event.rank is not None:
+                metrics.counter(f"cache.hits.rank{event.rank}").inc()
+        elif event.kind == CACHE_MISS:
+            metrics.counter("cache.misses").inc()
+            if event.rank is not None:
+                metrics.counter(f"cache.misses.rank{event.rank}").inc()
+        elif event.kind == PLACEMENT_DECIDED:
+            metrics.counter("placement.decisions").inc()
     return metrics
 
 

@@ -1,0 +1,39 @@
+"""Hot-index tiering: rank-level caching plus popularity-aware placement.
+
+The opt-in tier at the leaf/rank boundary (RecNMP's rank cache composed
+with FAFNIR's dedup) and the MicroRec-style placement optimizer that
+decides, before a run, how much cache each rank deserves and which
+tables live on the fast ranks.
+"""
+
+from repro.tiering.cache import (
+    POLICIES,
+    POLICY_FIFO,
+    POLICY_LRU,
+    CacheStats,
+    HotIndexCache,
+    HotIndexTier,
+    HotTierConfig,
+)
+from repro.tiering.placement import (
+    AccessProfile,
+    DecayingCountSketch,
+    PermutedRankPlacement,
+    PlacementOptimizer,
+    PlacementPlan,
+)
+
+__all__ = [
+    "POLICIES",
+    "POLICY_FIFO",
+    "POLICY_LRU",
+    "CacheStats",
+    "HotIndexCache",
+    "HotIndexTier",
+    "HotTierConfig",
+    "AccessProfile",
+    "DecayingCountSketch",
+    "PermutedRankPlacement",
+    "PlacementOptimizer",
+    "PlacementPlan",
+]

@@ -1,0 +1,437 @@
+"""Popularity profiling and hot-table placement (MicroRec's framing).
+
+The hot-index tier (:mod:`repro.tiering.cache`) only pays off where the
+traffic is skewed, and skew is never uniform across ranks: with the
+paper's ``global_id = table + num_tables * row`` encoding each rank
+serves one table, and tables differ wildly in heat under production
+(Zipfian) loads.  MicroRec (PAPERS.md) turns that observation into a
+deployment knob — *place* hot tables well before the run.  This module
+implements the profiling and the optimizer:
+
+* :class:`AccessProfile` — exact per-id access counts from recorded
+  workload traces (offline profiling);
+* :class:`DecayingCountSketch` — a bounded-memory count-min sketch with
+  exponential decay plus a top-K candidate list (online profiling that
+  tracks drifting popularity without storing the id universe);
+* :class:`PlacementOptimizer` — turns either profile into a
+  :class:`PlacementPlan`: per-rank cache-byte budgets (heat-proportional,
+  quantized to cache lines), per-rank pinned resident ids, and a
+  rank permutation steering hot tables away from slow ranks;
+* :class:`PermutedRankPlacement` — executes the permutation on top of
+  any base :class:`~repro.memory.mapping.VectorPlacement`.
+
+Placement is a *pre-run configuration* choice: two runs with the same
+plan are byte-identical with the tier on or off, while runs under
+different plans legitimately differ (they route vectors through
+different tree paths).  The differential suite therefore always compares
+cached vs uncached at a fixed plan.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.memory.mapping import VectorPlacement
+from repro.memory.request import ReadRequest
+from repro.obs.events import PLACEMENT_DECIDED, TraceEvent
+from repro.obs.tracer import NULL_TRACER, Tracer
+from repro.tiering.cache import HotTierConfig
+
+Batch = Sequence[Sequence[int]]
+
+_SKETCH_PRIME = (1 << 61) - 1  # Mersenne prime: cheap universal hashing
+
+
+@dataclass
+class AccessProfile:
+    """Exact per-id access counts from workload traces (offline mode)."""
+
+    counts: Dict[int, int] = field(default_factory=dict)
+
+    @classmethod
+    def from_batches(cls, batches: Iterable[Batch]) -> "AccessProfile":
+        profile = cls()
+        for batch in batches:
+            profile.observe(batch)
+        return profile
+
+    def observe(self, batch: Batch) -> None:
+        counts = self.counts
+        for query in batch:
+            for index in query:
+                counts[index] = counts.get(index, 0) + 1
+
+    @property
+    def total(self) -> int:
+        return sum(self.counts.values())
+
+    def rank_heat(
+        self,
+        num_ranks: int,
+        home_rank: Optional[Callable[[int], int]] = None,
+    ) -> List[float]:
+        """Access mass per home rank (``id % num_ranks`` by default)."""
+        heat = [0.0] * num_ranks
+        for index, count in self.counts.items():
+            rank = home_rank(index) if home_rank is not None else index % num_ranks
+            heat[rank] += count
+        return heat
+
+    def table_heat(self, num_tables: int) -> List[float]:
+        """Access mass per table under the ``table = id % num_tables`` encoding."""
+        heat = [0.0] * num_tables
+        for index, count in self.counts.items():
+            heat[index % num_tables] += count
+        return heat
+
+    def hottest_ids(self, k: int) -> List[int]:
+        """The ``k`` most-accessed ids, hottest first (ties by id)."""
+        ordered = sorted(self.counts.items(), key=lambda item: (-item[1], item[0]))
+        return [index for index, _ in ordered[:k]]
+
+
+class DecayingCountSketch:
+    """Count-min sketch with exponential decay and a top-K candidate list.
+
+    Online profiling for drifting workloads: every ``decay_every``
+    observations all counters are multiplied by ``decay``, so stale heat
+    fades at a known half-life instead of accumulating forever.  Depth
+    rows of width counters bound memory regardless of the id universe;
+    estimates are the row minimum (classic count-min, overestimates
+    only).  A bounded candidate dictionary tracks the current top ids so
+    :meth:`hottest_ids` needs no universe scan, and exact (decayed)
+    per-rank / per-table heat accumulators support the optimizer's
+    budget split — ranks and tables are few even when ids are not.
+    """
+
+    def __init__(
+        self,
+        num_ranks: int,
+        num_tables: Optional[int] = None,
+        width: int = 2048,
+        depth: int = 4,
+        decay: float = 0.5,
+        decay_every: int = 4096,
+        max_candidates: int = 512,
+        seed: int = 0,
+    ) -> None:
+        if num_ranks <= 0:
+            raise ValueError("num_ranks must be positive")
+        if width <= 0 or depth <= 0:
+            raise ValueError("width and depth must be positive")
+        if not 0.0 < decay <= 1.0:
+            raise ValueError("decay must be in (0, 1]")
+        if decay_every <= 0 or max_candidates <= 0:
+            raise ValueError("decay_every and max_candidates must be positive")
+        self.num_ranks = num_ranks
+        self.num_tables = num_tables
+        self.width = width
+        self.depth = depth
+        self.decay = decay
+        self.decay_every = decay_every
+        self.max_candidates = max_candidates
+        rng = np.random.default_rng(seed ^ 0x7157E12)
+        # Odd multipliers + offsets < prime: pairwise-independent row hashes.
+        self._salts = [
+            int(value) | 1
+            for value in rng.integers(1, _SKETCH_PRIME, size=depth)
+        ]
+        self._offsets = [
+            int(value) for value in rng.integers(0, _SKETCH_PRIME, size=depth)
+        ]
+        self._rows = np.zeros((depth, width), dtype=np.float64)
+        self._rank_heat = np.zeros(num_ranks, dtype=np.float64)
+        self._table_heat = (
+            np.zeros(num_tables, dtype=np.float64)
+            if num_tables is not None
+            else None
+        )
+        self._candidates: Dict[int, float] = {}
+        self._ticks = 0
+
+    def _positions(self, key: int) -> List[int]:
+        return [
+            ((key * self._salts[row] + self._offsets[row]) % _SKETCH_PRIME)
+            % self.width
+            for row in range(self.depth)
+        ]
+
+    def add(self, key: int, amount: float = 1.0) -> float:
+        """Record one access; returns the post-update estimate for ``key``."""
+        if key < 0:
+            raise ValueError("keys must be non-negative")
+        positions = self._positions(key)
+        for row, position in enumerate(positions):
+            self._rows[row, position] += amount
+        estimate = min(
+            float(self._rows[row, position])
+            for row, position in enumerate(positions)
+        )
+        self._rank_heat[key % self.num_ranks] += amount
+        if self._table_heat is not None:
+            self._table_heat[key % self.num_tables] += amount
+        self._admit(key, estimate)
+        self._ticks += 1
+        if self._ticks % self.decay_every == 0:
+            self._apply_decay()
+        return estimate
+
+    def observe(self, batch: Batch) -> None:
+        for query in batch:
+            for index in query:
+                self.add(index)
+
+    def _admit(self, key: int, estimate: float) -> None:
+        candidates = self._candidates
+        if key in candidates or len(candidates) < self.max_candidates:
+            candidates[key] = estimate
+            return
+        coldest = min(candidates.items(), key=lambda item: (item[1], -item[0]))
+        if estimate > coldest[1]:
+            del candidates[coldest[0]]
+            candidates[key] = estimate
+
+    def _apply_decay(self) -> None:
+        self._rows *= self.decay
+        self._rank_heat *= self.decay
+        if self._table_heat is not None:
+            self._table_heat *= self.decay
+        for key in list(self._candidates):
+            self._candidates[key] *= self.decay
+
+    def estimate(self, key: int) -> float:
+        """Current (decayed) access estimate; an upper bound, never under."""
+        return min(
+            float(self._rows[row, position])
+            for row, position in enumerate(self._positions(key))
+        )
+
+    def rank_heat(self, num_ranks: int) -> List[float]:
+        if num_ranks != self.num_ranks:
+            raise ValueError(
+                f"sketch profiles {self.num_ranks} ranks, asked for {num_ranks}"
+            )
+        return [float(value) for value in self._rank_heat]
+
+    def table_heat(self, num_tables: int) -> List[float]:
+        if self._table_heat is None or num_tables != self.num_tables:
+            raise ValueError(
+                f"sketch profiles {self.num_tables} tables, asked for "
+                f"{num_tables}"
+            )
+        return [float(value) for value in self._table_heat]
+
+    def hottest_ids(self, k: int) -> List[int]:
+        ordered = sorted(
+            self._candidates.items(), key=lambda item: (-item[1], item[0])
+        )
+        return [index for index, _ in ordered[:k]]
+
+
+@dataclass(frozen=True)
+class PermutedRankPlacement:
+    """A base placement with its home ranks permuted (hot → fast).
+
+    ``permutation[logical]`` is the physical rank that stores what the
+    base placement would home on ``logical``.  Per-rank slot layout is
+    rank-symmetric in every shipped placement, so rewriting the rank
+    field of each split request is exact.
+    """
+
+    base: VectorPlacement
+    permutation: Tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        if sorted(self.permutation) != list(range(len(self.permutation))):
+            raise ValueError(
+                "permutation must be a permutation of range(num_ranks)"
+            )
+
+    def home_rank(self, vector_id: int) -> Optional[int]:
+        home = self.base.home_rank(vector_id)
+        return None if home is None else self.permutation[home]
+
+    def requests_for(
+        self, vector_id: int, issue_cycle: int = 0
+    ) -> List[ReadRequest]:
+        return [
+            replace(request, rank=self.permutation[request.rank])
+            for request in self.base.requests_for(vector_id, issue_cycle)
+        ]
+
+
+@dataclass(frozen=True)
+class PlacementPlan:
+    """One optimizer decision, ready to configure a run.
+
+    ``rank_permutation`` maps logical home ranks to physical ranks
+    (identity when no speed information was given); budgets and pinned
+    ids are indexed by *physical* rank, matching the tier the memory
+    system consults.  ``decisions`` carries one record per physical rank
+    for reporting — the same payloads the ``placement_decided`` trace
+    events ship.
+    """
+
+    rank_permutation: Tuple[int, ...]
+    per_rank_size_bytes: Tuple[int, ...]
+    pinned: Tuple[Tuple[int, ...], ...]
+    decisions: Tuple[Dict[str, object], ...] = ()
+
+    @property
+    def num_ranks(self) -> int:
+        return len(self.rank_permutation)
+
+    @property
+    def total_budget_bytes(self) -> int:
+        return sum(self.per_rank_size_bytes)
+
+    def tier_config(self, base: HotTierConfig) -> HotTierConfig:
+        """The base tier config specialized to this plan's allocation."""
+        return replace(
+            base,
+            per_rank_size_bytes=self.per_rank_size_bytes,
+            pinned=self.pinned if any(self.pinned) else None,
+        )
+
+    def placement_for(self, base: VectorPlacement) -> VectorPlacement:
+        """The base data placement with this plan's permutation applied."""
+        if self.rank_permutation == tuple(range(self.num_ranks)):
+            return base
+        return PermutedRankPlacement(base, self.rank_permutation)
+
+
+class PlacementOptimizer:
+    """Turns an access profile into per-rank budgets, pins, and a wiring.
+
+    Heat-proportional budgeting: each rank's share of the tier's total
+    byte budget follows its share of the profiled access mass, quantized
+    down to whole cache lines, with the remainder handed out one line at
+    a time in heat order (hottest first).  Optionally the hottest ids of
+    each rank are *pinned* — preloaded residents the tier never evicts —
+    and, when a set of slow ranks is known (e.g. a
+    :class:`~repro.faults.plan.FaultPlan`'s degraded ranks), hot logical
+    ranks are permuted onto the fast physical ranks.
+    """
+
+    def __init__(
+        self,
+        profile,
+        num_ranks: int,
+        tracer: Optional[Tracer] = None,
+    ) -> None:
+        self.profile = profile
+        self.num_ranks = num_ranks
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+
+    def plan(
+        self,
+        base: Optional[HotTierConfig] = None,
+        total_budget_bytes: Optional[int] = None,
+        slow_ranks: Iterable[int] = (),
+        pinned_per_rank: int = 0,
+    ) -> PlacementPlan:
+        base = base if base is not None else HotTierConfig()
+        num_ranks = self.num_ranks
+        line = base.line_bytes
+        budget = (
+            total_budget_bytes
+            if total_budget_bytes is not None
+            else base.size_bytes * num_ranks
+        )
+        if budget < 0:
+            raise ValueError("total_budget_bytes must be non-negative")
+        slow = frozenset(slow_ranks)
+        if any(not 0 <= rank < num_ranks for rank in slow):
+            raise ValueError("slow_ranks out of range")
+
+        heat = list(self.profile.rank_heat(num_ranks))
+        total_heat = sum(heat)
+        heat_order = sorted(range(num_ranks), key=lambda r: (-heat[r], r))
+
+        # Rank permutation: hottest logical ranks onto fast physical ranks.
+        if slow:
+            fast_first = sorted(
+                range(num_ranks), key=lambda r: (r in slow, r)
+            )
+            permutation = [0] * num_ranks
+            for logical, physical in zip(heat_order, fast_first):
+                permutation[logical] = physical
+        else:
+            permutation = list(range(num_ranks))
+
+        # Heat-proportional line budgets for each logical rank's cache.
+        total_lines = budget // line
+        lines = [0] * num_ranks
+        if total_heat > 0 and total_lines > 0:
+            assigned = 0
+            for rank in range(num_ranks):
+                lines[rank] = int(total_lines * heat[rank] / total_heat)
+                assigned += lines[rank]
+            leftovers = total_lines - assigned
+            position = 0
+            while leftovers > 0 and total_heat > 0:
+                rank = heat_order[position % num_ranks]
+                if heat[rank] > 0:
+                    lines[rank] += 1
+                    leftovers -= 1
+                position += 1
+                if position >= num_ranks and all(
+                    heat[r] <= 0 for r in range(num_ranks)
+                ):
+                    break
+        elif total_lines > 0:
+            # No profile mass at all: fall back to an even split.
+            for rank in range(num_ranks):
+                lines[rank] = total_lines // num_ranks
+
+        # Pinned residents: each logical rank's hottest ids, preloaded.
+        pinned_logical: List[Tuple[int, ...]] = [() for _ in range(num_ranks)]
+        if pinned_per_rank > 0:
+            per_rank: Dict[int, List[int]] = {}
+            for index in self.profile.hottest_ids(
+                pinned_per_rank * num_ranks * 4
+            ):
+                rank = index % num_ranks
+                bucket = per_rank.setdefault(rank, [])
+                if len(bucket) < pinned_per_rank:
+                    bucket.append(index)
+            for rank, bucket in per_rank.items():
+                pinned_logical[rank] = tuple(bucket)
+
+        # Express budgets/pins by physical rank (what the tier indexes).
+        per_rank_bytes = [0] * num_ranks
+        pinned_physical: List[Tuple[int, ...]] = [() for _ in range(num_ranks)]
+        decisions: List[Dict[str, object]] = []
+        for logical in range(num_ranks):
+            physical = permutation[logical]
+            per_rank_bytes[physical] = lines[logical] * line
+            pinned_physical[physical] = pinned_logical[logical]
+            decisions.append(
+                {
+                    "logical_rank": logical,
+                    "physical_rank": physical,
+                    "heat": heat[logical],
+                    "size_bytes": per_rank_bytes[physical],
+                    "pinned": len(pinned_logical[logical]),
+                    "slow": physical in slow,
+                }
+            )
+        if self.tracer.enabled:
+            for decision in decisions:
+                self.tracer.emit(
+                    TraceEvent(
+                        PLACEMENT_DECIDED,
+                        cycle=0,
+                        rank=int(decision["physical_rank"]),  # type: ignore[arg-type]
+                        args=dict(decision),
+                    )
+                )
+        return PlacementPlan(
+            rank_permutation=tuple(permutation),
+            per_rank_size_bytes=tuple(per_rank_bytes),
+            pinned=tuple(pinned_physical),
+            decisions=tuple(decisions),
+        )

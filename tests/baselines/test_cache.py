@@ -1,8 +1,12 @@
 """Tests for the RecNMP rank-cache model."""
 
+from typing import Dict, List
+
 import pytest
+from hypothesis import given, settings, strategies as st
 
 from repro.baselines import RankCacheArray, VectorCache
+from repro.tiering import CacheStats, HotIndexCache
 
 
 class TestVectorCache:
@@ -72,3 +76,76 @@ class TestRankCacheArray:
     def test_rejects_zero_ranks(self):
         with pytest.raises(ValueError):
             RankCacheArray(num_ranks=0)
+
+
+class _LegacyVectorCache:
+    """The pre-delegation RecNMP baseline cache, verbatim.
+
+    ``VectorCache`` now delegates to the shared tiering model
+    (:class:`repro.tiering.HotIndexCache`); this frozen copy of the
+    original implementation is the reference that pins the delegation —
+    if the shared model's hit/miss stream ever drifts from what the
+    baseline historically produced, the equivalence tests below fail.
+    """
+
+    def __init__(self, size_bytes=128 * 1024, vector_bytes=512, ways=8):
+        capacity = size_bytes // vector_bytes
+        self.num_sets = max(1, capacity // ways)
+        self.ways = ways
+        self._sets: Dict[int, List[int]] = {}
+
+    def access(self, vector_id: int) -> bool:
+        index = vector_id % self.num_sets
+        entries = self._sets.setdefault(index, [])
+        if vector_id in entries:
+            entries.remove(vector_id)
+            entries.append(vector_id)
+            return True
+        entries.append(vector_id)
+        if len(entries) > self.ways:
+            entries.pop(0)
+        return False
+
+
+class TestDelegationEquivalence:
+    """Old-vs-new hit/miss stream pins for the shared tiering model."""
+
+    @settings(max_examples=120, deadline=None)
+    @given(
+        sequence=st.lists(
+            st.integers(min_value=0, max_value=512), min_size=0, max_size=300
+        ),
+        geometry=st.sampled_from(
+            [
+                (128 * 1024, 512, 8),  # the RecNMP reference point
+                (2 * 512, 512, 2),
+                (4 * 512, 512, 2),
+                (16 * 64, 64, 4),
+                (512, 512, 1),
+            ]
+        ),
+    )
+    def test_vector_cache_matches_legacy_stream(self, sequence, geometry):
+        size_bytes, vector_bytes, ways = geometry
+        current = VectorCache(size_bytes, vector_bytes, ways)
+        legacy = _LegacyVectorCache(size_bytes, vector_bytes, ways)
+        stream = [current.access(v) for v in sequence]
+        assert stream == [legacy.access(v) for v in sequence]
+        assert current.stats.hits == sum(stream)
+        assert current.stats.misses == len(stream) - sum(stream)
+
+    def test_vector_cache_is_the_shared_model(self):
+        cache = VectorCache()
+        assert isinstance(cache._cache, HotIndexCache)
+        assert isinstance(cache.stats, CacheStats)
+
+    def test_hit_rate_float_edge(self):
+        """The old ``hits / accesses if accesses else 0.0`` returned an
+        int-flavored 0 path; the shared stats are a plain float, clamped,
+        and exactly 0.0 untouched."""
+        cache = VectorCache()
+        assert cache.stats.hit_rate == 0.0
+        assert isinstance(cache.stats.hit_rate, float)
+        cache.access(1)
+        cache.access(1)
+        assert 0.0 <= cache.stats.hit_rate <= 1.0

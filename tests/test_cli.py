@@ -25,6 +25,7 @@ class TestParser:
             "chaos",
             "serve",
             "reduce",
+            "cache",
         }
 
     def test_requires_subcommand(self):
@@ -139,6 +140,26 @@ class TestCommands:
     def test_reduce_mean_operator_quick(self, capsys):
         assert main(["reduce", "--quick", "--operator", "mean"]) == 0
         assert "operator mean" in capsys.readouterr().out
+
+    def test_cache_quick(self, capsys):
+        assert main(["cache", "--quick"]) == 0
+        out = capsys.readouterr().out
+        assert "hot-index tier sweep" in out
+        assert "dedup-only" in out
+        assert "byte-identical" in out
+        assert "NO" not in out
+
+    def test_cache_check_quick(self, capsys):
+        assert main(["cache", "--quick", "--check"]) == 0
+        out = capsys.readouterr().out
+        assert "cache smoke passed" in out
+        assert "uniform hit rate 0.000" in out
+
+    def test_serve_with_cache(self, capsys):
+        assert main(["serve", "--quick", "--cache-kb", "128"]) == 0
+        out = capsys.readouterr().out
+        assert "cache 128 KB/rank" in out
+        assert "cache_hit" in out
 
     def test_serve_min_attainment_floor(self, capsys):
         # Far past capacity (~8.7M QPS) queueing delay accumulates with the

@@ -1,0 +1,184 @@
+"""Tests for access profiling and the placement optimizer."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.config import FafnirConfig
+from repro.core.engine import FafnirEngine
+from repro.memory.config import MemoryConfig
+from repro.memory.mapping import RowMajorPlacement
+from repro.obs import InMemorySink, Tracer, metrics_from_events
+from repro.obs.events import PLACEMENT_DECIDED
+from repro.tiering import (
+    AccessProfile,
+    DecayingCountSketch,
+    HotTierConfig,
+    PermutedRankPlacement,
+    PlacementOptimizer,
+)
+
+
+def test_access_profile_counts_and_heat():
+    profile = AccessProfile.from_batches(
+        [[[0, 1, 4], [4, 4]], [[1, 5]]]
+    )
+    assert profile.counts == {0: 1, 1: 2, 4: 3, 5: 1}
+    assert profile.total == 7
+    assert profile.rank_heat(4) == [4.0, 3.0, 0.0, 0.0]
+    assert profile.table_heat(2) == [4.0, 3.0]
+    assert profile.hottest_ids(2) == [4, 1]
+    # Ties break deterministically by id.
+    assert profile.hottest_ids(4) == [4, 1, 0, 5]
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    keys=st.lists(
+        st.integers(min_value=0, max_value=500), min_size=1, max_size=300
+    )
+)
+def test_sketch_never_underestimates(keys):
+    """Count-min property: estimate(k) ≥ true count (no decay here)."""
+    sketch = DecayingCountSketch(num_ranks=4, decay_every=10**9)
+    truth = {}
+    for key in keys:
+        sketch.add(key)
+        truth[key] = truth.get(key, 0) + 1
+    for key, count in truth.items():
+        assert sketch.estimate(key) >= count
+    heat = sketch.rank_heat(4)
+    assert sum(heat) == pytest.approx(len(keys))
+
+
+def test_sketch_decay_fades_stale_heat():
+    sketch = DecayingCountSketch(num_ranks=2, decay=0.5, decay_every=8)
+    for _ in range(8):
+        sketch.add(3)  # the 8th add triggers one decay round
+    assert sketch.estimate(3) == pytest.approx(4.0)
+    assert sketch.rank_heat(2)[1] == pytest.approx(4.0)
+
+
+def test_sketch_hottest_ids_tracks_the_skew():
+    sketch = DecayingCountSketch(num_ranks=4, max_candidates=8, seed=1)
+    for _ in range(50):
+        sketch.add(11)
+    for _ in range(20):
+        sketch.add(7)
+    for key in range(100, 130):
+        sketch.add(key)
+    top = sketch.hottest_ids(2)
+    assert top[0] == 11 and top[1] == 7
+
+
+def test_sketch_rejects_mismatched_geometry():
+    sketch = DecayingCountSketch(num_ranks=4)
+    with pytest.raises(ValueError):
+        sketch.rank_heat(8)
+    with pytest.raises(ValueError):
+        sketch.table_heat(4)  # no table profiling configured
+
+
+def test_plan_budgets_follow_heat_and_quantize_to_lines():
+    profile = AccessProfile()
+    profile.observe([[0] * 30 + [1] * 10])  # rank0: 30 accesses, rank1: 10
+    base = HotTierConfig(size_bytes=1024, line_bytes=256)
+    plan = PlacementOptimizer(profile, num_ranks=2).plan(base=base)
+    assert plan.rank_permutation == (0, 1)  # no slow ranks → identity
+    assert plan.total_budget_bytes == 2 * 1024
+    assert all(size % 256 == 0 for size in plan.per_rank_size_bytes)
+    assert plan.per_rank_size_bytes[0] > plan.per_rank_size_bytes[1] > 0
+    config = plan.tier_config(base)
+    assert config.per_rank_size_bytes == plan.per_rank_size_bytes
+
+
+def test_plan_routes_hot_ranks_away_from_slow_ranks():
+    profile = AccessProfile()
+    profile.observe([[1] * 50 + [0] * 5 + [2] * 20 + [3]])
+    optimizer = PlacementOptimizer(profile, num_ranks=4)
+    plan = optimizer.plan(slow_ranks=[0, 1])
+    # Heat order is logical ranks 1, 2, 0, 3; fast physical ranks are 2, 3.
+    assert plan.rank_permutation[1] == 2  # hottest → first fast rank
+    assert plan.rank_permutation[2] == 3
+    assert set(plan.rank_permutation) == {0, 1, 2, 3}
+    slow_physical = {0, 1}
+    hottest_two_logical = [1, 2]
+    for logical in hottest_two_logical:
+        assert plan.rank_permutation[logical] not in slow_physical
+
+
+def test_plan_pins_each_ranks_hottest_ids():
+    profile = AccessProfile()
+    profile.observe([[4] * 9 + [0] * 8 + [8] * 7 + [1] * 5 + [5] * 2])
+    plan = PlacementOptimizer(profile, num_ranks=4).plan(pinned_per_rank=2)
+    assert plan.pinned[0] == (4, 0)  # logical rank 0's two hottest, in order
+    assert plan.pinned[1] == (1, 5)
+    cfg = plan.tier_config(HotTierConfig())
+    assert cfg.pinned == plan.pinned
+
+
+def test_plan_emits_placement_decided_events_and_metrics():
+    profile = AccessProfile.from_batches([[[0, 1, 2, 3]]])
+    sink = InMemorySink()
+    optimizer = PlacementOptimizer(profile, num_ranks=4, tracer=Tracer([sink]))
+    plan = optimizer.plan(slow_ranks=[3])
+    decided = [e for e in sink.events if e.kind == PLACEMENT_DECIDED]
+    assert len(decided) == 4
+    assert {e.args["logical_rank"] for e in decided} == {0, 1, 2, 3}
+    assert [dict(d) for d in plan.decisions] == [e.args for e in decided]
+    metrics = metrics_from_events(sink.events)
+    assert metrics.counters()["placement.decisions"] == 4
+
+
+def test_zero_heat_profile_falls_back_to_even_split():
+    plan = PlacementOptimizer(AccessProfile(), num_ranks=4).plan(
+        base=HotTierConfig(size_bytes=1024, line_bytes=256)
+    )
+    assert plan.per_rank_size_bytes == (1024, 1024, 1024, 1024)
+
+
+def test_permuted_placement_rewrites_ranks_consistently():
+    config = MemoryConfig.small_test_system()
+    base = RowMajorPlacement(config.geometry, 64)
+    permutation = tuple(reversed(range(config.geometry.total_ranks)))
+    placement = PermutedRankPlacement(base, permutation)
+    for vector_id in range(40):
+        home = placement.home_rank(vector_id)
+        assert home == permutation[base.home_rank(vector_id)]
+        for request, original in zip(
+            placement.requests_for(vector_id), base.requests_for(vector_id)
+        ):
+            assert request.rank == permutation[original.rank]
+            assert (request.bank, request.row, request.column) == (
+                original.bank,
+                original.row,
+                original.column,
+            )
+    with pytest.raises(ValueError):
+        PermutedRankPlacement(base, (0, 0, 1, 2))
+
+
+def test_permuted_placement_is_functionally_invisible_to_the_engine():
+    """A placement-optimizer permutation changes timing at most."""
+    rng = np.random.default_rng(42)
+    config = FafnirConfig(
+        total_ranks=8,
+        ranks_per_leaf_pe=2,
+        batch_size=8,
+        max_query_len=4,
+        vector_bytes=64,
+    )
+    table = {i: rng.standard_normal(config.vector_elements) for i in range(256)}
+    queries = [
+        rng.choice(256, size=4, replace=False).tolist() for _ in range(6)
+    ]
+    baseline = FafnirEngine(config=config).run_batch(queries, table.__getitem__)
+    engine = FafnirEngine(config=config)
+    permuted = PermutedRankPlacement(
+        engine.placement, tuple(int(r) for r in rng.permutation(8))
+    )
+    rewired = FafnirEngine(config=config, placement=permuted).run_batch(
+        queries, table.__getitem__
+    )
+    for a, b in zip(baseline.vectors, rewired.vectors):
+        np.testing.assert_allclose(a, b, rtol=1e-12, atol=1e-12)
