@@ -1,0 +1,206 @@
+"""End-to-end resilience: chaos-cell inflation vs the clean baseline.
+
+The reference chaos cell couples the faults a production gather-reduce
+fleet actually sees: 1% cross-shard message loss, one straggler shard at
+4× slowdown, and an arrival burst at 2× serving capacity.  This bench
+measures what the resilience stack buys back:
+
+* **reduction side** — the chaos cell under the graceful policy must
+  keep every reduced vector byte-identical to the clean run (loss and
+  stragglers are timing faults); hedged re-dispatch must pull the
+  makespan back toward clean (first-result-wins);
+* **serving side** — at 2× capacity without protection, queueing delay
+  grows with the backlog and attainment collapses; with deadline-aware
+  shedding the *admitted* stream must stay above the recorded floor.
+
+Headline numbers (makespan inflation unhedged vs hedged, burst p99 and
+attainment with and without shedding, the admitted-stream floor) are
+appended to ``BENCH_resilience.json`` so the trajectory travels with the
+repo.  ``FAFNIR_SMOKE=1`` shrinks the workload for CI smoke runs.
+"""
+
+import os
+import time
+
+from _common import append_trajectory, run_once, write_report
+from repro.analysis import Table
+from repro.comm import LinkModel
+from repro.core import FafnirConfig
+from repro.core.sharding import ShardedRunner
+from repro.faults import FaultPlan, FaultPolicy
+from repro.resilience import HedgePolicy, OverloadPolicy
+from repro.serving import (
+    ContinuousBatcher,
+    OpenLoopGenerator,
+    RampStage,
+    ServingSimulator,
+)
+from repro.workloads import EmbeddingTableSet, QueryGenerator
+
+SMOKE = bool(int(os.environ.get("FAFNIR_SMOKE", "0")))
+
+SEED = 0
+SHARDS = 4
+BATCHES = 2 if SMOKE else 4
+BATCH_SIZE = 16 if SMOKE else 32
+QUERY_LEN = 16
+LINK_LOSS = 0.01
+STRAGGLER_FACTOR = 4.0
+BURST_FACTOR = 2.0
+SLO_US = 25.0
+N_REQUESTS = 80 if SMOKE else 200
+#: Recorded floor on the admitted stream's SLO attainment under the
+#: reference burst — the number CI holds future revisions to.
+ATTAINMENT_FLOOR = 0.75
+
+
+def _reduction_cell(tables, stream):
+    link = LinkModel(latency_ns=300.0, bandwidth_gb_s=20.0)
+
+    def runner(**kwargs):
+        return ShardedRunner(
+            config=FafnirConfig(),
+            max_workers=1,
+            reduction="gather",
+            num_shards=SHARDS,
+            link=link,
+            **kwargs,
+        )
+
+    clean = runner().run_reduced(stream, tables.vector)
+    straggler_piece = clean.active_pieces[len(clean.active_pieces) // 2]
+    plan = FaultPlan(
+        seed=SEED,
+        link_loss_probability=LINK_LOSS,
+        straggler_multipliers={straggler_piece: STRAGGLER_FACTOR},
+    )
+    unhedged = runner(
+        faults=plan, fault_policy=FaultPolicy.graceful()
+    ).run_reduced(stream, tables.vector)
+    hedged = runner(
+        faults=plan,
+        fault_policy=FaultPolicy.graceful(),
+        hedge=HedgePolicy(),
+    ).run_reduced(stream, tables.vector)
+    return clean, unhedged, hedged
+
+
+def _serving_cell(tables):
+    def serve(qps, count, protect):
+        load = OpenLoopGenerator(
+            QueryGenerator.paper_calibrated(
+                tables, seed=SEED + 1, query_len=QUERY_LEN
+            ),
+            [RampStage(qps=qps, duration_us=count / qps * 1e6)],
+            slo_us=SLO_US,
+            seed=SEED + 2,
+        )
+        simulator = ServingSimulator(
+            batcher=ContinuousBatcher(batch_size=16, window=64),
+            overload=OverloadPolicy() if protect else None,
+        )
+        return simulator.run(load, tables.vector)
+
+    probe = serve(1e9, N_REQUESTS, protect=False)
+    capacity_qps = probe.observed_qps
+    burst_n = max(N_REQUESTS, int(capacity_qps * SLO_US * 3 / 1e6))
+    burst = serve(BURST_FACTOR * capacity_qps, burst_n, protect=False)
+    shed = serve(BURST_FACTOR * capacity_qps, burst_n, protect=True)
+    return capacity_qps, burst, shed
+
+
+def test_resilience_chaos_cell(benchmark):
+    tables = EmbeddingTableSet.random(seed=SEED)
+    generator = QueryGenerator.paper_calibrated(
+        tables, seed=SEED, query_len=QUERY_LEN
+    )
+    stream = [generator.batch(BATCH_SIZE) for _ in range(BATCHES)]
+
+    def experiment():
+        start = time.perf_counter()
+        reduction = _reduction_cell(tables, stream)
+        serving = _serving_cell(tables)
+        return reduction, serving, time.perf_counter() - start
+
+    (clean, unhedged, hedged), (capacity_qps, burst, shed), wall_s = run_once(
+        benchmark, experiment
+    )
+
+    clean_bytes = [vector.tobytes() for vector in clean.vectors]
+    unhedged_identical = [
+        vector.tobytes() for vector in unhedged.vectors
+    ] == clean_bytes
+    hedged_identical = [
+        vector.tobytes() for vector in hedged.vectors
+    ] == clean_bytes
+    unhedged_inflation = unhedged.makespan_pe_cycles / clean.makespan_pe_cycles
+    hedged_inflation = hedged.makespan_pe_cycles / clean.makespan_pe_cycles
+
+    admitted = [record for record in shed.records if record.status != "shed"]
+    admitted_ok = sum(1 for record in admitted if record.slo_met) / max(
+        len(admitted), 1
+    )
+
+    table = Table(["quantity", "clean", "chaos", "protected"])
+    table.add_row(
+        [
+            "reduction makespan (cycles)",
+            clean.makespan_pe_cycles,
+            unhedged.makespan_pe_cycles,
+            hedged.makespan_pe_cycles,
+        ]
+    )
+    table.add_row(
+        [
+            "serving p99 (µs)",
+            "-",
+            f"{burst.latency_percentile_us(99):.2f}",
+            f"{shed.latency_percentile_us(99):.2f}",
+        ]
+    )
+    table.add_row(
+        [
+            "SLO attainment",
+            "-",
+            f"{burst.slo_attainment:.3f}",
+            f"{shed.slo_attainment:.3f} ({admitted_ok:.3f} admitted)",
+        ]
+    )
+
+    record = {
+        "smoke": SMOKE,
+        "link_loss": LINK_LOSS,
+        "straggler_factor": STRAGGLER_FACTOR,
+        "burst_factor": BURST_FACTOR,
+        "slo_us": SLO_US,
+        "attainment_floor": ATTAINMENT_FLOOR,
+        "clean_makespan_cycles": clean.makespan_pe_cycles,
+        "unhedged_makespan_cycles": unhedged.makespan_pe_cycles,
+        "hedged_makespan_cycles": hedged.makespan_pe_cycles,
+        "unhedged_inflation": round(unhedged_inflation, 4),
+        "hedged_inflation": round(hedged_inflation, 4),
+        "hedge_wins": hedged.hedges.wins,
+        "hedge_saved_cycles": hedged.hedges.saved_cycles,
+        "capacity_qps": round(capacity_qps, 1),
+        "burst_p99_us": round(burst.latency_percentile_us(99), 3),
+        "shed_p99_us": round(shed.latency_percentile_us(99), 3),
+        "burst_attainment": round(burst.slo_attainment, 4),
+        "shed_attainment": round(shed.slo_attainment, 4),
+        "admitted_attainment": round(admitted_ok, 4),
+        "shed_fraction": round(shed.shed_fraction, 4),
+        "wall_s": round(wall_s, 4),
+    }
+    write_report("resilience", table, record=record)
+    append_trajectory("resilience", record)
+
+    # Timing faults must never change reduced bytes, hedging must pay,
+    # and the admitted stream must hold the recorded floor while the
+    # unprotected burst falls below it.
+    assert unhedged_identical and hedged_identical
+    assert unhedged_inflation > 1.0
+    assert hedged_inflation <= unhedged_inflation
+    assert hedged.hedges.wins >= 1
+    assert shed.shed_fraction > 0.0
+    assert admitted_ok >= ATTAINMENT_FLOOR
+    assert burst.slo_attainment < ATTAINMENT_FLOOR
+    assert shed.latency_percentile_us(99) <= burst.latency_percentile_us(99)

@@ -526,6 +526,309 @@ def _cmd_reduce(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_resilience(args: argparse.Namespace) -> int:
+    """Chaos sweep through the end-to-end resilience stack.
+
+    Reduction side: link loss, a straggler shard (hedged vs unhedged),
+    and a dead shard (route-around vs fail-fast) on the cross-shard
+    reduction.  Serving side: an overload burst at ~2× capacity with and
+    without admission control.  ``--check`` turns the invariants into a
+    non-zero exit code for CI.
+    """
+    import json
+
+    from repro.comm import LinkModel
+    from repro.resilience import HedgePolicy, OverloadPolicy
+    from repro.serving import (
+        ContinuousBatcher,
+        OpenLoopGenerator,
+        RampStage,
+        ServingSimulator,
+    )
+
+    seed = args.seed
+    if args.quick:
+        shards, batches_n, batch_size, query_len = 4, 2, 8, 8
+        config = FafnirConfig(
+            total_ranks=16, ranks_per_leaf_pe=2, batch_size=8, max_query_len=8
+        )
+        n_requests = 60
+    else:
+        shards, batches_n, batch_size, query_len = 4, 4, 32, 16
+        config = FafnirConfig()
+        n_requests = 200
+    tables = EmbeddingTableSet.random(seed=seed)
+    generator = QueryGenerator.paper_calibrated(
+        tables, seed=seed, query_len=query_len
+    )
+    stream = [generator.batch(batch_size) for _ in range(batches_n)]
+    link = LinkModel(latency_ns=300.0, bandwidth_gb_s=20.0)
+    failures: List[str] = []
+
+    def check(condition: bool, label: str) -> None:
+        if not condition:
+            failures.append(label)
+
+    def runner(**kwargs) -> ShardedRunner:
+        return ShardedRunner(
+            config=config,
+            max_workers=1,
+            reduction="gather",
+            num_shards=shards,
+            link=link,
+            **kwargs,
+        )
+
+    table = Table(
+        ["scenario", "outcome", "comm_cycles", "makespan", "identical"]
+    )
+    clean = runner().run_reduced(stream, tables.vector)
+    clean_bytes = [vector.tobytes() for vector in clean.vectors]
+    table.add_row(
+        ["clean", "ok", clean.comm_pe_cycles, clean.makespan_pe_cycles, "-"]
+    )
+
+    # Installed-but-idle protection must not perturb a single byte.
+    idle = runner(
+        faults=FaultPlan(seed=seed),
+        fault_policy=FaultPolicy.graceful(),
+        hedge=HedgePolicy(),
+    ).run_reduced(stream, tables.vector)
+    idle_identical = [v.tobytes() for v in idle.vectors] == clean_bytes
+    check(idle_identical, "idle protection not byte-identical")
+    table.add_row(
+        [
+            "idle protection",
+            "ok",
+            idle.comm_pe_cycles,
+            idle.makespan_pe_cycles,
+            "yes" if idle_identical else "NO",
+        ]
+    )
+
+    # Link loss: retransmissions inflate comm cycles, never change bytes.
+    # The reference cell samples at the configured (low) rate; the stress
+    # cell drops half of all messages so the inflation invariant always
+    # has drops to bite on (a handful of messages at 1% may sample none).
+    def lossy_run(probability: float):
+        plan = FaultPlan(seed=seed, link_loss_probability=probability)
+        result = runner(
+            faults=plan, fault_policy=FaultPolicy.graceful()
+        ).run_reduced(stream, tables.vector)
+        identical = [v.tobytes() for v in result.vectors] == clean_bytes
+        drops = recovery_report(result.events).injected.get("link_loss", 0)
+        check(
+            identical, f"link loss {probability:.0%} changed reduced bytes"
+        )
+        table.add_row(
+            [
+                f"link loss {probability:.0%}",
+                f"{drops} drops",
+                result.comm_pe_cycles,
+                result.makespan_pe_cycles,
+                "yes" if identical else "NO",
+            ]
+        )
+        return result, drops
+
+    lossy, _ = lossy_run(args.link_loss)
+    stressed, stress_drops = lossy_run(0.5)
+    check(stress_drops > 0, "50% link loss sampled no drops")
+    check(
+        stressed.comm_pe_cycles > clean.comm_pe_cycles,
+        "link loss did not inflate comm cycles",
+    )
+
+    # One straggler shard, unhedged vs hedged: first-result-wins should
+    # pull the makespan back toward clean.
+    active = clean.active_pieces
+    straggler_piece = active[len(active) // 2]
+    straggler_plan = FaultPlan(
+        seed=seed,
+        straggler_multipliers={straggler_piece: args.straggler_factor},
+    )
+    unhedged = runner(
+        faults=straggler_plan, fault_policy=FaultPolicy.graceful()
+    ).run_reduced(stream, tables.vector)
+    hedged = runner(
+        faults=straggler_plan,
+        fault_policy=FaultPolicy.graceful(),
+        hedge=HedgePolicy(),
+    ).run_reduced(stream, tables.vector)
+    hedged_identical = [v.tobytes() for v in hedged.vectors] == clean_bytes
+    check(hedged_identical, "hedging changed reduced bytes")
+    check(
+        hedged.makespan_pe_cycles <= unhedged.makespan_pe_cycles,
+        "hedged makespan above unhedged",
+    )
+    check(hedged.hedges.wins >= 1, "hedging never won a race")
+    table.add_row(
+        [
+            f"straggler ×{args.straggler_factor:.0f}",
+            "unhedged",
+            unhedged.comm_pe_cycles,
+            unhedged.makespan_pe_cycles,
+            "yes",
+        ]
+    )
+    table.add_row(
+        [
+            f"straggler ×{args.straggler_factor:.0f}",
+            f"hedged ({hedged.hedges.wins} wins, "
+            f"{hedged.hedges.saved_cycles} cyc saved)",
+            hedged.comm_pe_cycles,
+            hedged.makespan_pe_cycles,
+            "yes" if hedged_identical else "NO",
+        ]
+    )
+
+    # Dead shard: graceful routes around it (untouched queries stay
+    # bit-identical), fail-fast refuses to serve partial answers.
+    dead_piece = active[0]
+    dead_plan = FaultPlan(seed=seed, dead_shards=frozenset({dead_piece}))
+    routed = runner(
+        faults=dead_plan, fault_policy=FaultPolicy.graceful()
+    ).run_reduced(stream, tables.vector)
+    statuses = routed.statuses
+    flat_queries = [query for batch in stream for query in batch]
+    untouched_identical = True
+    touched = 0
+    for position, query in enumerate(flat_queries):
+        hits_dead = any(
+            routed.partition.owner(index) == dead_piece for index in query
+        )
+        if hits_dead:
+            touched += 1
+            untouched_identical &= statuses[position] != "ok"
+        else:
+            untouched_identical &= (
+                routed.vectors[position].tobytes() == clean_bytes[position]
+            )
+    check(untouched_identical, "dead-shard route-around broke untouched queries")
+    check(touched > 0, "dead shard touched no queries (pick a hotter piece)")
+    try:
+        runner(faults=dead_plan, fault_policy=FaultPolicy()).run_reduced(
+            stream, tables.vector
+        )
+        fail_fast_raised = False
+    except Exception:
+        fail_fast_raised = True
+    check(fail_fast_raised, "fail-fast served answers from a dead shard")
+    table.add_row(
+        [
+            f"dead shard (piece {dead_piece})",
+            f"{touched} queries degraded, fail-fast "
+            + ("raises" if fail_fast_raised else "DID NOT RAISE"),
+            routed.comm_pe_cycles,
+            routed.makespan_pe_cycles,
+            "yes" if untouched_identical else "NO",
+        ]
+    )
+
+    print(
+        f"reduction resilience: {len(flat_queries)} queries, {shards} shards, "
+        f"seed {seed}"
+    )
+    print(table.render())
+    print()
+
+    # ---- serving overload ------------------------------------------------
+    def serve_run(qps: float, count: int, protect: bool) -> "ServingReport":
+        load = OpenLoopGenerator(
+            QueryGenerator.paper_calibrated(
+                tables, seed=seed + 1, query_len=query_len
+            ),
+            [RampStage(qps=qps, duration_us=count / qps * 1e6)],
+            slo_us=args.slo_us,
+            seed=seed + 2,
+        )
+        simulator = ServingSimulator(
+            batcher=ContinuousBatcher(batch_size=16, window=64),
+            overload=OverloadPolicy() if protect else None,
+        )
+        return simulator.run(load, tables.vector)
+
+    # Probe capacity: swamp the server and read back the drain rate.
+    probe = serve_run(1e9, n_requests, protect=False)
+    capacity_qps = probe.observed_qps
+    # The burst must outlast the SLO budget's worth of backlog, or the
+    # queue drains before anyone can miss.
+    burst_n = max(n_requests, int(capacity_qps * args.slo_us * 3 / 1e6))
+    base = serve_run(0.5 * capacity_qps, n_requests, protect=False)
+    burst = serve_run(args.burst_factor * capacity_qps, burst_n, protect=False)
+    shed = serve_run(args.burst_factor * capacity_qps, burst_n, protect=True)
+    admitted = [r for r in shed.records if r.status != "shed"]
+    admitted_ok = sum(1 for r in admitted if r.slo_met) / max(len(admitted), 1)
+    burst_ok = sum(1 for r in burst.records if r.slo_met) / max(
+        len(burst.records), 1
+    )
+    check(
+        admitted_ok >= burst_ok,
+        "shedding did not improve the admitted stream's attainment",
+    )
+    check(
+        shed.latency_percentile_us(99) <= burst.latency_percentile_us(99),
+        "shedding did not improve served p99",
+    )
+    serving_table = Table(
+        ["scenario", "offered_qps", "attainment", "p99_us", "shed"]
+    )
+    for label, report in (
+        (f"base ({0.5:.1f}× capacity)", base),
+        (f"burst ({args.burst_factor:.1f}× capacity)", burst),
+        (f"burst + shedding", shed),
+    ):
+        serving_table.add_row(
+            [
+                label,
+                f"{report.observed_qps / 1e6:.2f}M",
+                f"{report.slo_attainment:.3f}",
+                f"{report.latency_percentile_us(99):.2f}",
+                f"{report.shed_fraction:.3f}",
+            ]
+        )
+    print(
+        f"serving overload: capacity ≈ {capacity_qps / 1e6:.2f}M qps, "
+        f"SLO {args.slo_us:.1f} µs, admitted stream on-SLO "
+        f"{admitted_ok:.3f} vs {burst_ok:.3f} unprotected"
+    )
+    print(serving_table.render())
+
+    if args.min_attainment is not None:
+        check(
+            admitted_ok >= args.min_attainment,
+            f"admitted attainment {admitted_ok:.3f} below floor "
+            f"{args.min_attainment:.3f}",
+        )
+
+    if args.out:
+        payload = {
+            "seed": seed,
+            "clean_comm_cycles": clean.comm_pe_cycles,
+            "lossy_comm_cycles": lossy.comm_pe_cycles,
+            "unhedged_makespan": unhedged.makespan_pe_cycles,
+            "hedged_makespan": hedged.makespan_pe_cycles,
+            "hedge_wins": hedged.hedges.wins,
+            "capacity_qps": capacity_qps,
+            "burst_attainment": burst.slo_attainment,
+            "shed_attainment": shed.slo_attainment,
+            "admitted_attainment": admitted_ok,
+            "shed_fraction": shed.shed_fraction,
+            "failures": failures,
+        }
+        with open(args.out, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2)
+        print(f"summary written to {args.out}")
+
+    if failures:
+        print("FAIL:")
+        for failure in failures:
+            print(f"  - {failure}")
+        return 1 if args.check else 0
+    print("all resilience invariants held")
+    return 0
+
+
 def _cmd_cache(args: argparse.Namespace) -> int:
     """Hot-index tier sweep: hit rate and p99 vs cache size and Zipf α.
 
@@ -857,6 +1160,51 @@ def build_parser() -> argparse.ArgumentParser:
         help="small configuration for CI smoke runs",
     )
     reduce.set_defaults(func=_cmd_reduce)
+
+    resilience = subparsers.add_parser(
+        "resilience",
+        help="chaos sweep: link faults, stragglers, dead shards, overload",
+    )
+    resilience.add_argument("--seed", type=int, default=0)
+    resilience.add_argument(
+        "--link-loss",
+        type=float,
+        default=0.01,
+        help="per-message loss probability on the cross-shard links",
+    )
+    resilience.add_argument(
+        "--straggler-factor",
+        type=float,
+        default=4.0,
+        help="slowdown multiplier of the straggling shard",
+    )
+    resilience.add_argument(
+        "--burst-factor",
+        type=float,
+        default=2.0,
+        help="overload burst as a multiple of measured serving capacity",
+    )
+    resilience.add_argument("--slo-us", type=float, default=25.0)
+    resilience.add_argument(
+        "--min-attainment",
+        type=float,
+        default=None,
+        help="floor on the admitted stream's SLO attainment under burst",
+    )
+    resilience.add_argument(
+        "--out", default=None, help="write a JSON summary to this path"
+    )
+    resilience.add_argument(
+        "--check",
+        action="store_true",
+        help="CI smoke: exit non-zero when any resilience invariant fails",
+    )
+    resilience.add_argument(
+        "--quick",
+        action="store_true",
+        help="small configuration for CI smoke runs",
+    )
+    resilience.set_defaults(func=_cmd_resilience)
 
     cache = subparsers.add_parser(
         "cache", help="hot-index tier sweep: hit rate & p99 vs size and skew"

@@ -28,12 +28,24 @@ With a subtree-aligned partition the whole three-phase pipeline is
 **byte-identical** to running the batches on one node — the property the
 reduction differential matrix asserts, including under index-keyed fault
 plans.
+
+**Resilience.**  A :class:`~repro.faults.plan.FaultPlan` can make pieces
+*straggle* (their local completions stretch by a multiplier; a
+:class:`~repro.resilience.hedging.HedgePolicy` races a healthy replica
+against the tail) or go *dead* (their partials never arrive — the runner
+routes around them by handing the reducer an ``absent_pieces`` set, and
+the absent-piece-skipping :func:`canonical_fold` does the rest: surviving
+queries stay bit-identical to a run without the dead shard's indices,
+affected queries degrade or fail exactly like engine-side drops).  Link
+loss and bandwidth degradation are consumed inside the schedules; all of
+it is timing-or-absence, never silent numeric change.
 """
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple, Union
+from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -47,9 +59,25 @@ from repro.comm.schedule import (
     canonical_fold,
     get_schedule,
 )
-from repro.faults.policy import STATUS_DEGRADED, STATUS_FAILED, STATUS_OK
+from repro.faults.plan import (
+    FAULT_SHARD_DEAD,
+    FAULT_SHARD_STRAGGLER,
+    FaultPlan,
+)
+from repro.faults.policy import (
+    STATUS_DEGRADED,
+    STATUS_FAILED,
+    STATUS_OK,
+    FaultPolicy,
+)
 from repro.hw.link import LinkModel
-from repro.obs.events import TraceEvent
+from repro.obs.events import (
+    FAULT_DETECTED,
+    FAULT_INJECTED,
+    HEDGE_ISSUED,
+    TraceEvent,
+)
+from repro.resilience.hedging import HedgeAccounting, HedgePolicy, plan_hedges
 
 Batch = Sequence[Sequence[int]]
 
@@ -135,6 +163,7 @@ class ReducedBatchResult:
     outcome: ScheduleOutcome
     comm_start_pe_cycles: int = 0
     comm_end_pe_cycles: int = 0
+    hedged_pieces: List[int] = field(default_factory=list)
 
 
 @dataclass
@@ -156,6 +185,8 @@ class ReducedRunResult:
     local_makespan_pe_cycles: int = 0
     comm_pe_cycles: int = 0
     makespan_pe_cycles: int = 0
+    absent_pieces: List[int] = field(default_factory=list)
+    hedges: HedgeAccounting = field(default_factory=HedgeAccounting)
 
     @property
     def vectors(self) -> List[np.ndarray]:
@@ -197,6 +228,9 @@ class CrossShardReducer:
         link: Optional[LinkModel] = None,
         operator: Union[str, ReductionOperator] = "sum",
         config: Optional[FafnirConfig] = None,
+        faults: Optional[FaultPlan] = None,
+        policy: Optional[FaultPolicy] = None,
+        hedge: Optional[HedgePolicy] = None,
     ) -> None:
         self.partition = partition
         self.schedule = (
@@ -207,29 +241,59 @@ class CrossShardReducer:
             get_operator(operator) if isinstance(operator, str) else operator
         )
         self.config = config if config is not None else FafnirConfig()
+        self.faults = faults
+        self.policy = policy
+        self.hedge = hedge
 
     def combine(
         self,
         batches: Sequence[Batch],
         split: ShardSplit,
         shard_results: Sequence[MultiBatchResult],
+        absent_pieces: FrozenSet[int] = frozenset(),
     ) -> ReducedRunResult:
         """Fold ``shard_results`` (ordered like ``split.active_pieces``).
 
         Each shard's partials must have been produced under
         :func:`partial_operator`; this is where the real finalize runs.
+        ``absent_pieces`` are active pieces whose partials never arrived
+        (dead shards the runner routed around); ``shard_results`` must be
+        ordered like the active pieces *minus* the absent ones.
         """
+        present_pieces = [
+            piece for piece in split.active_pieces if piece not in absent_pieces
+        ]
         by_piece: Dict[int, MultiBatchResult] = dict(
-            zip(split.active_pieces, shard_results)
+            zip(present_pieces, shard_results)
         )
         if len(by_piece) != len(shard_results):
             raise ValueError(
                 f"{len(shard_results)} shard results for "
-                f"{len(split.active_pieces)} active pieces"
+                f"{len(present_pieces)} present pieces"
             )
+        faults = self.faults
+        stragglers_active = bool(
+            faults is not None and faults.straggler_multipliers
+        )
         vector_elements = self.config.vector_elements
         reduced: List[ReducedBatchResult] = []
         events: List[TraceEvent] = []
+        hedges = HedgeAccounting()
+        for piece in sorted(absent_pieces):
+            events.append(
+                TraceEvent(
+                    FAULT_INJECTED,
+                    cycle=0,
+                    args={"fault": FAULT_SHARD_DEAD, "shard": piece},
+                )
+            )
+            events.append(
+                TraceEvent(
+                    FAULT_DETECTED,
+                    cycle=0,
+                    args={"fault": FAULT_SHARD_DEAD, "shard": piece, "fatal": True},
+                )
+            )
         comm_cursor = 0
         for batch_pos, batch in enumerate(batches):
             slots = split.contributors[batch_pos]
@@ -237,12 +301,16 @@ class CrossShardReducer:
             vectors: List[np.ndarray] = []
             statuses: List[str] = []
             local_ready: List[int] = []
+            contrib_ready: List[Dict[int, int]] = []
             for query_pos, query in enumerate(batch):
                 entries: Dict[int, np.ndarray] = {}
                 total_surviving = 0
                 query_unique = len(frozenset(int(index) for index in query))
                 ready = 0
+                ready_by_piece: Dict[int, int] = {}
                 for slot in slots.get(query_pos, []):
+                    if slot.piece not in by_piece:
+                        continue  # dead shard — its subtree is absent
                     result = by_piece[slot.piece].results[slot.stream_pos]
                     sub_query = result.plan.queries[slot.query_pos]
                     surviving = len(sub_query) - len(
@@ -255,9 +323,9 @@ class CrossShardReducer:
                     existing = touched.get(slot.piece, frozenset())
                     touched[slot.piece] = existing | {query_pos}
                     if result.ready_pe_cycles:
-                        ready = max(
-                            ready, result.ready_pe_cycles[slot.query_pos]
-                        )
+                        slot_ready = result.ready_pe_cycles[slot.query_pos]
+                        ready = max(ready, slot_ready)
+                        ready_by_piece[slot.piece] = slot_ready
                 if entries:
                     folded = canonical_fold(
                         entries, self.partition.num_pieces, self.operator.combine
@@ -268,6 +336,7 @@ class CrossShardReducer:
                 else:
                     vectors.append(np.full(vector_elements, np.nan))
                 local_ready.append(ready)
+                contrib_ready.append(ready_by_piece)
                 if total_surviving == query_unique:
                     statuses.append(STATUS_OK)
                 elif total_surviving:
@@ -280,17 +349,85 @@ class CrossShardReducer:
                 self.partition.num_pieces,
                 self.config.vector_bytes,
                 self.link,
+                faults=faults,
+                policy=self.policy,
+                batch=batch_pos,
             )
             # The batch's comm phase starts once every contributing shard
             # has drained the batch locally, and batches share the link.
-            partials_done = 0
+            piece_done: Dict[int, int] = {}
             for piece, result in by_piece.items():
                 for stream_pos, orig_pos in enumerate(split.batch_of[piece]):
                     if orig_pos == batch_pos:
-                        partials_done = max(
-                            partials_done,
+                        piece_done[piece] = max(
+                            piece_done.get(piece, 0),
                             result.pipeline.batch_completion_cycles[stream_pos],
                         )
+            hedged_pieces: List[int] = []
+            if stragglers_active and piece_done:
+                assert faults is not None
+                slowed = {
+                    piece: int(math.ceil(done * faults.shard_slowdown(piece)))
+                    for piece, done in piece_done.items()
+                }
+                for piece in sorted(slowed):
+                    if slowed[piece] > piece_done[piece]:
+                        events.append(
+                            TraceEvent(
+                                FAULT_INJECTED,
+                                cycle=slowed[piece],
+                                args={
+                                    "fault": FAULT_SHARD_STRAGGLER,
+                                    "shard": piece,
+                                    "batch": batch_pos,
+                                    "multiplier": faults.shard_slowdown(piece),
+                                },
+                            )
+                        )
+                effective = slowed
+                if self.hedge is not None:
+                    effective, decisions = plan_hedges(
+                        slowed, piece_done, self.hedge
+                    )
+                    for decision in decisions:
+                        hedges.absorb(decision)
+                        hedged_pieces.append(decision.piece)
+                        events.append(
+                            TraceEvent(
+                                HEDGE_ISSUED,
+                                cycle=decision.issued_at,
+                                args={
+                                    "shard": decision.piece,
+                                    "batch": batch_pos,
+                                    "issued_at": decision.issued_at,
+                                    "won": decision.won,
+                                    "saved": decision.saved_cycles,
+                                    "wasted": decision.wasted_cycles,
+                                },
+                            )
+                        )
+                partials_done = max(effective.values(), default=0)
+                # Per-query readies stretch with their piece, capped by the
+                # post-race effective completion when a hedge cut the tail.
+                local_ready = [
+                    max(
+                        (
+                            min(
+                                int(
+                                    math.ceil(
+                                        slot_ready * faults.shard_slowdown(piece)
+                                    )
+                                ),
+                                effective.get(piece, slowed.get(piece, slot_ready)),
+                            )
+                            for piece, slot_ready in ready_by_piece.items()
+                        ),
+                        default=0,
+                    )
+                    for ready_by_piece in contrib_ready
+                ]
+            else:
+                partials_done = max(piece_done.values(), default=0)
             comm_start = max(partials_done, comm_cursor)
             comm_cursor = comm_start + outcome.comm_pe_cycles
             for event in outcome.events:
@@ -309,6 +446,7 @@ class CrossShardReducer:
                     outcome=outcome,
                     comm_start_pe_cycles=comm_start,
                     comm_end_pe_cycles=comm_cursor,
+                    hedged_pieces=hedged_pieces,
                 )
             )
 
@@ -327,4 +465,6 @@ class CrossShardReducer:
             local_makespan_pe_cycles=local_makespan,
             comm_pe_cycles=sum(b.outcome.comm_pe_cycles for b in reduced),
             makespan_pe_cycles=max(local_makespan, comm_cursor),
+            absent_pieces=sorted(absent_pieces),
+            hedges=hedges,
         )

@@ -39,17 +39,45 @@ single-node root association bit for bit.
 Sparsity is first-class (the Tascade framing): a shard only holds — and
 only ships — the queries its piece actually touches, so message bytes
 track the workload's sharing structure rather than the batch size.
+
+**Link faults.**  When a :class:`~repro.faults.plan.FaultPlan` with link
+faults is installed, every message's wire time runs through
+:meth:`_RoutingState.message_cycles`: a degraded (src, dst) link carries
+the message at ``multiplier``× its modeled time, and a seeded drop costs
+the policy's detection timeout plus a retransmitted wire time, up to
+``max_link_retransmits`` attempts.  The fabric is *eventually reliable* —
+in degrade mode an exhausted budget escalates to one host-mediated resend
+that always delivers — so link faults inflate modeled cycles without ever
+changing which bytes arrive: the canonical fold, and therefore the
+numeric answer, is untouched.  Fail-fast mode raises
+:class:`~repro.faults.plan.LinkFailedError` on exhaustion instead.
 """
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
-from typing import Callable, Dict, FrozenSet, List, Mapping, Optional, Set, Tuple
+from typing import Any, Callable, Dict, FrozenSet, List, Mapping, Optional, Set, Tuple
 
 import numpy as np
 
+from repro.faults.plan import (
+    FAULT_LINK_DEGRADED,
+    FAULT_LINK_LOSS,
+    FaultPlan,
+    LinkFailedError,
+)
+from repro.faults.policy import FaultPolicy
 from repro.hw.link import LinkModel
-from repro.obs.events import SHARD_MSG_SENT, SHARD_REDUCED, TraceEvent
+from repro.obs.events import (
+    FAULT_DETECTED,
+    FAULT_INJECTED,
+    MSG_DROPPED,
+    MSG_RETRANSMITTED,
+    SHARD_MSG_SENT,
+    SHARD_REDUCED,
+    TraceEvent,
+)
 
 #: Wire overhead per shipped segment: piece-range tag + query id + length.
 SEGMENT_HEADER_BYTES = 8
@@ -179,10 +207,17 @@ class _RoutingState:
         vector_bytes: int,
         link: LinkModel,
         schedule: str,
+        faults: Optional[FaultPlan] = None,
+        policy: Optional[FaultPolicy] = None,
+        batch: int = 0,
     ) -> None:
         self.num_pieces = num_pieces
         self.vector_bytes = vector_bytes
         self.link = link
+        self.faults = faults if faults is not None and faults.touches_links else None
+        self.policy = policy if policy is not None else FaultPolicy()
+        self.batch = batch
+        self._pending_faults: List[Tuple[str, Dict[str, Any]]] = []
         # present[q]: pieces contributing to query q (global sparsity map;
         # a real deployment learns this from the query headers it already
         # routes, exactly like the engine's header algebra).
@@ -237,6 +272,78 @@ class _RoutingState:
         self.outcome.total_bytes += payload_bytes
         return message
 
+    # --- faulted wire time -------------------------------------------------
+    def message_cycles(self, message: CommMessage) -> int:
+        """Modeled wire time of one message, including injected link faults.
+
+        With no link faults installed this is exactly
+        ``link.transfer_pe_cycles(payload_bytes)`` — the clean path is
+        byte- and cycle-identical to a build without the fault subsystem.
+        """
+        base = self.link.transfer_pe_cycles(message.payload_bytes)
+        plan = self.faults
+        if plan is None:
+            return base
+        site = {"step": message.step, "src": message.src, "dst": message.dst}
+        multiplier = plan.link_multiplier(message.src, message.dst)
+        per_attempt = base
+        if multiplier > 1.0:
+            per_attempt = int(math.ceil(base * multiplier))
+            self._pending_faults.append(
+                (
+                    FAULT_INJECTED,
+                    dict(site, fault=FAULT_LINK_DEGRADED, multiplier=multiplier),
+                )
+            )
+        total = per_attempt
+        attempt = 0
+        while plan.message_dropped(
+            self.batch, message.step, message.src, message.dst, attempt
+        ):
+            exhausted = attempt >= self.policy.max_link_retransmits
+            self._pending_faults.append(
+                (FAULT_INJECTED, dict(site, fault=FAULT_LINK_LOSS, attempt=attempt))
+            )
+            self._pending_faults.append(
+                (
+                    MSG_DROPPED,
+                    dict(site, bytes=message.payload_bytes, attempt=attempt),
+                )
+            )
+            self._pending_faults.append(
+                (
+                    FAULT_DETECTED,
+                    dict(site, fault=FAULT_LINK_LOSS, fatal=exhausted),
+                )
+            )
+            total += self.policy.link_timeout_cycles
+            if exhausted:
+                if self.policy.fail_fast:
+                    raise LinkFailedError(
+                        f"message step {message.step} {message.src}->"
+                        f"{message.dst} lost after "
+                        f"{self.policy.max_link_retransmits} retransmits"
+                    )
+                # Eventually-reliable escalation: one host-mediated resend
+                # that always delivers, charged at the degraded wire time.
+                total += per_attempt
+                self._pending_faults.append(
+                    (
+                        MSG_RETRANSMITTED,
+                        dict(site, attempt=attempt + 1, escalated=True),
+                    )
+                )
+                break
+            attempt += 1
+            total += per_attempt
+            self._pending_faults.append(
+                (
+                    MSG_RETRANSMITTED,
+                    dict(site, attempt=attempt, escalated=False),
+                )
+            )
+        return total
+
     def close_step(self, step: int, cycles: int, inbound: Dict[int, int]) -> None:
         """Account one synchronous step: duration, events, reduce marks."""
         self._cursor += cycles
@@ -271,6 +378,11 @@ class _RoutingState:
                     },
                 )
             )
+        for kind, args in self._pending_faults:
+            self.outcome.events.append(
+                TraceEvent(kind, cycle=self._cursor, args=args)
+            )
+        self._pending_faults = []
 
     def finish(self, consumer: int = 0) -> ScheduleOutcome:
         """Close the outcome, asserting the consumer holds every partial."""
@@ -296,7 +408,7 @@ class _RoutingState:
         for src in range(core, self.num_pieces):
             message = self.send(step, src, src - core)
             if message is not None:
-                longest = max(longest, self.link.transfer_pe_cycles(message.payload_bytes))
+                longest = max(longest, self.message_cycles(message))
                 inbound[src - core] = inbound.get(src - core, 0) + 1
         self.close_step(step, longest, inbound)
 
@@ -312,6 +424,9 @@ class ReductionSchedule:
         num_pieces: int,
         vector_bytes: int,
         link: LinkModel,
+        faults: Optional[FaultPlan] = None,
+        policy: Optional[FaultPolicy] = None,
+        batch: int = 0,
     ) -> ScheduleOutcome:
         """Model one batch's cross-shard reduction.
 
@@ -321,6 +436,9 @@ class ReductionSchedule:
             num_pieces: total shard count (piece ids are ``range`` of it).
             vector_bytes: bytes of one partial vector on the wire.
             link: inter-node link model.
+            faults: optional chaos script — only its link faults apply here.
+            policy: retransmit budget / timeout; defaults to fail-fast.
+            batch: batch position, keying the seeded per-message decisions.
         """
         raise NotImplementedError
 
@@ -330,15 +448,17 @@ class GatherToRoot(ReductionSchedule):
 
     name = SCHEDULE_GATHER
 
-    def run(self, touched, num_pieces, vector_bytes, link):
-        state = _RoutingState(touched, num_pieces, vector_bytes, link, self.name)
+    def run(self, touched, num_pieces, vector_bytes, link, faults=None, policy=None, batch=0):
+        state = _RoutingState(
+            touched, num_pieces, vector_bytes, link, self.name, faults, policy, batch
+        )
         if num_pieces > 1:
             cycles = 0
             inbound: Dict[int, int] = {}
             for src in range(1, num_pieces):
                 message = state.send(0, src, 0)
                 if message is not None:
-                    cycles += link.transfer_pe_cycles(message.payload_bytes)
+                    cycles += state.message_cycles(message)
                     inbound[0] = inbound.get(0, 0) + 1
             state.close_step(0, cycles, inbound)
         return state.finish()
@@ -349,8 +469,10 @@ class RecursiveDoubling(ReductionSchedule):
 
     name = SCHEDULE_RECURSIVE_DOUBLING
 
-    def run(self, touched, num_pieces, vector_bytes, link):
-        state = _RoutingState(touched, num_pieces, vector_bytes, link, self.name)
+    def run(self, touched, num_pieces, vector_bytes, link, faults=None, policy=None, batch=0):
+        state = _RoutingState(
+            touched, num_pieces, vector_bytes, link, self.name, faults, policy, batch
+        )
         core = _prev_pow2(num_pieces)
         state.fold_in_extras(core)
         distance = 1
@@ -363,7 +485,7 @@ class RecursiveDoubling(ReductionSchedule):
                 partner = node ^ distance
                 message = state.send(step, node, partner)
                 if message is not None:
-                    cycles = link.transfer_pe_cycles(message.payload_bytes)
+                    cycles = state.message_cycles(message)
                     pair = (min(node, partner), max(node, partner))
                     if link.duplex:
                         longest = max(longest, cycles)
@@ -382,8 +504,10 @@ class ReduceScatterAllgather(ReductionSchedule):
 
     name = SCHEDULE_REDUCE_SCATTER
 
-    def run(self, touched, num_pieces, vector_bytes, link):
-        state = _RoutingState(touched, num_pieces, vector_bytes, link, self.name)
+    def run(self, touched, num_pieces, vector_bytes, link, faults=None, policy=None, batch=0):
+        state = _RoutingState(
+            touched, num_pieces, vector_bytes, link, self.name, faults, policy, batch
+        )
         core = _prev_pow2(num_pieces)
         state.fold_in_extras(core)
         if core > 1:
@@ -406,7 +530,7 @@ class ReduceScatterAllgather(ReductionSchedule):
                     }
                     message = state.send(step, node, partner, to_ship)
                     if message is not None:
-                        cycles = link.transfer_pe_cycles(message.payload_bytes)
+                        cycles = state.message_cycles(message)
                         pair = (min(node, partner), max(node, partner))
                         if link.duplex:
                             longest = max(longest, cycles)
@@ -429,7 +553,7 @@ class ReduceScatterAllgather(ReductionSchedule):
                     partner = node ^ distance
                     message = state.send(step, node, partner)
                     if message is not None:
-                        cycles = link.transfer_pe_cycles(message.payload_bytes)
+                        cycles = state.message_cycles(message)
                         pair = (min(node, partner), max(node, partner))
                         if link.duplex:
                             longest = max(longest, cycles)

@@ -194,6 +194,7 @@ class ShardedRunner:
         partition: Optional["IndexPartition"] = None,
         link: Optional[LinkModel] = None,
         cache: Optional[HotTierConfig] = None,
+        hedge: Optional["HedgePolicy"] = None,
     ) -> None:
         """Build the runner.
 
@@ -217,6 +218,10 @@ class ShardedRunner:
                 tier from this description, so cached sharded runs stay
                 byte-identical to uncached ones while each replica's
                 modeled DRAM traffic drops.
+            hedge: opt-in hedged re-dispatch of straggler shards
+                (:class:`~repro.resilience.hedging.HedgePolicy`) consumed
+                by :meth:`run_reduced` when the fault plan stretches a
+                piece's local completion.
         """
         self.config = config
         self.operator = operator
@@ -236,6 +241,7 @@ class ShardedRunner:
         self.partition = partition
         self.link = link
         self.cache = cache
+        self.hedge = hedge
 
     def run(
         self,
@@ -387,7 +393,11 @@ class ShardedRunner:
 
         Note: shard-crash fault plans address *active* shard positions
         (the order of ``ReducedRunResult.active_pieces``), since pieces
-        untouched by the whole stream never start a worker.
+        untouched by the whole stream never start a worker.  Dead-shard
+        plans (``FaultPlan.dead_shards``) address *piece ids*: a dead
+        piece is never dispatched — its partials simply never arrive, the
+        reducer routes around the absence, and the affected queries
+        degrade (or the run raises, in fail-fast mode).
         """
         from repro.comm.partition import IndexPartition
         from repro.comm.reducer import (
@@ -395,6 +405,7 @@ class ShardedRunner:
             ShardSplit,
             partial_operator,
         )
+        from repro.faults.plan import ShardFailedError
 
         if not batches:
             raise ValueError("need at least one batch")
@@ -415,20 +426,38 @@ class ShardedRunner:
             link=self.link,
             operator=self.operator,
             config=self.config,
+            faults=self.faults,
+            policy=self.fault_policy,
+            hedge=self.hedge,
         )
         split = ShardSplit(batches, partition)
+        dead = frozenset(
+            piece
+            for piece in split.active_pieces
+            if self.faults is not None and self.faults.shard_is_dead(piece)
+        )
+        if dead and self.fault_policy.fail_fast:
+            raise ShardFailedError(
+                f"dead shard(s) {sorted(dead)} with fail-fast policy; use "
+                "FaultPolicy.graceful() to route around them"
+            )
+        streams = [
+            stream
+            for piece, stream in zip(split.active_pieces, split.shard_streams())
+            if piece not in dead
+        ]
         saved_operator = self.operator
         self.operator = partial_operator(saved_operator)
         try:
             shard_results = self.run(
-                split.shard_streams(),
+                streams,
                 source,
                 deduplicate=deduplicate,
                 pipeline=pipeline,
             )
         finally:
             self.operator = saved_operator
-        return reducer.combine(batches, split, shard_results)
+        return reducer.combine(batches, split, shard_results, absent_pieces=dead)
 
     # ------------------------------------------------------------------
     def _shard_fault_events(

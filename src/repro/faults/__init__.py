@@ -33,14 +33,19 @@ from repro.faults.plan import (
     CORRUPT_MODES,
     CORRUPT_NAN,
     FAULT_KINDS,
+    FAULT_LINK_DEGRADED,
+    FAULT_LINK_LOSS,
     FAULT_RANK_DEGRADED,
     FAULT_RANK_TIMEOUT,
+    FAULT_SHARD_DEAD,
+    FAULT_SHARD_STRAGGLER,
     FAULT_SOURCE_ERROR,
     FAULT_VECTOR_CORRUPTION,
     FAULT_WORKER_CRASH,
     FAULT_WORKER_HANG,
     FaultError,
     FaultPlan,
+    LinkFailedError,
     RankTimeoutError,
     ShardFailedError,
     SimulatedWorkerCrash,
@@ -52,9 +57,11 @@ from repro.faults.policy import (
     MODE_DEGRADE,
     MODE_FAIL_FAST,
     MODES,
+    REQUEST_STATUSES,
     STATUS_DEGRADED,
     STATUS_FAILED,
     STATUS_OK,
+    STATUS_SHED,
     STATUSES,
     FaultPolicy,
 )
@@ -65,8 +72,12 @@ __all__ = [
     "CORRUPT_MODES",
     "CORRUPT_NAN",
     "FAULT_KINDS",
+    "FAULT_LINK_DEGRADED",
+    "FAULT_LINK_LOSS",
     "FAULT_RANK_DEGRADED",
     "FAULT_RANK_TIMEOUT",
+    "FAULT_SHARD_DEAD",
+    "FAULT_SHARD_STRAGGLER",
     "FAULT_SOURCE_ERROR",
     "FAULT_VECTOR_CORRUPTION",
     "FAULT_WORKER_CRASH",
@@ -74,15 +85,18 @@ __all__ = [
     "FaultError",
     "FaultPlan",
     "FaultPolicy",
+    "LinkFailedError",
     "MODES",
     "MODE_DEGRADE",
     "MODE_FAIL_FAST",
     "RankTimeoutError",
     "RecoveryReport",
+    "REQUEST_STATUSES",
     "STATUSES",
     "STATUS_DEGRADED",
     "STATUS_FAILED",
     "STATUS_OK",
+    "STATUS_SHED",
     "ShardFailedError",
     "SimulatedWorkerCrash",
     "SourceFaultError",

@@ -22,7 +22,26 @@ transient source error     the vector source raises on a fetch attempt
                            (``FafnirEngine``)
 worker crash / hang        a shard worker dies or stalls on its first
                            attempt(s) (``ShardedRunner``)
+link message loss          a cross-shard reduction message is dropped on
+                           the wire and must be retransmitted after a
+                           detection timeout (``comm`` schedules)
+link bandwidth degradation a listed (src, dst) link carries messages at
+                           ``multiplier``× their modelled wire time
+                           (``comm`` schedules)
+shard straggler            a shard's local completion cycles stretch by a
+                           multiplier (``CrossShardReducer``; hedged
+                           re-dispatch can cut the tail)
+shard dead                 a shard's partials never arrive; the reducer
+                           routes around it by dropping its pieces through
+                           the absent-piece-skipping ``canonical_fold``
 =========================  ================================================
+
+Link loss and bandwidth degradation are **timing** faults: the modeled
+fabric is eventually reliable (link-layer retransmission, with a final
+host-mediated escalation when the retransmit budget runs out in
+``degrade`` mode), so functional bytes never change.  A dead shard is the
+**functional** link-class fault: its pieces are absent from the fold and
+the affected queries degrade exactly like engine-side index drops.
 
 The plan only *decides*; the components inject, emit the ``fault_*``
 trace events, and run the :class:`~repro.faults.policy.FaultPolicy`
@@ -33,7 +52,7 @@ from __future__ import annotations
 
 import zlib
 from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, Iterable, Optional
+from typing import Dict, FrozenSet, Iterable, Optional, Tuple
 
 import numpy as np
 
@@ -44,6 +63,10 @@ FAULT_VECTOR_CORRUPTION = "vector_corruption"
 FAULT_SOURCE_ERROR = "source_error"
 FAULT_WORKER_CRASH = "worker_crash"
 FAULT_WORKER_HANG = "worker_hang"
+FAULT_LINK_LOSS = "link_loss"
+FAULT_LINK_DEGRADED = "link_degraded"
+FAULT_SHARD_STRAGGLER = "shard_straggler"
+FAULT_SHARD_DEAD = "shard_dead"
 
 FAULT_KINDS = (
     FAULT_RANK_DEGRADED,
@@ -52,6 +75,10 @@ FAULT_KINDS = (
     FAULT_SOURCE_ERROR,
     FAULT_WORKER_CRASH,
     FAULT_WORKER_HANG,
+    FAULT_LINK_LOSS,
+    FAULT_LINK_DEGRADED,
+    FAULT_SHARD_STRAGGLER,
+    FAULT_SHARD_DEAD,
 )
 
 # --- corruption modes ------------------------------------------------------
@@ -88,6 +115,10 @@ class ShardFailedError(FaultError):
     """A shard could not be completed within the re-dispatch budget."""
 
 
+class LinkFailedError(FaultError):
+    """A message kept getting lost after the full retransmit budget."""
+
+
 def _decision_rng(seed: int, site: str, *keys: int) -> np.random.Generator:
     """A generator keyed by (seed, site, keys) — order-independent."""
     material = [seed & 0xFFFFFFFF, zlib.crc32(site.encode("ascii"))]
@@ -120,6 +151,19 @@ class FaultPlan:
             persistent failure).
         hang_seconds: how long a hung worker sleeps (must exceed the
             policy's ``shard_timeout_s`` for the watchdog to matter).
+        link_loss_probability: per-(message, attempt) probability that a
+            cross-shard reduction message is dropped on the wire (timing
+            only — the fabric is eventually reliable).
+        link_bandwidth_multipliers: directed (src, dst) shard pair →
+            wire-time multiplier (> 1 degrades that link; others are
+            untouched).
+        straggler_multipliers: piece id → local-completion multiplier
+            (> 1 stretches that shard's partials; hedged re-dispatch can
+            cut the tail).
+        dead_shards: piece ids whose partials never arrive — the reducer
+            routes around them by dropping their pieces from the fold.
+            (Note: addressed by *piece id*, unlike ``crash_shards`` which
+            addresses dispatch positions.)
     """
 
     seed: int = 0
@@ -132,6 +176,12 @@ class FaultPlan:
     hang_shards: FrozenSet[int] = frozenset()
     crash_attempts: int = 1
     hang_seconds: float = 5.0
+    link_loss_probability: float = 0.0
+    link_bandwidth_multipliers: Dict[Tuple[int, int], float] = field(
+        default_factory=dict
+    )
+    straggler_multipliers: Dict[int, float] = field(default_factory=dict)
+    dead_shards: FrozenSet[int] = frozenset()
 
     def __post_init__(self) -> None:
         if self.corruption_mode not in CORRUPT_MODES:
@@ -159,8 +209,23 @@ class FaultPlan:
             raise ValueError("crash_attempts must be non-negative")
         if self.hang_seconds < 0:
             raise ValueError("hang_seconds must be non-negative")
+        if not 0.0 <= self.link_loss_probability <= 1.0:
+            raise ValueError("link_loss_probability must be within [0, 1]")
+        for pair, multiplier in self.link_bandwidth_multipliers.items():
+            if multiplier < 1.0:
+                raise ValueError(
+                    f"link {pair} bandwidth multiplier {multiplier} < 1 "
+                    "(degradation can only slow transfers down)"
+                )
+        for piece, multiplier in self.straggler_multipliers.items():
+            if multiplier < 1.0:
+                raise ValueError(
+                    f"piece {piece} straggler multiplier {multiplier} < 1 "
+                    "(stragglers can only finish later)"
+                )
         self.crash_shards = frozenset(self.crash_shards)
         self.hang_shards = frozenset(self.hang_shards)
+        self.dead_shards = frozenset(self.dead_shards)
 
     # --- memory-side decisions --------------------------------------------
     @property
@@ -213,6 +278,37 @@ class FaultPlan:
     def shard_hangs(self, shard: int, attempt: int) -> bool:
         return shard in self.hang_shards and attempt < self.crash_attempts
 
+    # --- link / reduction-side decisions ----------------------------------
+    @property
+    def touches_links(self) -> bool:
+        return bool(self.link_loss_probability or self.link_bandwidth_multipliers)
+
+    @property
+    def touches_reduction(self) -> bool:
+        return bool(
+            self.touches_links or self.straggler_multipliers or self.dead_shards
+        )
+
+    def message_dropped(
+        self, batch: int, step: int, src: int, dst: int, attempt: int
+    ) -> bool:
+        """Whether the (batch, step, src→dst) message is lost on ``attempt``."""
+        if self.link_loss_probability <= 0.0:
+            return False
+        rng = _decision_rng(
+            self.seed, "link_loss", batch, step, src, dst, attempt
+        )
+        return bool(rng.random() < self.link_loss_probability)
+
+    def link_multiplier(self, src: int, dst: int) -> float:
+        return self.link_bandwidth_multipliers.get((src, dst), 1.0)
+
+    def shard_slowdown(self, piece: int) -> float:
+        return self.straggler_multipliers.get(piece, 1.0)
+
+    def shard_is_dead(self, piece: int) -> bool:
+        return piece in self.dead_shards
+
     # ----------------------------------------------------------------------
     def with_seed(self, seed: int) -> "FaultPlan":
         """A copy of this plan rolled to a different seed."""
@@ -227,5 +323,9 @@ class FaultPlan:
             hang_shards=self.hang_shards,
             crash_attempts=self.crash_attempts,
             hang_seconds=self.hang_seconds,
+            link_loss_probability=self.link_loss_probability,
+            link_bandwidth_multipliers=dict(self.link_bandwidth_multipliers),
+            straggler_multipliers=dict(self.straggler_multipliers),
+            dead_shards=self.dead_shards,
         )
         return plan

@@ -37,6 +37,13 @@ STATUS_DEGRADED = "degraded"
 STATUS_FAILED = "failed"
 STATUSES = (STATUS_OK, STATUS_DEGRADED, STATUS_FAILED)
 
+# Serving-only outcome: the admission controller refused the request before
+# it reached the engine.  Deliberately NOT part of :data:`STATUSES` — query
+# results never carry it, and existing per-query accounting (``repro.cli
+# chaos``) is unchanged.
+STATUS_SHED = "shed"
+REQUEST_STATUSES = (STATUS_OK, STATUS_DEGRADED, STATUS_SHED, STATUS_FAILED)
+
 
 @dataclass(frozen=True)
 class FaultPolicy:
@@ -59,6 +66,13 @@ class FaultPolicy:
             the runner declares it hung (``None`` disables the watchdog).
         max_shard_retries: re-dispatches of a crashed / hung / lost shard
             before it is declared failed.
+        max_link_retransmits: link-layer retransmissions of a dropped
+            cross-shard message before the fabric escalates (fail-fast
+            raises :class:`~repro.faults.plan.LinkFailedError`; degrade
+            mode charges one host-mediated resend that always delivers).
+        link_timeout_cycles: PE cycles after a message's nominal arrival
+            at which the loss is detected (each drop costs this plus the
+            retransmitted wire time).
     """
 
     mode: str = MODE_FAIL_FAST
@@ -69,6 +83,8 @@ class FaultPolicy:
     max_corruption_retries: int = 2
     shard_timeout_s: Optional[float] = None
     max_shard_retries: int = 2
+    max_link_retransmits: int = 3
+    link_timeout_cycles: int = 512
 
     def __post_init__(self) -> None:
         if self.mode not in MODES:
@@ -80,6 +96,8 @@ class FaultPolicy:
             "max_source_retries",
             "max_corruption_retries",
             "max_shard_retries",
+            "max_link_retransmits",
+            "link_timeout_cycles",
         ):
             if getattr(self, name) < 0:
                 raise ValueError(f"{name} must be non-negative")

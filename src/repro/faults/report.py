@@ -60,6 +60,25 @@ class RecoveryReport:
     def recovered(self) -> int:
         return self.total_detected - self.total_fatal
 
+    @property
+    def detection_rate(self) -> float:
+        """Fraction of injections that were detected (1.0 when none fired).
+
+        Zero-query runs inject nothing; calling that perfect detection
+        keeps rate-based assertions (CI floors, chaos sweeps) from
+        dividing by zero or special-casing the empty run.
+        """
+        if not self.total_injected:
+            return 1.0
+        return min(1.0, self.total_detected / self.total_injected)
+
+    @property
+    def recovery_rate(self) -> float:
+        """Fraction of detections that recovered (1.0 when none fired)."""
+        if not self.total_detected:
+            return 1.0
+        return self.recovered / self.total_detected
+
     def render(self) -> str:
         lines: List[str] = ["fault recovery report"]
         kinds = sorted(set(self.injected) | set(self.detected))
@@ -75,6 +94,10 @@ class RecoveryReport:
             f"  totals: {self.total_injected} injected, "
             f"{self.total_detected} detected, {self.recovered} recovered, "
             f"{self.retries} retries, {self.redispatches} shard re-dispatches"
+        )
+        lines.append(
+            f"  rates: detection {self.detection_rate:.2f}, "
+            f"recovery {self.recovery_rate:.2f}"
         )
         lines.append(
             f"  queries degraded: {self.degraded_queries}, "

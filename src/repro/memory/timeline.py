@@ -173,12 +173,14 @@ def render_fault_timeline(
     if not spans and not marks:
         raise ValueError("no memory or fault events to render")
     options = options or TimelineOptions()
+    # An all-failed run (every shard dead, nothing dispatched) legitimately
+    # has every event at cycle 0 — render a one-cycle horizon rather than
+    # refusing; only a truly empty stream raises above.
     horizon = max(
         [stop for _, _, stop in spans]
         + [cycle for per_rank in marks.values() for cycle, _ in per_rank]
+        + [1]
     )
-    if horizon == 0:
-        raise ValueError("degenerate timeline (zero-length horizon)")
 
     per_rank: Dict[int, List[tuple]] = {}
     for rank, start, stop in spans:

@@ -19,18 +19,23 @@ from __future__ import annotations
 from typing import Any, Dict, Iterable, List, Optional
 
 from repro.obs.events import (
+    BREAKER_OPENED,
     CACHE_HIT,
     CACHE_MISS,
     FAULT_DETECTED,
     FAULT_INJECTED,
     FIFO_ENQUEUE,
+    HEDGE_ISSUED,
     MEM_READ_COMPLETE,
+    MSG_DROPPED,
+    MSG_RETRANSMITTED,
     PE_FORWARD,
     PE_MERGE,
     PE_REDUCE,
     PLACEMENT_DECIDED,
     QUERY_COMPLETE,
     QUERY_DEGRADED,
+    REQUEST_SHED,
     RETRY_ISSUED,
     SHARD_MSG_SENT,
     SHARD_REDISPATCHED,
@@ -197,7 +202,13 @@ def metrics_from_events(
     * ``cache.hits`` / ``cache.misses`` totals with per-rank
       ``cache.hits.rank<R>`` / ``cache.misses.rank<R>`` breakdowns from
       hot-index tier runs, and ``placement.decisions`` counting
-      placement-optimizer assignments.
+      placement-optimizer assignments;
+    * resilience counters: ``comm.drops`` / ``comm.retransmits`` (with
+      ``comm.retransmits.escalated``) from lossy-link runs,
+      ``serving.shed`` from admission control, ``breaker.opens`` (with
+      per-rank ``breaker.opens.rank<R>``) from the circuit breaker, and
+      ``hedge.issued`` / ``hedge.wins`` / ``hedge.saved_cycles`` /
+      ``hedge.wasted_cycles`` from straggler hedging.
     """
     metrics = registry if registry is not None else MetricsRegistry()
     for event in events:
@@ -257,6 +268,28 @@ def metrics_from_events(
                 metrics.counter(f"cache.misses.rank{event.rank}").inc()
         elif event.kind == PLACEMENT_DECIDED:
             metrics.counter("placement.decisions").inc()
+        elif event.kind == MSG_DROPPED:
+            metrics.counter("comm.drops").inc()
+        elif event.kind == MSG_RETRANSMITTED:
+            metrics.counter("comm.retransmits").inc()
+            if event.args.get("escalated"):
+                metrics.counter("comm.retransmits.escalated").inc()
+        elif event.kind == REQUEST_SHED:
+            metrics.counter("serving.shed").inc()
+        elif event.kind == BREAKER_OPENED:
+            metrics.counter("breaker.opens").inc()
+            if event.rank is not None:
+                metrics.counter(f"breaker.opens.rank{event.rank}").inc()
+        elif event.kind == HEDGE_ISSUED:
+            metrics.counter("hedge.issued").inc()
+            if event.args.get("won"):
+                metrics.counter("hedge.wins").inc()
+            metrics.counter("hedge.saved_cycles").inc(
+                int(event.args.get("saved", 0))
+            )
+            metrics.counter("hedge.wasted_cycles").inc(
+                int(event.args.get("wasted", 0))
+            )
     return metrics
 
 

@@ -1,0 +1,48 @@
+"""End-to-end resilience: overload control, circuit breaking, hedging.
+
+The three mechanisms this package contributes, and where they plug in:
+
+* :mod:`repro.resilience.admission` — deadline-aware load shedding in
+  front of the serving batcher (``ServingSimulator(overload=...)``);
+* :mod:`repro.resilience.breaker` — a per-rank circuit breaker fed by
+  observed DRAM latency; open ranks are served from a boosted hot-index
+  tier (``ServingSimulator(breaker=...)``);
+* :mod:`repro.resilience.hedging` — hedged re-dispatch of straggler
+  shards with first-result-wins accounting
+  (``ShardedRunner.run_reduced(hedge=...)``).
+
+Link-level fault injection (message loss, bandwidth degradation, dead
+shards) lives with the rest of the chaos script in
+:class:`repro.faults.plan.FaultPlan`; this package holds the *reactions*.
+"""
+
+from repro.resilience.admission import ADMIT, SHED, AdmissionController, OverloadPolicy
+from repro.resilience.breaker import (
+    STATE_CLOSED,
+    STATE_HALF_OPEN,
+    STATE_OPEN,
+    BreakerConfig,
+    CircuitBreaker,
+)
+from repro.resilience.hedging import (
+    HedgeAccounting,
+    HedgeDecision,
+    HedgePolicy,
+    plan_hedges,
+)
+
+__all__ = [
+    "ADMIT",
+    "SHED",
+    "AdmissionController",
+    "OverloadPolicy",
+    "STATE_CLOSED",
+    "STATE_HALF_OPEN",
+    "STATE_OPEN",
+    "BreakerConfig",
+    "CircuitBreaker",
+    "HedgeAccounting",
+    "HedgeDecision",
+    "HedgePolicy",
+    "plan_hedges",
+]

@@ -1,0 +1,170 @@
+"""Per-rank circuit breaker driven by observed memory degradation.
+
+The serving loop feeds the breaker one sample set per batched dispatch:
+each rank's mean DRAM read latency over the batch (finish − start cycles
+from the access trace).  Per-batch per-rank means are noisy — row-buffer
+luck alone swings a healthy rank's mean by ±60% — so a rank is judged
+against its **peers**, not its own history: the reference for every
+sample is the fleet median across ranks in the same dispatch.  A healthy
+rank rides the median wherever the workload moves it; a rank whose DRAM
+is genuinely degraded stands multiples above it.
+
+Per rank the breaker keeps the classic three-state machine:
+
+* **closed** — healthy.  A sample at ``threshold_ratio`` × the fleet
+  median or worse counts one degraded strike, and ``min_samples``
+  consecutive strikes open the breaker.
+* **open** — traffic to the rank is routed around it (the serving layer
+  boosts the rank's hot-index tier and pins the rank's hottest rows, so
+  reads are served from SRAM instead of the degraded DRAM).  After
+  ``cooldown_us`` of modeled time the breaker half-opens.
+* **half-open** — the next sample probes the rank: healthy closes the
+  breaker, still-degraded re-opens it for another cooldown.
+
+Peer comparison means the breaker detects *asymmetric* degradation — a
+uniform fleet-wide slowdown raises the median and trips nothing, which
+is correct: that is an overload problem for admission control, not a
+routing problem.  Everything is a function of modeled quantities, so
+breaker behaviour is deterministic per workload — and with no
+degradation the breaker never opens, leaving the serving path
+byte-identical to a build without it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Mapping, Optional
+
+STATE_CLOSED = "closed"
+STATE_OPEN = "open"
+STATE_HALF_OPEN = "half_open"
+
+
+@dataclass(frozen=True)
+class BreakerConfig:
+    """Trip threshold, strike count, and recovery pacing.
+
+    Attributes:
+        threshold_ratio: multiple of the dispatch's fleet-median rank
+            latency at which a sample counts as degraded.
+        min_samples: consecutive degraded samples required to open.
+        cooldown_us: modeled time an open breaker waits before half-open.
+        cache_boost_kb: per-rank hot-tier capacity granted to an open
+            rank (how much of the rank's hot set SRAM absorbs).
+    """
+
+    threshold_ratio: float = 2.0
+    min_samples: int = 2
+    cooldown_us: float = 500.0
+    cache_boost_kb: int = 64
+
+    def __post_init__(self) -> None:
+        if self.threshold_ratio <= 1.0:
+            raise ValueError("threshold_ratio must exceed 1")
+        if self.min_samples < 1:
+            raise ValueError("min_samples must be positive")
+        if self.cooldown_us < 0:
+            raise ValueError("cooldown_us must be non-negative")
+        if self.cache_boost_kb < 1:
+            raise ValueError("cache_boost_kb must be positive")
+
+
+def _median(values: List[float]) -> float:
+    ordered = sorted(values)
+    mid = len(ordered) // 2
+    if len(ordered) % 2:
+        return ordered[mid]
+    return (ordered[mid - 1] + ordered[mid]) / 2.0
+
+
+@dataclass
+class _RankState:
+    state: str = STATE_CLOSED
+    strikes: int = 0
+    opened_at_us: float = 0.0
+    open_count: int = 0
+    last_ratio: float = 1.0
+
+
+class CircuitBreaker:
+    """The per-rank state machines plus run-level accounting."""
+
+    def __init__(self, config: BreakerConfig) -> None:
+        self.config = config
+        self._ranks: Dict[int, _RankState] = {}
+        self.total_opens = 0
+
+    def _rank(self, rank: int) -> _RankState:
+        return self._ranks.setdefault(rank, _RankState())
+
+    def state(self, rank: int) -> str:
+        return self._rank(rank).state
+
+    def open_ranks(self) -> FrozenSet[int]:
+        """Ranks currently routed around."""
+        return frozenset(
+            rank
+            for rank, state in self._ranks.items()
+            if state.state == STATE_OPEN
+        )
+
+    def poll(self, now_us: float) -> List[int]:
+        """Advance cooldowns; returns ranks that just half-opened."""
+        released: List[int] = []
+        for rank, state in sorted(self._ranks.items()):
+            if (
+                state.state == STATE_OPEN
+                and now_us - state.opened_at_us >= self.config.cooldown_us
+            ):
+                state.state = STATE_HALF_OPEN
+                released.append(rank)
+        return released
+
+    def observe(
+        self, samples: Mapping[int, float], now_us: float
+    ) -> List[int]:
+        """Fold one dispatch's per-rank mean latencies.
+
+        Returns the ranks that freshly tripped open on this dispatch
+        (re-opens of a half-open probe are the same incident and are not
+        reported again).  Ranks served from the boosted tier contribute
+        few or no DRAM completions, so they may be absent from
+        ``samples``; their state machines simply hold until the probe.
+        """
+        positive = [value for value in samples.values() if value > 0]
+        if len(positive) < 2:
+            return []  # no peer group to compare against
+        fleet = _median(positive)
+        opened: List[int] = []
+        for rank, mean_latency in sorted(samples.items()):
+            if mean_latency <= 0:
+                continue
+            state = self._rank(rank)
+            ratio = mean_latency / fleet
+            state.last_ratio = ratio
+            degraded = ratio >= self.config.threshold_ratio
+            if state.state == STATE_HALF_OPEN:
+                if degraded:
+                    state.state = STATE_OPEN
+                    state.opened_at_us = now_us
+                else:
+                    state.state = STATE_CLOSED
+                    state.strikes = 0
+                continue
+            if state.state == STATE_OPEN:
+                continue
+            if degraded:
+                state.strikes += 1
+                if state.strikes >= self.config.min_samples:
+                    state.state = STATE_OPEN
+                    state.opened_at_us = now_us
+                    state.open_count += 1
+                    self.total_opens += 1
+                    opened.append(rank)
+            else:
+                state.strikes = 0
+        return opened
+
+    def ratios(self) -> Dict[int, float]:
+        """Last observed degradation ratio per rank (diagnostics)."""
+        return {rank: state.last_ratio for rank, state in sorted(self._ranks.items())}

@@ -1,0 +1,160 @@
+"""Hedged re-dispatch of straggler shards, first result wins.
+
+The tail-at-scale mitigation: when one shard's local completion stretches
+far past its siblings' (a RecNMP-style rank slowdown surfacing as a
+straggler), the reducer issues a *hedge* — the same shard-local work
+re-dispatched onto a healthy replica — and takes whichever copy finishes
+first, cancelling the loser.
+
+The model is deliberately simple and fully deterministic:
+
+* the **trigger** fires when a shard's (slowed) completion exceeds
+  ``trigger_ratio`` × the median completion of the batch's contributing
+  shards — the median is the robust "what healthy looks like" estimate a
+  real dispatcher keeps;
+* the hedge **completes** at ``issued_at + clean_cycles``: the replica
+  starts from scratch at the trigger instant and runs at the shard's
+  un-slowed speed;
+* the **winner** is whichever finishes first; the loser is cancelled at
+  that instant, and every cycle both copies ran is accounted —
+  ``saved_cycles`` (tail cut off the straggler) against ``wasted_cycles``
+  (redundant work the losing copy burned before cancellation).
+
+Hedging is a pure timing overlay: the winning copy produces the same
+bytes either way, so results stay bit-identical with hedging on or off.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Tuple
+
+
+@dataclass(frozen=True)
+class HedgePolicy:
+    """When to hedge a straggling shard and how many hedges to spend.
+
+    Attributes:
+        trigger_ratio: hedge once a shard's completion exceeds this
+            multiple of the batch's median shard completion.
+        max_hedges_per_batch: replicas available per batch; the slowest
+            stragglers are hedged first.
+        min_trigger_cycles: never hedge before this many cycles have
+            elapsed (guards against hedging trivially short batches).
+    """
+
+    trigger_ratio: float = 2.0
+    max_hedges_per_batch: int = 1
+    min_trigger_cycles: int = 0
+
+    def __post_init__(self) -> None:
+        if self.trigger_ratio <= 1.0:
+            raise ValueError("trigger_ratio must exceed 1")
+        if self.max_hedges_per_batch < 0:
+            raise ValueError("max_hedges_per_batch must be non-negative")
+        if self.min_trigger_cycles < 0:
+            raise ValueError("min_trigger_cycles must be non-negative")
+
+
+@dataclass(frozen=True)
+class HedgeDecision:
+    """One issued hedge: where it fired and how the race ended."""
+
+    piece: int
+    issued_at: int
+    straggler_cycles: int
+    hedged_cycles: int
+    won: bool
+
+    @property
+    def effective_cycles(self) -> int:
+        return min(self.straggler_cycles, self.hedged_cycles)
+
+    @property
+    def saved_cycles(self) -> int:
+        return max(0, self.straggler_cycles - self.effective_cycles)
+
+    @property
+    def wasted_cycles(self) -> int:
+        """Cycles the losing copy burned before first-result cancellation."""
+        if self.won:
+            # The original ran from 0 until the hedge finished.
+            return self.effective_cycles
+        # The hedge ran from issue until the original finished.
+        return max(0, self.effective_cycles - self.issued_at)
+
+
+@dataclass
+class HedgeAccounting:
+    """Run-level totals over every issued hedge."""
+
+    issued: int = 0
+    wins: int = 0
+    saved_cycles: int = 0
+    wasted_cycles: int = 0
+
+    def absorb(self, decision: HedgeDecision) -> None:
+        self.issued += 1
+        if decision.won:
+            self.wins += 1
+        self.saved_cycles += decision.saved_cycles
+        self.wasted_cycles += decision.wasted_cycles
+
+    def merge(self, other: "HedgeAccounting") -> None:
+        self.issued += other.issued
+        self.wins += other.wins
+        self.saved_cycles += other.saved_cycles
+        self.wasted_cycles += other.wasted_cycles
+
+
+def _median(values: List[int]) -> int:
+    ordered = sorted(values)
+    mid = len(ordered) // 2
+    if len(ordered) % 2:
+        return ordered[mid]
+    return (ordered[mid - 1] + ordered[mid]) // 2
+
+
+def plan_hedges(
+    completions: Mapping[int, int],
+    clean_completions: Mapping[int, int],
+    policy: HedgePolicy,
+) -> Tuple[Dict[int, int], List[HedgeDecision]]:
+    """Race hedges against one batch's (possibly slowed) shard completions.
+
+    Args:
+        completions: piece id → local completion cycles as observed (with
+            any straggler slowdown applied).
+        clean_completions: piece id → the un-slowed completion a healthy
+            replica would need, starting from scratch.
+        policy: trigger/budget configuration.
+
+    Returns:
+        ``(effective, decisions)`` — the post-race completion per piece
+        (unchanged for unhedged pieces) and the issued hedges, slowest
+        straggler first.
+    """
+    effective = dict(completions)
+    if not completions or policy.max_hedges_per_batch == 0:
+        return effective, []
+    reference = _median(list(completions.values()))
+    issue_at = max(
+        int(reference * policy.trigger_ratio), policy.min_trigger_cycles
+    )
+    stragglers = sorted(
+        (piece for piece, done in completions.items() if done > issue_at),
+        key=lambda piece: (-completions[piece], piece),
+    )
+    decisions: List[HedgeDecision] = []
+    for piece in stragglers[: policy.max_hedges_per_batch]:
+        hedged = issue_at + clean_completions[piece]
+        decision = HedgeDecision(
+            piece=piece,
+            issued_at=issue_at,
+            straggler_cycles=completions[piece],
+            hedged_cycles=hedged,
+            won=hedged < completions[piece],
+        )
+        effective[piece] = decision.effective_cycles
+        decisions.append(decision)
+    return effective, decisions

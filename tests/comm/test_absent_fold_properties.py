@@ -1,0 +1,184 @@
+"""Property tests: absent-piece folds are schedule- and order-invariant.
+
+Route-around rests on one algebraic fact: skipping an absent piece in the
+canonical tournament must not disturb the association of the surviving
+pieces.  These tests drive that claim with hypothesis — arbitrary partial
+sets with arbitrary absent subsets fold to the same bytes regardless of
+arrival order, and an end-to-end run with arbitrary dead shards produces
+bit-identical vectors under every reduction schedule.
+"""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.comm import IndexPartition
+from repro.comm.schedule import SCHEDULES, canonical_fold
+from repro.core import FafnirConfig, FafnirEngine
+from repro.core.sharding import ShardedRunner
+from repro.faults import FaultPlan, FaultPolicy
+from repro.hw.link import LinkModel
+
+ELEMENTS = 16
+UNIVERSE = 64
+LINK = LinkModel(latency_ns=200.0, bandwidth_gb_s=10.0)
+
+
+def _config():
+    return FafnirConfig(
+        batch_size=8,
+        max_query_len=8,
+        vector_bytes=ELEMENTS * 4,
+        total_ranks=16,
+        ranks_per_leaf_pe=2,
+        num_tables=8,
+    )
+
+
+def _source(index):
+    rng = np.random.default_rng(200_000 + index)
+    return rng.normal(size=ELEMENTS)
+
+
+entries_strategy = st.dictionaries(
+    st.integers(min_value=0, max_value=15),
+    st.integers(min_value=0, max_value=2**31 - 1),
+    min_size=1,
+    max_size=16,
+)
+
+
+@settings(max_examples=80, deadline=None)
+@given(
+    seeds=entries_strategy,
+    absent_mask=st.integers(min_value=0, max_value=2**16 - 1),
+    order=st.randoms(use_true_random=False),
+)
+def test_fold_with_absent_subset_is_order_invariant(seeds, absent_mask, order):
+    """Dropping any subset of pieces, the survivors fold to the same
+    bytes in every arrival order — and match folding a dict that never
+    contained the absent pieces at all."""
+    vectors = {
+        piece: np.random.default_rng(seed).standard_normal(ELEMENTS)
+        for piece, seed in seeds.items()
+    }
+    present = {
+        piece: vector
+        for piece, vector in vectors.items()
+        if not absent_mask & (1 << piece)
+    }
+    if not present:
+        return  # nothing survives; canonical_fold refuses empty input
+    baseline = canonical_fold(present, 16, np.add)
+    items = list(present.items())
+    order.shuffle(items)
+    assert canonical_fold(dict(items), 16, np.add).tobytes() == baseline.tobytes()
+
+
+@settings(max_examples=40, deadline=None)
+@given(seeds=entries_strategy, absent_mask=st.integers(0, 2**16 - 1))
+def test_fold_skips_absences_without_reassociating_survivors(seeds, absent_mask):
+    """Removing absent pieces must leave every *complete* surviving
+    subtree's partial fold bit-identical: survivors combine along the
+    same tournament edges whether or not the absentees ever existed."""
+    vectors = {
+        piece: np.random.default_rng(seed).standard_normal(ELEMENTS)
+        for piece, seed in seeds.items()
+    }
+    present = {
+        piece: vector
+        for piece, vector in vectors.items()
+        if not absent_mask & (1 << piece)
+    }
+    low = {piece: vector for piece, vector in present.items() if piece < 8}
+    high = {piece: vector for piece, vector in present.items() if piece >= 8}
+    if not low or not high:
+        return
+    # The root combines exactly fold(low half) with fold(high half):
+    # absences inside one half never leak association into the other.
+    expected = np.add(
+        canonical_fold(low, 16, np.add), canonical_fold(high, 16, np.add)
+    )
+    assert canonical_fold(present, 16, np.add).tobytes() == expected.tobytes()
+
+
+batches_strategy = st.lists(
+    st.lists(
+        st.lists(
+            st.integers(min_value=0, max_value=UNIVERSE - 1),
+            min_size=1,
+            max_size=8,
+        ),
+        min_size=1,
+        max_size=4,
+    ),
+    min_size=1,
+    max_size=2,
+)
+
+
+@settings(max_examples=10, deadline=None)
+@given(
+    batches=batches_strategy,
+    num_shards=st.integers(min_value=2, max_value=8),
+    dead_mask=st.integers(min_value=0, max_value=2**8 - 1),
+)
+def test_dead_shard_route_around_agrees_across_schedules(
+    batches, num_shards, dead_mask
+):
+    """Any dead-shard subset: every schedule routes around it to the same
+    bytes, and queries touching no dead piece match the clean oracle."""
+    config = _config()
+    partition = IndexPartition.by_home_rank(config, num_shards)
+    dead = frozenset(
+        piece for piece in range(num_shards) if dead_mask & (1 << piece)
+    )
+    if len(dead) >= num_shards:
+        dead = frozenset(sorted(dead)[: num_shards - 1])
+    plan = FaultPlan(seed=7, dead_shards=dead)
+    oracle = FafnirEngine(config=config, operator="sum").run_batches(
+        batches, _source
+    )
+    folds = {}
+    statuses = {}
+    for name in sorted(SCHEDULES):
+        def runner(**kwargs):
+            return ShardedRunner(
+                config=config,
+                operator="sum",
+                max_workers=1,
+                reduction=name,
+                partition=partition,
+                link=LINK,
+                **kwargs,
+            )
+
+        clean = runner().run_reduced(batches, _source)
+        reduced = runner(
+            faults=plan, fault_policy=FaultPolicy.graceful()
+        ).run_reduced(batches, _source)
+        folds[name] = [vector.tobytes() for vector in reduced.vectors]
+        statuses[name] = reduced.statuses
+        flat = [query for batch in batches for query in batch]
+        for position, query in enumerate(flat):
+            if not any(partition.owner(index) in dead for index in query):
+                # Route-around: a query touching no dead piece is served
+                # bit-identically to the clean sharded run, and within
+                # numeric tolerance of the single-node oracle.
+                assert reduced.statuses[position] == "ok"
+                assert (
+                    reduced.vectors[position].tobytes()
+                    == clean.vectors[position].tobytes()
+                )
+                np.testing.assert_allclose(
+                    reduced.vectors[position],
+                    oracle.vectors[position],
+                    rtol=1e-10,
+                )
+            else:
+                assert reduced.statuses[position] != "ok"
+    assert len(set(map(tuple, folds.values()))) == 1, (
+        "schedules disagree on route-around bytes"
+    )
+    assert len(set(map(tuple, statuses.values()))) == 1, (
+        "schedules disagree on route-around statuses"
+    )

@@ -1,0 +1,118 @@
+"""Property tests: plan/policy copies carry every field, always.
+
+``FaultPlan.with_seed`` and ``FaultPolicy.graceful(**overrides)`` are
+copy constructors maintained by hand — the classic drift bug is adding a
+field to the dataclass and forgetting the copy site, which silently
+produces plans that shed their link faults (or policies that shed their
+retry budgets) on re-seed.  These tests enumerate ``dataclasses.fields``
+at run time, so any future field automatically joins the contract.
+"""
+
+import dataclasses
+import pickle
+
+from hypothesis import given, settings, strategies as st
+
+from repro.faults import FaultPlan, FaultPolicy
+
+probabilities = st.floats(
+    min_value=0.0, max_value=1.0, allow_nan=False, allow_infinity=False
+)
+multipliers = st.dictionaries(
+    st.integers(min_value=0, max_value=31),
+    st.floats(min_value=1.0, max_value=16.0, allow_nan=False),
+    max_size=4,
+)
+link_multipliers = st.dictionaries(
+    st.tuples(
+        st.integers(min_value=0, max_value=7), st.integers(min_value=0, max_value=7)
+    ),
+    st.floats(min_value=1.0, max_value=16.0, allow_nan=False),
+    max_size=4,
+)
+piece_sets = st.frozensets(st.integers(min_value=0, max_value=7), max_size=4)
+
+
+plans = st.builds(
+    FaultPlan,
+    seed=st.integers(min_value=0, max_value=2**31 - 1),
+    rank_latency_multipliers=multipliers,
+    rank_timeout_probability=st.dictionaries(
+        st.integers(min_value=0, max_value=31), probabilities, max_size=4
+    ),
+    vector_corruption_probability=probabilities,
+    corruption_mode=st.sampled_from(("nan", "bitflip")),
+    source_failure_probability=probabilities,
+    crash_shards=piece_sets,
+    hang_shards=piece_sets,
+    crash_attempts=st.integers(min_value=1, max_value=4),
+    link_loss_probability=probabilities,
+    link_bandwidth_multipliers=link_multipliers,
+    straggler_multipliers=multipliers,
+    dead_shards=piece_sets,
+)
+
+
+@settings(max_examples=100, deadline=None)
+@given(plan=plans, new_seed=st.integers(min_value=0, max_value=2**31 - 1))
+def test_with_seed_copies_every_field(plan, new_seed):
+    rolled = plan.with_seed(new_seed)
+    assert rolled.seed == new_seed
+    for field in dataclasses.fields(FaultPlan):
+        if field.name == "seed":
+            continue
+        assert getattr(rolled, field.name) == getattr(plan, field.name), (
+            f"with_seed dropped field {field.name!r}"
+        )
+
+
+@settings(max_examples=50, deadline=None)
+@given(plan=plans)
+def test_plan_pickle_round_trip_is_field_exact(plan):
+    copy = pickle.loads(pickle.dumps(plan))
+    for field in dataclasses.fields(FaultPlan):
+        assert getattr(copy, field.name) == getattr(plan, field.name)
+    # Re-seeding the copy and the original must agree on every decision
+    # surface (the rng is keyed purely on field values).
+    assert copy.with_seed(plan.seed + 1) == plan.with_seed(plan.seed + 1)
+
+
+policy_overrides = st.fixed_dictionaries(
+    {},
+    optional={
+        "max_read_retries": st.integers(min_value=0, max_value=5),
+        "read_timeout_cycles": st.integers(min_value=0, max_value=4096),
+        "read_retry_backoff_cycles": st.integers(min_value=0, max_value=512),
+        "max_source_retries": st.integers(min_value=0, max_value=5),
+        "max_corruption_retries": st.integers(min_value=0, max_value=5),
+        "max_shard_retries": st.integers(min_value=0, max_value=5),
+        "max_link_retransmits": st.integers(min_value=0, max_value=5),
+        "link_timeout_cycles": st.integers(min_value=0, max_value=4096),
+        "shard_timeout_s": st.one_of(
+            st.none(), st.floats(min_value=0.1, max_value=10.0, allow_nan=False)
+        ),
+    },
+)
+
+
+@settings(max_examples=100, deadline=None)
+@given(overrides=policy_overrides)
+def test_graceful_overrides_and_pickle_equality(overrides):
+    policy = FaultPolicy.graceful(**overrides)
+    assert policy.mode == "degrade"
+    defaults = FaultPolicy()
+    for field in dataclasses.fields(FaultPolicy):
+        if field.name == "mode":
+            continue
+        expected = overrides.get(field.name, getattr(defaults, field.name))
+        assert getattr(policy, field.name) == expected, (
+            f"graceful() mishandled field {field.name!r}"
+        )
+    copy = pickle.loads(pickle.dumps(policy))
+    assert copy == policy
+    assert copy is not policy
+
+
+def test_graceful_mode_override_wins():
+    # An explicit mode= keyword must beat the degrade default.
+    assert FaultPolicy.graceful(mode="fail_fast").fail_fast

@@ -1,0 +1,73 @@
+"""Regression tests: recovery-report rates on degenerate event streams.
+
+The chaos sweep computes detection/recovery rates for every cell,
+including zero-query runs (nothing injected) and all-fatal runs (every
+detection exhausted its budget); both used to require call-site
+special-casing to avoid division by zero.
+"""
+
+from repro.faults import recovery_report
+from repro.obs.events import FAULT_DETECTED, FAULT_INJECTED, TraceEvent
+
+
+def _injected(fault, cycle=0):
+    return TraceEvent(FAULT_INJECTED, cycle=cycle, rank=0, args={"fault": fault})
+
+
+def _detected(fault, cycle=0, fatal=False):
+    return TraceEvent(
+        FAULT_DETECTED, cycle=cycle, rank=0, args={"fault": fault, "fatal": fatal}
+    )
+
+
+class TestRates:
+    def test_empty_stream_reports_perfect_rates(self):
+        report = recovery_report([])
+        assert report.total_injected == 0
+        assert report.detection_rate == 1.0
+        assert report.recovery_rate == 1.0
+
+    def test_render_handles_zero_event_stream(self):
+        text = recovery_report([]).render()
+        assert "no faults injected" in text
+        assert "rates: detection 1.00, recovery 1.00" in text
+
+    def test_all_fatal_stream(self):
+        events = [
+            _injected("read_timeout"),
+            _detected("read_timeout", fatal=True),
+            _injected("read_timeout"),
+            _detected("read_timeout", fatal=True),
+        ]
+        report = recovery_report(events)
+        assert report.detection_rate == 1.0
+        assert report.recovery_rate == 0.0
+        assert report.recovered == 0
+
+    def test_partial_detection_and_recovery(self):
+        events = [
+            _injected("link_loss"),
+            _injected("link_loss"),
+            _injected("link_loss"),
+            _injected("link_loss"),
+            _detected("link_loss"),
+            _detected("link_loss", fatal=True),
+        ]
+        report = recovery_report(events)
+        assert report.detection_rate == 0.5
+        assert report.recovery_rate == 0.5
+
+    def test_detection_rate_capped_at_one(self):
+        # Link retransmission can detect the same drop more than once
+        # (watchdog + escalation); the rate must stay a fraction.
+        events = [
+            _injected("link_loss"),
+            _detected("link_loss"),
+            _detected("link_loss"),
+        ]
+        assert recovery_report(events).detection_rate == 1.0
+
+    def test_render_includes_rates_line(self):
+        events = [_injected("x"), _detected("x", fatal=True)]
+        text = recovery_report(events).render()
+        assert "rates: detection 1.00, recovery 0.00" in text

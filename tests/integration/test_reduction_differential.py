@@ -274,3 +274,35 @@ def test_serial_and_process_paths_ship_identical_reduction_events(seed):
     assert len(serial.shard_results) == len(pooled.shard_results)
     for a, b in zip(serial.shard_results, pooled.shard_results):
         assert a.events == b.events
+
+
+@pytest.mark.parametrize("seed", range(4))
+def test_resilience_hooks_idle_are_byte_and_cycle_identical(seed):
+    """Installing the resilience machinery without any fault to react to
+    must be a no-op: an empty FaultPlan under the graceful policy, with
+    hedging armed, produces the same bytes, statuses, comm cycles, and
+    makespan as the plain run — and issues zero hedges."""
+    from repro.resilience import HedgePolicy
+
+    config, batches = random_setup(seed)
+    source = make_source(seed, config.vector_elements)
+
+    for name in sorted(SCHEDULES):
+        plain = run_sharded(config, batches, source, name, 4)
+        armed = run_sharded(
+            config,
+            batches,
+            source,
+            name,
+            4,
+            faults=FaultPlan(seed=seed),
+            fault_policy=FaultPolicy.graceful(),
+            hedge=HedgePolicy(),
+        )
+        assert [v.tobytes() for v in armed.vectors] == [
+            v.tobytes() for v in plain.vectors
+        ], name
+        assert armed.statuses == plain.statuses
+        assert armed.comm_pe_cycles == plain.comm_pe_cycles
+        assert armed.makespan_pe_cycles == plain.makespan_pe_cycles
+        assert armed.hedges.issued == 0

@@ -87,6 +87,41 @@ class TestFaultTimeline:
         with pytest.raises(ValueError):
             render_fault_timeline([])
 
+    def test_all_events_at_cycle_zero_renders(self):
+        """An all-failed run (every shard dead, nothing dispatched) puts
+        every fault event at cycle 0; the renderer must degrade to a
+        one-cycle horizon rather than raising."""
+        from repro.faults import FAULT_SHARD_DEAD
+        from repro.memory.timeline import render_fault_timeline
+        from repro.obs.events import FAULT_INJECTED, TraceEvent
+
+        events = [
+            TraceEvent(
+                FAULT_INJECTED,
+                cycle=0,
+                rank=rank,
+                args={"fault": FAULT_SHARD_DEAD},
+            )
+            for rank in range(2)
+        ]
+        text = render_fault_timeline(events)
+        assert "cycles 0..1" in text
+        assert text.count("~") >= 2
+        assert FAULT_SHARD_DEAD in text
+
+    def test_marks_only_stream_renders_without_spans(self):
+        """Fault marks with no mem_read_complete spans still render —
+        a dead rank emits injections but never completes a read."""
+        from repro.memory.timeline import render_fault_timeline
+        from repro.obs.events import FAULT_DETECTED, TraceEvent
+
+        events = [
+            TraceEvent(FAULT_DETECTED, cycle=40, rank=1, args={"fault": "x"})
+        ]
+        text = render_fault_timeline(events)
+        assert "rank   1" in text
+        assert "!" in text
+
 
 class TestUtilization:
     def test_fractions_bounded(self, completions):

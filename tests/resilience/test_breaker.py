@@ -1,0 +1,138 @@
+"""Unit tests for the peer-comparison circuit breaker."""
+
+import pytest
+
+from repro.resilience import (
+    STATE_CLOSED,
+    STATE_HALF_OPEN,
+    STATE_OPEN,
+    BreakerConfig,
+    CircuitBreaker,
+)
+
+#: min_samples=2 everywhere below unless a test says otherwise.
+CONFIG = BreakerConfig(threshold_ratio=2.0, min_samples=2, cooldown_us=500.0)
+
+
+def _healthy(n=4, latency=100.0):
+    return {rank: latency for rank in range(n)}
+
+
+class TestConfigValidation:
+    def test_rejects_threshold_at_or_below_one(self):
+        with pytest.raises(ValueError, match="threshold_ratio"):
+            BreakerConfig(threshold_ratio=1.0)
+
+    def test_rejects_nonpositive_min_samples(self):
+        with pytest.raises(ValueError, match="min_samples"):
+            BreakerConfig(min_samples=0)
+
+    def test_rejects_negative_cooldown(self):
+        with pytest.raises(ValueError, match="cooldown_us"):
+            BreakerConfig(cooldown_us=-1.0)
+
+    def test_rejects_nonpositive_cache_boost(self):
+        with pytest.raises(ValueError, match="cache_boost_kb"):
+            BreakerConfig(cache_boost_kb=0)
+
+
+class TestTripLogic:
+    def test_healthy_fleet_never_trips(self):
+        breaker = CircuitBreaker(CONFIG)
+        for step in range(16):
+            # ±60% noise around a common mean must stay under a 2× ratio
+            # against the fleet median.
+            samples = {
+                rank: 100.0 * (0.6 + 0.1 * ((step + rank) % 9))
+                for rank in range(8)
+            }
+            assert breaker.observe(samples, float(step)) == []
+        assert breaker.total_opens == 0
+        assert breaker.open_ranks() == frozenset()
+
+    def test_asymmetric_degradation_trips_only_the_degraded_rank(self):
+        breaker = CircuitBreaker(CONFIG)
+        samples = _healthy(4) | {0: 500.0}
+        assert breaker.observe(samples, 0.0) == []  # first strike
+        assert breaker.observe(samples, 1.0) == [0]  # second strike opens
+        assert breaker.open_ranks() == frozenset({0})
+        assert breaker.state(1) == STATE_CLOSED
+        assert breaker.total_opens == 1
+
+    def test_uniform_slowdown_trips_nothing(self):
+        # A fleet-wide 10× slowdown moves the median with it: that is an
+        # overload condition for admission control, not a routing fault.
+        breaker = CircuitBreaker(CONFIG)
+        for step in range(8):
+            assert breaker.observe(_healthy(4, latency=1000.0), float(step)) == []
+        assert breaker.total_opens == 0
+
+    def test_healthy_sample_resets_strikes(self):
+        breaker = CircuitBreaker(CONFIG)
+        degraded = _healthy(4) | {0: 500.0}
+        assert breaker.observe(degraded, 0.0) == []
+        assert breaker.observe(_healthy(4), 1.0) == []  # strike reset
+        assert breaker.observe(degraded, 2.0) == []  # back to one strike
+        assert breaker.observe(degraded, 3.0) == [0]
+
+    def test_min_samples_one_trips_immediately(self):
+        breaker = CircuitBreaker(BreakerConfig(min_samples=1))
+        assert breaker.observe(_healthy(4) | {2: 900.0}, 0.0) == [2]
+
+    def test_fewer_than_two_positive_samples_is_a_no_op(self):
+        breaker = CircuitBreaker(CONFIG)
+        assert breaker.observe({}, 0.0) == []
+        assert breaker.observe({0: 500.0}, 1.0) == []  # no peer group
+        assert breaker.observe({0: 500.0, 1: 0.0}, 2.0) == []
+        assert breaker.total_opens == 0
+
+    def test_absent_rank_holds_state(self):
+        # An open rank served from the boosted tier contributes no DRAM
+        # completions; its absence from samples must not close it.
+        breaker = CircuitBreaker(CONFIG)
+        degraded = _healthy(4) | {0: 500.0}
+        breaker.observe(degraded, 0.0)
+        breaker.observe(degraded, 1.0)
+        assert breaker.open_ranks() == frozenset({0})
+        breaker.observe({1: 100.0, 2: 100.0, 3: 100.0}, 2.0)
+        assert breaker.open_ranks() == frozenset({0})
+
+
+class TestRecovery:
+    def _tripped(self):
+        breaker = CircuitBreaker(CONFIG)
+        degraded = _healthy(4) | {0: 500.0}
+        breaker.observe(degraded, 0.0)
+        breaker.observe(degraded, 1.0)
+        assert breaker.state(0) == STATE_OPEN
+        return breaker
+
+    def test_poll_half_opens_after_cooldown(self):
+        breaker = self._tripped()
+        assert breaker.poll(1.0 + CONFIG.cooldown_us - 1.0) == []
+        assert breaker.state(0) == STATE_OPEN
+        assert breaker.poll(1.0 + CONFIG.cooldown_us) == [0]
+        assert breaker.state(0) == STATE_HALF_OPEN
+        # Half-open ranks are no longer routed around.
+        assert breaker.open_ranks() == frozenset()
+
+    def test_healthy_probe_closes(self):
+        breaker = self._tripped()
+        breaker.poll(1.0 + CONFIG.cooldown_us)
+        assert breaker.observe(_healthy(4), 600.0) == []
+        assert breaker.state(0) == STATE_CLOSED
+
+    def test_degraded_probe_reopens_without_reporting(self):
+        breaker = self._tripped()
+        breaker.poll(1.0 + CONFIG.cooldown_us)
+        # Same incident: the re-open is not reported as a fresh trip and
+        # does not bump total_opens.
+        assert breaker.observe(_healthy(4) | {0: 500.0}, 600.0) == []
+        assert breaker.state(0) == STATE_OPEN
+        assert breaker.total_opens == 1
+
+    def test_ratios_reports_last_observation(self):
+        breaker = CircuitBreaker(CONFIG)
+        breaker.observe(_healthy(4) | {0: 400.0}, 0.0)
+        assert breaker.ratios()[0] == pytest.approx(4.0)
+        assert breaker.ratios()[1] == pytest.approx(1.0)

@@ -1,0 +1,121 @@
+"""Unit tests for hedged re-dispatch planning."""
+
+import pytest
+
+from repro.resilience import HedgeAccounting, HedgeDecision, HedgePolicy, plan_hedges
+
+
+class TestPolicyValidation:
+    def test_rejects_trigger_at_or_below_one(self):
+        with pytest.raises(ValueError, match="trigger_ratio"):
+            HedgePolicy(trigger_ratio=1.0)
+
+    def test_rejects_negative_budget(self):
+        with pytest.raises(ValueError, match="max_hedges_per_batch"):
+            HedgePolicy(max_hedges_per_batch=-1)
+
+    def test_rejects_negative_min_trigger(self):
+        with pytest.raises(ValueError, match="min_trigger_cycles"):
+            HedgePolicy(min_trigger_cycles=-1)
+
+
+class TestPlanHedges:
+    def test_no_straggler_no_hedge(self):
+        completions = {0: 100, 1: 110, 2: 95, 3: 105}
+        effective, decisions = plan_hedges(
+            completions, completions, HedgePolicy(trigger_ratio=2.0)
+        )
+        assert decisions == []
+        assert effective == completions
+
+    def test_empty_batch_is_a_no_op(self):
+        assert plan_hedges({}, {}, HedgePolicy()) == ({}, [])
+
+    def test_zero_budget_disables_hedging(self):
+        completions = {0: 100, 1: 100, 2: 1000}
+        effective, decisions = plan_hedges(
+            completions, completions, HedgePolicy(max_hedges_per_batch=0)
+        )
+        assert decisions == []
+        assert effective == completions
+
+    def test_winning_hedge_cuts_the_tail(self):
+        # Median 100 → hedge issues at 200; replica needs 100 clean
+        # cycles → finishes at 300, beating the 1000-cycle straggler.
+        completions = {0: 100, 1: 100, 2: 1000}
+        clean = {0: 100, 1: 100, 2: 100}
+        effective, decisions = plan_hedges(completions, clean, HedgePolicy())
+        (decision,) = decisions
+        assert decision.piece == 2
+        assert decision.issued_at == 200
+        assert decision.won
+        assert decision.hedged_cycles == 300
+        assert effective[2] == 300
+        assert effective[0] == 100
+        assert decision.saved_cycles == 700
+        # The cancelled original ran from 0 until the hedge won at 300.
+        assert decision.wasted_cycles == 300
+
+    def test_losing_hedge_keeps_the_original(self):
+        # Straggler at 250 vs hedge finishing at 200 + 100 = 300: the
+        # original wins; the hedge burned 250 − 200 = 50 cycles.
+        completions = {0: 100, 1: 100, 2: 250}
+        clean = {0: 100, 1: 100, 2: 100}
+        effective, decisions = plan_hedges(completions, clean, HedgePolicy())
+        (decision,) = decisions
+        assert not decision.won
+        assert effective[2] == 250
+        assert decision.saved_cycles == 0
+        assert decision.wasted_cycles == 50
+
+    def test_budget_hedges_slowest_stragglers_first(self):
+        completions = {0: 100, 1: 100, 2: 100, 3: 600, 4: 900}
+        clean = dict.fromkeys(completions, 100)
+        _, decisions = plan_hedges(
+            completions, clean, HedgePolicy(max_hedges_per_batch=1)
+        )
+        assert [decision.piece for decision in decisions] == [4]
+        _, decisions = plan_hedges(
+            completions, clean, HedgePolicy(max_hedges_per_batch=8)
+        )
+        assert [decision.piece for decision in decisions] == [4, 3]
+
+    def test_min_trigger_cycles_delays_short_batches(self):
+        completions = {0: 10, 1: 10, 2: 100}
+        clean = {0: 10, 1: 10, 2: 10}
+        policy = HedgePolicy(min_trigger_cycles=150)
+        effective, decisions = plan_hedges(completions, clean, policy)
+        # Trigger would be 20, but the floor pushes it to 150 > 100: the
+        # straggler finishes before the hedge would even be issued.
+        assert decisions == []
+        assert effective == completions
+
+    def test_hedging_never_slows_any_piece(self):
+        # A winning hedge (900 → 300), a losing one (250 stays), and
+        # healthy pieces untouched: first-result-wins by construction.
+        completions = {0: 100, 1: 100, 2: 100, 3: 250, 4: 900}
+        clean = dict.fromkeys(completions, 100)
+        effective, _ = plan_hedges(
+            completions, clean, HedgePolicy(max_hedges_per_batch=8)
+        )
+        for piece, done in completions.items():
+            assert effective[piece] <= done
+
+
+class TestAccounting:
+    def test_absorb_and_merge_totals(self):
+        win = HedgeDecision(
+            piece=0, issued_at=200, straggler_cycles=1000, hedged_cycles=300, won=True
+        )
+        loss = HedgeDecision(
+            piece=1, issued_at=200, straggler_cycles=250, hedged_cycles=300, won=False
+        )
+        first = HedgeAccounting()
+        first.absorb(win)
+        second = HedgeAccounting()
+        second.absorb(loss)
+        first.merge(second)
+        assert first.issued == 2
+        assert first.wins == 1
+        assert first.saved_cycles == 700
+        assert first.wasted_cycles == 300 + 50

@@ -1,0 +1,161 @@
+"""Integration tests: overload control and breaker routing in serving.
+
+The two resilience hooks the serving loop grew — deadline-aware load
+shedding (``overload=``) and the per-rank circuit breaker with boosted-
+tier route-around (``breaker=``) — exercised end to end against the
+byte-identity contract: with protection installed but idle, the serving
+path must produce exactly the bytes of an unprotected run.
+"""
+
+import pytest
+
+from repro.faults import STATUS_SHED, FaultPlan
+from repro.obs import metrics_from_events
+from repro.resilience import BreakerConfig, OverloadPolicy
+from repro.serving import (
+    ContinuousBatcher,
+    OpenLoopGenerator,
+    RampStage,
+    ServingSimulator,
+)
+from repro.workloads import EmbeddingTableSet, QueryGenerator
+
+SLO_US = 25.0
+
+
+@pytest.fixture(scope="module")
+def tables():
+    return EmbeddingTableSet.random(seed=0)
+
+
+def open_load(tables, qps, n_requests=120, slo_us=SLO_US, seed=2):
+    duration_us = n_requests / qps * 1e6
+    return OpenLoopGenerator(
+        QueryGenerator.paper_calibrated(tables, seed=seed, query_len=16),
+        [RampStage(qps=qps, duration_us=duration_us)],
+        slo_us=slo_us,
+        seed=seed,
+    )
+
+
+def make_simulator(**kwargs):
+    return ServingSimulator(
+        batcher=ContinuousBatcher(batch_size=16, window=64), **kwargs
+    )
+
+
+def _burst(tables, protect):
+    # Probe capacity with an instantaneous burst, then offer 2× capacity
+    # for long enough that the backlog outgrows the SLO budget.
+    probe = make_simulator().run(
+        open_load(tables, qps=1e9, n_requests=120), tables.vector
+    )
+    capacity = probe.observed_qps
+    n = max(120, int(capacity * SLO_US * 3 / 1e6))
+    simulator = make_simulator(overload=OverloadPolicy() if protect else None)
+    return simulator.run(
+        open_load(tables, qps=2 * capacity, n_requests=n), tables.vector
+    )
+
+
+class TestLoadShedding:
+    def test_shedding_keeps_the_admitted_stream_on_slo(self, tables):
+        burst = _burst(tables, protect=False)
+        shed = _burst(tables, protect=True)
+        assert shed.shed_fraction > 0.0
+        admitted = [r for r in shed.records if r.status != STATUS_SHED]
+        admitted_ok = sum(1 for r in admitted if r.slo_met) / len(admitted)
+        assert admitted_ok >= burst.slo_attainment
+        assert shed.latency_percentile_us(99) <= burst.latency_percentile_us(99)
+
+    def test_shed_requests_count_as_slo_misses(self, tables):
+        shed = _burst(tables, protect=True)
+        for record in shed.records:
+            if record.status == STATUS_SHED:
+                assert not record.slo_met
+                # Shed immediately at arrival, never dispatched.
+                assert record.complete_us == record.request.arrival_us
+                assert record.batch_index == -1
+
+    def test_shed_latencies_excluded_from_percentiles(self, tables):
+        shed = _burst(tables, protect=True)
+        served = [r.latency_us for r in shed.records if r.status != STATUS_SHED]
+        assert shed.latency_percentile_us(100) == max(served)
+        # Sheds report zero latency; the floor percentile must still be a
+        # served request's latency, not a shed's zero.
+        assert shed.latency_percentile_us(0.1) >= min(served) > 0.0
+
+    def test_shed_events_and_metrics_agree(self, tables):
+        shed = _burst(tables, protect=True)
+        shed_events = [e for e in shed.events if e.kind == "request_shed"]
+        assert len(shed_events) == shed.shed_requests > 0
+        for event in shed_events:
+            assert event.args["estimated_us"] > 0
+        counters = shed.metrics.counters()
+        assert counters["serving.requests.shed"] == shed.shed_requests
+        derived = metrics_from_events(shed.events).counters()
+        assert derived["events.request_shed"] == shed.shed_requests
+        assert derived["serving.shed"] == shed.shed_requests
+        assert shed.status_counts()[STATUS_SHED] == shed.shed_requests
+
+    def test_underload_sheds_nothing_and_stays_byte_identical(self, tables):
+        plain = make_simulator().run(open_load(tables, qps=2e6), tables.vector)
+        guarded = make_simulator(overload=OverloadPolicy()).run(
+            open_load(tables, qps=2e6), tables.vector
+        )
+        assert guarded.shed_requests == 0
+        assert guarded.slo_attainment == 1.0
+        assert set(plain.vectors) == set(guarded.vectors)
+        for request_id, vector in plain.vectors.items():
+            assert guarded.vectors[request_id].tobytes() == vector.tobytes()
+
+
+class TestCircuitBreaker:
+    def _degraded(self, tables, breaker, qps=4e6, n_requests=160):
+        plan = FaultPlan(seed=0, rank_latency_multipliers={0: 8.0, 1: 8.0})
+        simulator = make_simulator(
+            faults=plan,
+            breaker=BreakerConfig(min_samples=2) if breaker else None,
+        )
+        return simulator.run(
+            open_load(tables, qps=qps, n_requests=n_requests), tables.vector
+        )
+
+    def test_opens_exactly_the_degraded_ranks(self, tables):
+        report = self._degraded(tables, breaker=True)
+        assert report.breaker_opens > 0
+        opened = {e.rank for e in report.events if e.kind == "breaker_opened"}
+        assert opened <= {0, 1}
+        for event in report.events:
+            if event.kind == "breaker_opened":
+                assert event.args["ratio"] >= 2.0
+        derived = metrics_from_events(report.events).counters()
+        assert derived["breaker.opens"] == report.breaker_opens
+        for rank in opened:
+            assert derived[f"breaker.opens.rank{rank}"] >= 1
+
+    def test_boosted_tier_absorbs_the_degraded_ranks(self, tables):
+        unprotected = self._degraded(tables, breaker=False)
+        protected = self._degraded(tables, breaker=True)
+        # Route-around serves the open ranks' hot rows from the pinned
+        # tier instead of their degraded DRAM.
+        assert protected.cache_hits > 0
+        assert protected.latency_percentile_us(99) <= (
+            unprotected.latency_percentile_us(99)
+        )
+        # Bytes must not change: the tier is a timing overlay.
+        for request_id, vector in unprotected.vectors.items():
+            assert protected.vectors[request_id].tobytes() == vector.tobytes()
+
+    def test_healthy_run_never_opens_and_stays_byte_identical(self, tables):
+        plain = make_simulator(interactive_fallback=False).run(
+            open_load(tables, qps=4e6), tables.vector
+        )
+        guarded = make_simulator(
+            interactive_fallback=False, breaker=BreakerConfig()
+        ).run(open_load(tables, qps=4e6), tables.vector)
+        assert guarded.breaker_opens == 0
+        assert guarded.cache_hits == 0 and guarded.cache_misses == 0
+        assert not [e for e in guarded.events if e.kind == "breaker_opened"]
+        for request_id, vector in plain.vectors.items():
+            assert guarded.vectors[request_id].tobytes() == vector.tobytes()

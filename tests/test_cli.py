@@ -25,6 +25,7 @@ class TestParser:
             "chaos",
             "serve",
             "reduce",
+            "resilience",
             "cache",
         }
 
@@ -141,6 +142,50 @@ class TestCommands:
         assert main(["reduce", "--quick", "--operator", "mean"]) == 0
         assert "operator mean" in capsys.readouterr().out
 
+    def test_resilience_quick_check(self, capsys, tmp_path):
+        import json
+
+        out_path = tmp_path / "resilience.json"
+        assert (
+            main(
+                [
+                    "resilience",
+                    "--quick",
+                    "--check",
+                    "--out",
+                    str(out_path),
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "reduction resilience" in out
+        assert "serving overload" in out
+        assert "all resilience invariants held" in out
+        assert "NO" not in out
+        payload = json.loads(out_path.read_text())
+        assert payload["failures"] == []
+        assert payload["hedged_makespan"] <= payload["unhedged_makespan"]
+        assert payload["hedge_wins"] >= 1
+        assert payload["shed_fraction"] > 0.0
+        assert payload["admitted_attainment"] >= payload["burst_attainment"]
+
+    def test_resilience_min_attainment_floor(self, capsys):
+        # An impossible floor must flip the exit code under --check.
+        assert (
+            main(
+                [
+                    "resilience",
+                    "--quick",
+                    "--check",
+                    "--min-attainment",
+                    "1.01",
+                ]
+            )
+            == 1
+        )
+        assert "below floor" in capsys.readouterr().out
+
     def test_cache_quick(self, capsys):
         assert main(["cache", "--quick"]) == 0
         out = capsys.readouterr().out
@@ -167,3 +212,10 @@ class TestCommands:
         argv = ["serve", "--qps", "4e7", "--requests", "400", "--min-attainment", "1.0"]
         assert main(argv) == 1
         assert "FAIL" in capsys.readouterr().out
+
+    def test_serve_min_attainment_floor_holds_when_attainable(self, capsys):
+        # The floor must not trip spuriously: well under capacity with a
+        # modest floor, the same flag exits 0.
+        argv = ["serve", "--quick", "--qps", "5e5", "--min-attainment", "0.5"]
+        assert main(argv) == 0
+        assert "FAIL" not in capsys.readouterr().out
